@@ -1,0 +1,74 @@
+"""Ablation (paper future work, Section 5.4): adaptive granularity.
+
+The paper proposes "a cache management strategy that dynamically adjusts
+the eviction granularity on-the-fly, based on the perceived cache
+pressure".  This bench pits the adaptive policy against the static
+extremes across low and high pressure: a good adaptive policy should
+track the better static choice at *both* ends without knowing the
+pressure in advance.
+"""
+
+from repro.analysis.report import ExperimentResult
+from repro.core.adaptive import AdaptiveUnitPolicy
+from repro.core.policies import (
+    FineGrainedFifoPolicy,
+    FlushPolicy,
+    UnitFifoPolicy,
+)
+from repro.core.pressure import pressured_capacity
+from repro.core.simulator import simulate
+from repro.workloads.registry import build_workload, get_benchmark
+
+from conftest import SCALE
+
+BENCHMARKS = ("crafty", "photoshop")
+PRESSURES = (2, 10)
+
+_POLICIES = (
+    ("FLUSH", FlushPolicy),
+    ("8-unit", lambda: UnitFifoPolicy(8)),
+    ("FIFO", FineGrainedFifoPolicy),
+    ("ADAPT", AdaptiveUnitPolicy),
+)
+
+
+def _run_ablation():
+    rows = []
+    series = {}
+    for name in BENCHMARKS:
+        workload = build_workload(get_benchmark(name), scale=SCALE)
+        blocks = workload.superblocks
+        for pressure in PRESSURES:
+            capacity = pressured_capacity(blocks, pressure)
+            overheads = {}
+            for policy_name, factory in _POLICIES:
+                stats = simulate(blocks, factory(), capacity,
+                                 workload.trace, benchmark=name)
+                overheads[policy_name] = stats.total_overhead
+            rows.append((name, pressure,
+                         *(overheads[p] / overheads["FLUSH"]
+                           for p, _ in _POLICIES)))
+            series[(name, pressure)] = {
+                p: overheads[p] / overheads["FLUSH"] for p, _ in _POLICIES
+            }
+    return ExperimentResult(
+        experiment_id="ablation-adaptive",
+        title="Adaptive granularity vs static policies (overhead / FLUSH)",
+        columns=("Benchmark", "Pressure",
+                 *(p for p, _ in _POLICIES)),
+        rows=rows,
+        series=series,
+    )
+
+
+def test_ablation_adaptive(benchmark, save_result):
+    result = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    save_result(result)
+    for (name, pressure), data in result.series.items():
+        static_best = min(data["FLUSH"], data["8-unit"], data["FIFO"])
+        static_worst = max(data["FLUSH"], data["8-unit"], data["FIFO"])
+        # The adaptive policy must stay close to the best static choice
+        # (within 20 %) and clearly beat the worst one, at every
+        # pressure, without being told the pressure.
+        assert data["ADAPT"] <= static_best * 1.20, (name, pressure)
+        assert data["ADAPT"] < static_worst, (name, pressure)

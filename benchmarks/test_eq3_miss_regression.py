@@ -1,0 +1,21 @@
+"""Equation 3: miss (regeneration) overhead regression."""
+
+from repro.analysis import experiments
+
+from conftest import CALIBRATION_SAMPLES
+
+
+def test_eq3_miss_regression(benchmark, save_result):
+    result = benchmark.pedantic(
+        experiments.equation3,
+        kwargs=dict(samples=CALIBRATION_SAMPLES),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    # Equation 3: missOverhead = 75.4 * sizeBytes + 1922.
+    assert abs(result.series["slope"] - 75.4) / 75.4 < 0.10
+    assert abs(result.series["intercept"] - 1922) / 1922 < 0.25
+    assert result.series["r_squared"] > 0.97
+    # Unlike eviction, the size term dominates for typical superblocks.
+    slope, intercept = result.series["slope"], result.series["intercept"]
+    assert slope * 230 > intercept

@@ -1,0 +1,18 @@
+"""Equation 4: unlinking overhead regression."""
+
+from repro.analysis import experiments
+
+from conftest import CALIBRATION_SAMPLES
+
+
+def test_eq4_unlink_regression(benchmark, save_result):
+    result = benchmark.pedantic(
+        experiments.equation4,
+        kwargs=dict(samples=CALIBRATION_SAMPLES),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    # Equation 4: unlinkingOverhead = 296.5 * numLinks + 95.7.
+    assert abs(result.series["slope"] - 296.5) / 296.5 < 0.02
+    assert abs(result.series["intercept"] - 95.7) / 95.7 < 0.10
+    assert result.series["r_squared"] > 0.99

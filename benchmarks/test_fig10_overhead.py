@@ -1,0 +1,22 @@
+"""Figure 10: relative overhead (miss + eviction) at maxCache/10."""
+
+from repro.analysis import experiments
+
+
+def test_fig10_overhead(benchmark, save_result, sweep_kwargs):
+    result = benchmark.pedantic(
+        experiments.figure10,
+        kwargs=dict(pressure=10, **sweep_kwargs),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    series = result.series
+    assert series["FLUSH"] == 1.0
+    medium = min(series[name] for name in
+                 ("4-unit", "8-unit", "16-unit", "32-unit"))
+    # The paper's central result: medium grains beat both extremes.
+    assert medium < series["FLUSH"]
+    assert medium < series["FIFO"]
+    # Coarse policies are worst "because their high code cache miss
+    # rates are not offset by the reduction in evictions".
+    assert series["2-unit"] < series["FLUSH"]

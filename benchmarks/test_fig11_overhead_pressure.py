@@ -1,0 +1,27 @@
+"""Figure 11: relative overhead (miss + eviction) vs cache pressure."""
+
+from repro.analysis import experiments
+
+
+def test_fig11_overhead_pressure(benchmark, save_result, sweep_kwargs):
+    result = benchmark.pedantic(
+        experiments.figure11, kwargs=sweep_kwargs, rounds=1, iterations=1,
+    )
+    save_result(result)
+    series = result.series
+    pressures = sorted(series)
+    low, high = pressures[0], pressures[-1]
+    # "The finest-grained policy starts out performing better than
+    # FLUSH, but as cache pressure increases its performance decreases".
+    assert series[low]["FIFO"] < 0.8  # clearly better than FLUSH at low
+    assert series[high]["FIFO"] > series[low]["FIFO"]
+    # Relative-to-FLUSH overhead of fine FIFO trends upward (small
+    # mid-sweep wobble tolerated).
+    fifo_track = [series[p]["FIFO"] for p in pressures]
+    assert fifo_track[-1] >= max(fifo_track) - 0.02
+    for earlier, later in zip(fifo_track, fifo_track[1:]):
+        assert later >= earlier - 0.03
+    # Medium grain stays at or below fine FIFO under the highest pressure.
+    medium = min(series[high][name] for name in
+                 ("8-unit", "16-unit", "32-unit"))
+    assert medium <= series[high]["FIFO"]

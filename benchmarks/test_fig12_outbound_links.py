@@ -1,0 +1,21 @@
+"""Figure 12: average outbound links per superblock."""
+
+from repro.analysis import experiments
+
+from conftest import SCALE
+
+
+def test_fig12_outbound_links(benchmark, save_result):
+    result = benchmark.pedantic(
+        experiments.figure12, kwargs=dict(scale=SCALE),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    # "There are an average of 1.7 links originating from each
+    # superblock."
+    assert abs(result.series["AVERAGE"] - 1.7) < 0.2
+    # Per-benchmark values spread around the average, as in the figure.
+    per_benchmark = [value for name, value in result.series.items()
+                     if name != "AVERAGE"]
+    assert min(per_benchmark) > 1.2
+    assert max(per_benchmark) < 2.2

@@ -1,0 +1,27 @@
+"""Figure 13: percentage of links that span cache-unit boundaries."""
+
+from repro.analysis import experiments
+
+
+def test_fig13_interunit_links(benchmark, save_result, sweep_kwargs):
+    result = benchmark.pedantic(
+        experiments.figure13,
+        kwargs=dict(pressure=2, **sweep_kwargs),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    series = result.series
+    # "There are no inter-unit links in the FLUSH scheme."
+    assert series["FLUSH"] == 0.0
+    # "As the cache is split into two separate units, 24.3% of the
+    # links now span unit boundaries."  Accept a band around that.
+    assert 0.08 <= series["2-unit"] <= 0.40
+    # The fraction grows monotonically with the unit count.
+    ladder = ["FLUSH", "2-unit", "4-unit", "8-unit", "16-unit",
+              "32-unit", "64-unit"]
+    values = [series[name] for name in ladder]
+    assert values == sorted(values)
+    # "Not all links span unit boundaries because a superblock can link
+    # to itself" — the FIFO bar stays below 100 %.
+    assert series["FIFO"] == max(series.values())
+    assert series["FIFO"] < 1.0

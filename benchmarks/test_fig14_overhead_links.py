@@ -1,0 +1,29 @@
+"""Figure 14: relative overhead including link maintenance, maxCache/10."""
+
+from repro.analysis import experiments
+
+
+def test_fig14_overhead_links(benchmark, save_result, sweep_kwargs):
+    result = benchmark.pedantic(
+        experiments.figure14,
+        kwargs=dict(pressure=10, **sweep_kwargs),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    series = result.series
+    fig10 = experiments.figure10(pressure=10, **sweep_kwargs).series
+    assert series["FLUSH"] == 1.0
+    # "The overheads of all of the finer-grained policies have moved
+    # closer to FLUSH as a result of inter-unit superblock links" —
+    # FLUSH pays no Equation 4 cost, everyone else pays more.
+    for policy in ("2-unit", "8-unit", "64-unit", "FIFO"):
+        assert series[policy] >= fig10[policy] - 1e-9, policy
+    # "The largest changes occurred in the finer-grained policies."
+    assert (series["FIFO"] - fig10["FIFO"]) >= (
+        series["2-unit"] - fig10["2-unit"]
+    )
+    # Medium grain still wins overall.
+    medium = min(series[name] for name in
+                 ("4-unit", "8-unit", "16-unit", "32-unit"))
+    assert medium < series["FLUSH"]
+    assert medium < series["FIFO"]

@@ -1,0 +1,28 @@
+"""Figure 15: relative overhead incl. link maintenance vs pressure."""
+
+from repro.analysis import experiments
+
+
+def test_fig15_overhead_links_pressure(benchmark, save_result,
+                                       sweep_kwargs):
+    result = benchmark.pedantic(
+        experiments.figure15, kwargs=sweep_kwargs, rounds=1, iterations=1,
+    )
+    save_result(result)
+    series = result.series
+    pressures = sorted(series)
+    low, high = pressures[0], pressures[-1]
+    # "Again we see the same trend where fine-grained FIFO starts out
+    # performing better than FLUSH, but the situation reverses as
+    # pressure increases."
+    assert series[low]["FIFO"] < 0.8
+    assert series[high]["FIFO"] > series[low]["FIFO"]
+    # With link maintenance included, fine FIFO sits above its
+    # Figure 11 counterpart at high pressure.
+    fig11 = experiments.figure11(**sweep_kwargs).series
+    assert series[high]["FIFO"] >= fig11[high]["FIFO"] - 1e-9
+    # Medium grain is the most robust policy under the highest pressure.
+    medium = min(series[high][name] for name in
+                 ("8-unit", "16-unit", "32-unit"))
+    assert medium <= series[high]["FIFO"]
+    assert medium < series[high]["FLUSH"]

@@ -1,0 +1,27 @@
+"""Figure 3: size distribution of superblocks, SPEC vs Windows."""
+
+from repro.analysis import experiments
+
+from conftest import SCALE
+
+
+def test_fig3_size_distribution(benchmark, save_result):
+    result = benchmark.pedantic(
+        experiments.figure3, kwargs=dict(scale=SCALE),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    spec = result.series["spec"]
+    windows = result.series["windows"]
+    # Distributions are proper (fractions sum to one).
+    assert abs(sum(spec.values()) - 1.0) < 1e-9
+    assert abs(sum(windows.values()) - 1.0) < 1e-9
+    # Strong right skew: most blocks are small, but a tail exists.
+    small_spec = spec["64-128"] + spec["128-192"] + spec["192-256"]
+    assert small_spec > 0.3
+    # SPEC sizes clip at 2 KB (the clip mass itself lands in the last
+    # bin), so the tail is thin...
+    assert spec[">2048"] < 0.06
+    # ...while Windows has the heavier tail (the paper's lower
+    # histogram).
+    assert windows[">2048"] > 2 * spec[">2048"]

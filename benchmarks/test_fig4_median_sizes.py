@@ -1,0 +1,19 @@
+"""Figure 4: median superblock size per benchmark."""
+
+from repro.analysis import experiments
+
+from conftest import SCALE
+
+
+def test_fig4_median_sizes(benchmark, save_result):
+    result = benchmark.pedantic(
+        experiments.figure4, kwargs=dict(scale=SCALE),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    assert len(result.rows) == 20
+    # Medians land in the paper's range (roughly 180-320 bytes) and
+    # track the configured Figure 4 targets.
+    for name, _suite, measured, configured in result.rows:
+        assert 150 <= measured <= 330, name
+        assert abs(measured - configured) / configured < 0.30, name

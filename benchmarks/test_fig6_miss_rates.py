@@ -1,0 +1,21 @@
+"""Figure 6: unified miss rate vs eviction granularity at pressure 2."""
+
+from repro.analysis import experiments
+
+
+def test_fig6_miss_rates(benchmark, save_result, sweep_kwargs):
+    result = benchmark.pedantic(
+        experiments.figure6,
+        kwargs=dict(pressure=2, **sweep_kwargs),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    rates = result.series
+    # "Miss rates decline as the cache evictions become more fine
+    # grained" — FLUSH worst, fine-grained FIFO best.
+    assert rates["FLUSH"] == max(rates.values())
+    assert rates["FIFO"] <= min(rates.values()) + 0.002
+    # The decline is steep at the coarse end and flattens after.
+    assert rates["2-unit"] < 0.9 * rates["FLUSH"]
+    assert rates["4-unit"] <= rates["2-unit"]
+    assert rates["8-unit"] <= rates["4-unit"] * 1.02

@@ -1,0 +1,24 @@
+"""Figure 8: eviction invocations relative to finest-grained FIFO."""
+
+from repro.analysis import experiments
+
+
+def test_fig8_eviction_counts(benchmark, save_result, sweep_kwargs):
+    result = benchmark.pedantic(
+        experiments.figure8,
+        kwargs=dict(pressure=2, **sweep_kwargs),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    series = result.series
+    assert series["FIFO"] == 1.0
+    # Coarser eviction means monotonically fewer invocations.
+    ladder = ["FLUSH", "2-unit", "4-unit", "8-unit", "16-unit",
+              "32-unit", "64-unit", "FIFO"]
+    values = [series[name] for name in ladder]
+    assert values == sorted(values)
+    # The paper's headline: 64-unit cuts invocations by roughly 3x (we
+    # accept anything from 2x to 10x given the synthetic substrate).
+    assert 0.1 <= series["64-unit"] <= 0.5
+    # FLUSH performs dramatically fewer invocations than fine FIFO.
+    assert series["FLUSH"] < 0.1

@@ -1,0 +1,22 @@
+"""Figure 9 / Equation 2: eviction overhead regression over >=10k calls."""
+
+from repro.analysis import experiments
+
+from conftest import CALIBRATION_SAMPLES
+
+
+def test_fig9_eviction_regression(benchmark, save_result):
+    result = benchmark.pedantic(
+        experiments.figure9,
+        kwargs=dict(samples=CALIBRATION_SAMPLES),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    # Equation 2: evictionOverhead = 2.77 * sizeBytes + 3055.
+    assert abs(result.series["slope"] - 2.77) / 2.77 < 0.15
+    assert abs(result.series["intercept"] - 3055) / 3055 < 0.10
+    assert result.series["r_squared"] > 0.97
+    # The paper's conclusion: the fixed cost dominates for typical
+    # (few-hundred-byte) evictions.
+    slope, intercept = result.series["slope"], result.series["intercept"]
+    assert intercept > slope * 230

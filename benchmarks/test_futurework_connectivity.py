@@ -1,0 +1,75 @@
+"""Future work (Section 5.4): interconnectivity and placement headroom.
+
+"Our future work includes a more detailed analysis and visualization of
+the interconnectivity of superblocks within the cache ... to determine
+whether a better method exists for determining the placement of
+superblocks into the cache units to minimize inter-unit superblock
+links."
+
+This bench runs that study on the workload link graphs: structural
+statistics, plus the gap between formation-order placement and a
+Kernighan-Lin-optimized assignment at several unit counts.
+"""
+
+from repro.analysis.connectivity import (
+    connectivity_summary,
+    placement_headroom,
+)
+from repro.analysis.report import ExperimentResult
+from repro.workloads.registry import build_workload, get_benchmark
+
+from conftest import SCALE
+
+BENCHMARKS = ("crafty", "vortex", "winzip")
+UNIT_COUNTS = (4, 16)
+
+
+def _run_study():
+    rows = []
+    series = {}
+    for name in BENCHMARKS:
+        workload = build_workload(get_benchmark(name), scale=min(SCALE, 0.5))
+        blocks = workload.superblocks
+        summary = connectivity_summary(blocks)
+        for unit_count in UNIT_COUNTS:
+            headroom = placement_headroom(blocks, unit_count, seed=1)
+            rows.append((
+                name,
+                unit_count,
+                summary.mean_out_degree,
+                summary.self_loops / summary.superblocks,
+                headroom.fifo_fraction,
+                headroom.optimized_fraction,
+                headroom.relative_improvement * 100.0,
+            ))
+            series[(name, unit_count)] = {
+                "fifo": headroom.fifo_fraction,
+                "optimized": headroom.optimized_fraction,
+                "improvement": headroom.relative_improvement,
+            }
+    return ExperimentResult(
+        experiment_id="futurework-connectivity",
+        title="Superblock interconnectivity and placement headroom",
+        columns=("Benchmark", "Units", "Mean out-degree", "Self-loop frac",
+                 "Inter-unit (formation order)", "Inter-unit (optimized)",
+                 "Headroom (%)"),
+        rows=rows,
+        series=series,
+        notes="Optimized = recursive Kernighan-Lin from the contiguous "
+              "split; the headroom bounds what any online placer "
+              "(e.g. LinkAwarePlacementPolicy) could save in Equation 4 "
+              "work.",
+    )
+
+
+def test_futurework_connectivity(benchmark, save_result):
+    result = benchmark.pedantic(_run_study, rounds=1, iterations=1)
+    save_result(result)
+    for (name, unit_count), data in result.series.items():
+        # Optimization never loses to formation order (it starts there).
+        assert data["optimized"] <= data["fifo"] + 1e-9, (name, unit_count)
+        # Inter-unit fractions grow with the unit count under both
+        # assignments.
+    for name in BENCHMARKS:
+        assert (result.series[(name, 16)]["fifo"]
+                >= result.series[(name, 4)]["fifo"]), name

@@ -1,0 +1,21 @@
+"""Section 5.1: memory footprint of a complete back-pointer table."""
+
+from repro.analysis import experiments
+
+
+def test_sec51_backpointer_memory(benchmark, save_result, sweep_kwargs):
+    result = benchmark.pedantic(
+        experiments.section51_backpointer_memory,
+        kwargs=dict(pressure=2, **sweep_kwargs),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    # "The memory overhead of a complete back-pointer table is
+    # generally 11.5% the size of the code cache" (1.7 links x 16 B
+    # per ~230-B superblock).  Accept a band around that.
+    average = result.series["AVERAGE"]
+    assert 0.04 <= average <= 0.25
+    # Every benchmark has a non-trivial table once the cache is warm.
+    per_benchmark = [value for name, value in result.series.items()
+                     if name != "AVERAGE"]
+    assert all(value > 0.01 for value in per_benchmark)

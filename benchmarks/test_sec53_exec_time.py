@@ -1,0 +1,24 @@
+"""Section 5.3: execution-time impact of changing the granularity."""
+
+from repro.analysis import experiments
+
+
+def test_sec53_exec_time(benchmark, save_result, sweep_kwargs):
+    result = benchmark.pedantic(
+        experiments.section53_execution_time,
+        kwargs=dict(pressure=10, from_policy="FLUSH", to_policy="8-unit",
+                    **sweep_kwargs),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    series = result.series
+    # The paper highlights crafty (19.33 %) and twolf (19.79 %): both
+    # must show a clear, positive execution-time reduction from moving
+    # FLUSH -> 8-unit FIFO under heavy pressure.
+    assert series["crafty"] > 1.0
+    assert series["twolf"] > 1.0
+    # Under high pressure the effect is broad: most benchmarks benefit.
+    positive = sum(1 for value in series.values() if value > 0)
+    assert positive >= 15
+    # Nothing regresses catastrophically.
+    assert min(series.values()) > -5.0

@@ -1,0 +1,16 @@
+"""Table 1: benchmark suite and hot-superblock populations."""
+
+from repro.analysis import experiments
+
+
+def test_table1_benchmarks(benchmark, save_result):
+    result = benchmark.pedantic(experiments.table1, rounds=1, iterations=1)
+    save_result(result)
+    assert len(result.rows) == 20
+    # Endpoints quoted in Section 4.2.
+    assert result.series["gzip"] == 301
+    assert result.series["word"] == 18043
+    # SPEC first, Windows after, as the paper lists them.
+    names = [row[0] for row in result.rows]
+    assert names[:3] == ["gzip", "vpr", "gcc"]
+    assert names[-1] == "word"

@@ -1,0 +1,35 @@
+"""Table 2: slowdown from disabling superblock chaining."""
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.analysis import experiments
+from repro.analysis.experiments import PAPER_TABLE2_SLOWDOWNS
+
+from conftest import TABLE2_BUDGET
+
+
+def test_table2_chaining(benchmark, save_result):
+    result = benchmark.pedantic(
+        experiments.table2,
+        kwargs=dict(max_guest_instructions=TABLE2_BUDGET),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    series = result.series
+    assert len(series) == 11
+    # Slowdowns are severe across the board (paper: 447 %-3357 %).
+    assert all(200 <= value <= 6000 for value in series.values())
+    # The extremes match: gzip suffers most, mcf least.
+    assert max(series, key=series.get) == "gzip"
+    assert min(series, key=series.get) == "mcf"
+    # Per-benchmark ordering tracks the paper closely.
+    names = sorted(series)
+    measured = np.array([series[name] for name in names])
+    paper = np.array([PAPER_TABLE2_SLOWDOWNS[name] for name in names])
+    correlation = scipy_stats.spearmanr(measured, paper).statistic
+    assert correlation > 0.85
+    # Magnitudes land within a factor of ~1.6 of the paper's.
+    ratios = measured / paper
+    assert ratios.max() / ratios.min() < 2.5
+    assert 0.6 < np.median(ratios) < 1.6

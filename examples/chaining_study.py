@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Superblock chaining: why it is crucial, and what it costs to manage.
+
+Reproduces the Section 5 narrative end to end on the DBT substrate:
+
+1. Runs a guest program under the DBT with chaining enabled, then
+   disabled, showing the Table 2-style slowdown (dominated by the
+   memory-protection system calls paid on every unchained cache exit).
+2. Shows the "reduced but still significant" slowdown of a system that
+   does not protect its translation manager.
+3. Quantifies the back-pointer table: live links, memory footprint
+   (Section 5.1's 16 bytes per link), and the intra-/inter-unit split
+   that decides how much of Equation 4 each eviction pays.
+
+Run:  python examples/chaining_study.py
+"""
+
+from repro.analysis.report import format_table
+from repro.core import LinkManager, UnitFifoPolicy, pressured_capacity
+from repro.core.simulator import CodeCacheSimulator
+from repro.dbt import DBTRuntime
+from repro.workloads import build_workload, get_benchmark
+from repro.workloads.generator import table2_program
+
+BUDGET = 1_500_000
+
+
+def chaining_slowdowns() -> None:
+    program = table2_program("gzip")
+    configs = (
+        ("chaining on", dict(chaining_enabled=True)),
+        ("chaining off", dict(chaining_enabled=False)),
+        ("chaining off, no memory protection",
+         dict(chaining_enabled=False, memory_protection=False)),
+    )
+    rows = []
+    baseline = None
+    for label, kwargs in configs:
+        runtime = DBTRuntime(program, record_entries=False,
+                             max_trace_blocks=64, max_trace_bytes=4096,
+                             **kwargs)
+        result = runtime.run(max_guest_instructions=BUDGET)
+        if baseline is None:
+            baseline = result.total_work
+        rows.append((
+            label,
+            result.total_work / 1e6,
+            (result.total_work / baseline - 1.0) * 100.0,
+            result.unchained_exits,
+        ))
+    print(format_table(
+        ("Configuration", "Work (M instr)", "Slowdown (%)",
+         "Unchained exits"),
+        rows,
+        title="Disabling chaining on the gzip stand-in (Table 2 mechanism)",
+        precision=1,
+    ))
+    print("\nThe slowdown collapses when the dispatcher re-entry no longer "
+          "toggles memory\nprotection — exactly the paper's diagnosis.\n")
+
+
+def backpointer_study() -> None:
+    workload = build_workload(get_benchmark("vortex"), scale=0.5)
+    blocks = workload.superblocks
+    capacity = pressured_capacity(blocks, 4)
+    rows = []
+    for unit_count in (2, 8, 32):
+        policy = UnitFifoPolicy(unit_count)
+        simulator = CodeCacheSimulator(blocks, policy, capacity)
+        stats = simulator.process(workload.trace, benchmark="vortex")
+        links: LinkManager = simulator.links
+        rows.append((
+            f"{unit_count}-unit",
+            links.live_link_count,
+            links.backpointer_table_bytes,
+            links.backpointer_table_bytes / capacity * 100.0,
+            links.inter_unit_backpointer_bytes,
+            stats.inter_unit_link_fraction * 100.0,
+        ))
+    print(format_table(
+        ("Policy", "Live links", "Full table (B)", "% of cache",
+         "Inter-only table (B)", "Inter-unit links (%)"),
+        rows,
+        title="Back-pointer table footprint on vortex (Section 5.1)",
+        precision=1,
+    ))
+    print("\nCoarser units turn more links intra-unit: they die for free "
+          "on unit flushes,\nshrinking both the table and the Equation 4 "
+          "unlink work.")
+
+
+def main() -> None:
+    chaining_slowdowns()
+    backpointer_study()
+
+
+if __name__ == "__main__":
+    main()

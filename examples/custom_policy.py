@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Extending the library: write and evaluate your own eviction policy.
+
+The policy surface (:class:`repro.core.EvictionPolicy`) is small:
+``configure``, ``contains``, ``insert``, ``unit_of``, ``resident_ids``,
+plus the optional ``on_access`` hook.  This example implements a
+*pinning* unit-FIFO policy — a medium-grained cache that exempts the
+hottest superblocks from eviction by re-inserting them eagerly — and
+races it against the standard ladder on a workload, including the
+future-work policies (adaptive granularity, link-aware placement) that
+ship with the library.
+
+Run:  python examples/custom_policy.py
+"""
+
+from collections import Counter
+
+from repro.analysis.report import format_table
+from repro.core import (
+    AdaptiveUnitPolicy,
+    EvictionEvent,
+    EvictionPolicy,
+    FineGrainedFifoPolicy,
+    FlushPolicy,
+    GenerationalPolicy,
+    LinkAwarePlacementPolicy,
+    PreemptiveFlushPolicy,
+    UnitCache,
+    UnitFifoPolicy,
+    pressured_capacity,
+    simulate,
+)
+from repro.workloads import build_workload, get_benchmark
+
+
+class PinningUnitFifoPolicy(EvictionPolicy):
+    """Unit FIFO that re-inserts very hot victims immediately.
+
+    Accesses are counted per superblock; when a unit flush evicts a
+    block whose access count is in the top ``pin_fraction`` of the
+    resident population, the block is re-inserted right away (charging
+    nothing extra here — the simulator will charge its miss on next
+    access either way, so the interesting question is whether saved
+    misses outweigh the cache space the pins consume).
+    """
+
+    def __init__(self, unit_count: int = 8, pin_fraction: float = 0.05):
+        super().__init__()
+        self.name = f"{unit_count}-unit-pin"
+        self.unit_count = unit_count
+        self.pin_fraction = pin_fraction
+        self._counts: Counter[int] = Counter()
+        self._cache: UnitCache | None = None
+        self._sizes: dict[int, int] = {}
+
+    def configure(self, capacity_bytes: int, max_block_bytes: int) -> None:
+        clamped = max(1, min(self.unit_count,
+                             capacity_bytes // max_block_bytes))
+        self._cache = UnitCache(capacity_bytes, clamped, max_block_bytes)
+        self._counts.clear()
+        self._sizes.clear()
+        self._configured = True
+
+    def on_access(self, sid: int, hit: bool) -> list[EvictionEvent]:
+        self._counts[sid] += 1
+        return []
+
+    def _pin_threshold(self) -> int:
+        if not self._counts:
+            return 1 << 60
+        hottest = self._counts.most_common(
+            max(1, int(len(self._counts) * self.pin_fraction))
+        )
+        return hottest[-1][1]
+
+    def insert(self, sid: int, size_bytes: int) -> list[EvictionEvent]:
+        self._require_configured()
+        self._sizes[sid] = size_bytes
+        events = list(self._cache.insert(sid, size_bytes))
+        threshold = self._pin_threshold()
+        for event in list(events):
+            for victim in event.blocks:
+                if victim != sid and self._counts[victim] >= threshold:
+                    # Re-insert the pinned victim; this may cascade, so
+                    # collect any further evictions it causes.
+                    events.extend(
+                        self._cache.insert(victim, self._sizes[victim])
+                    )
+        return events
+
+    def contains(self, sid: int) -> bool:
+        return sid in self._cache
+
+    def unit_of(self, sid: int) -> int:
+        return self._cache.unit_of(sid)
+
+    def resident_ids(self) -> set[int]:
+        return self._cache.resident_ids()
+
+    @property
+    def effective_unit_count(self) -> int:
+        self._require_configured()
+        return self._cache.unit_count
+
+
+def main() -> None:
+    workload = build_workload(get_benchmark("perlbmk"), scale=0.5)
+    blocks = workload.superblocks
+    capacity = pressured_capacity(blocks, 6)
+    print(f"perlbmk (scaled): {len(blocks)} superblocks, cache = "
+          f"{capacity / 1024:.0f} KB (maxCache/6)\n")
+
+    contenders: list[EvictionPolicy] = [
+        FlushPolicy(),
+        PreemptiveFlushPolicy(),
+        UnitFifoPolicy(8),
+        GenerationalPolicy(),
+        AdaptiveUnitPolicy(),
+        LinkAwarePlacementPolicy(blocks, unit_count=8),
+        PinningUnitFifoPolicy(unit_count=8),
+        FineGrainedFifoPolicy(),
+    ]
+    rows = []
+    for policy in contenders:
+        stats = simulate(blocks, policy, capacity, workload.trace)
+        rows.append((
+            policy.name,
+            stats.miss_rate,
+            stats.eviction_invocations,
+            stats.total_overhead / 1e6,
+        ))
+    rows.sort(key=lambda row: row[-1])
+    print(format_table(
+        ("Policy", "Miss rate", "Evictions", "Overhead (M instr)"),
+        rows,
+        title="Policy shoot-out (sorted by total overhead, lower is better)",
+    ))
+    print("\nThe built-in ladder is not the end of the design space — "
+          "the EvictionPolicy\nsurface makes new schemes a ~50 line "
+          "experiment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Watch a dynamic binary translator manage its code cache, live.
+
+Runs a generated guest program under the full DBT pipeline (Figure 1 of
+the paper) with a deliberately small, 8-unit code cache, then narrates
+what happened: interpretation, hot-trace formation, chaining, unit
+evictions, regeneration of evicted superblocks, and where the simulated
+instructions went.  Finally it replays the run's own event log — the
+"DynamoRIO verbose output" of the paper's methodology — through the
+trace-driven simulator to compare eviction policies on the exact same
+access stream.
+
+Run:  python examples/dbt_lifecycle.py
+"""
+
+from repro.analysis.report import format_bar_chart, format_table
+from repro.core import UnitFifoPolicy, granularity_ladder, simulate
+from repro.dbt import DBTRuntime
+from repro.workloads.generator import GuestProgramSpec, generate_program
+
+
+def main() -> None:
+    spec = GuestProgramSpec(
+        "lifecycle", functions=12, body_blocks=4,
+        instructions_per_block=10, inner_iterations=80,
+        outer_iterations=30, side_exit_mask=3, seed=2024,
+    )
+    program = generate_program(spec)
+    print(f"Guest program: {len(program)} instructions, "
+          f"{program.size_bytes} bytes\n")
+
+    runtime = DBTRuntime(
+        program,
+        policy=UnitFifoPolicy(8),
+        cache_capacity=6 * 1024,  # small on purpose: force churn
+        max_trace_blocks=8,
+        max_trace_bytes=512,
+    )
+    result = runtime.run(max_guest_instructions=1_200_000)
+
+    print(format_table(
+        ("Metric", "Value"),
+        [
+            ("guest instructions executed", result.guest_instructions),
+            ("blocks interpreted (cold path)", result.interpreted_blocks),
+            ("superblocks formed", result.superblocks_formed),
+            ("code cache entries", result.cache_entries),
+            ("chained transitions (stayed in cache)",
+             result.chained_transitions),
+            ("unchained exits (paid dispatch + mprotect)",
+             result.unchained_exits),
+            ("eviction invocations", result.eviction_invocations),
+            ("superblocks evicted", result.evicted_blocks),
+            ("run finished", result.halted),
+        ],
+        title="DBT run under an 8-unit, 6 KB code cache",
+    ))
+    regenerated = result.superblocks_formed - len(runtime._blocks_by_sid)
+    print(f"\n{regenerated} formations were *re*-generations of evicted "
+          "code — code caches have\nno backing store, so every miss "
+          "re-translates (Section 3.2).\n")
+
+    print(format_bar_chart(
+        {category: units / 1e3 for category, units in
+         sorted(result.work.items(), key=lambda item: -item[1])},
+        title="Where the simulated instructions went (thousands)",
+        precision=1,
+    ))
+
+    # Replay the verbose log through the simulator, paper-style.
+    population = result.event_log.superblock_set()
+    trace = result.event_log.access_trace()
+    capacity = max(population.total_bytes // 3, population.max_block_bytes)
+    print(f"\nReplaying the event log ({len(population)} superblocks, "
+          f"{len(trace)} accesses)\nthrough the trace simulator at "
+          f"{capacity} bytes of cache:\n")
+    rows = []
+    for policy in granularity_ladder(unit_counts=(1, 2, 4, 8)):
+        stats = simulate(population, policy, capacity, trace)
+        rows.append((policy.name, stats.miss_rate,
+                     stats.eviction_invocations,
+                     stats.total_overhead / 1e3))
+    print(format_table(
+        ("Policy", "Miss rate", "Evictions", "Overhead (K instr)"),
+        rows,
+        title="Same access stream, different eviction granularities",
+    ))
+
+
+if __name__ == "__main__":
+    main()

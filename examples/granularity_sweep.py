@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Granularity x pressure sweep over an interactive-application workload.
+
+Interactive Windows applications are where code cache management earns
+its keep (Section 2.3: tens of MB of code churned in minutes).  This
+example sweeps the `photoshop` workload across cache pressure factors
+2..10 and renders the paper's Figure 11/15-style series: management
+overhead of each granularity relative to the coarse FLUSH policy, with
+and without the link-maintenance penalties of Equation 4.
+
+Run:  python examples/granularity_sweep.py
+"""
+
+from repro.analysis.report import format_bar_chart, format_table
+from repro.core import granularity_ladder, pressured_capacity, simulate
+from repro.workloads import build_workload, get_benchmark
+
+PRESSURES = (2, 4, 6, 8, 10)
+UNIT_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def main() -> None:
+    workload = build_workload(get_benchmark("photoshop"), scale=0.5)
+    blocks = workload.superblocks
+    print(f"photoshop (scaled): {len(blocks)} superblocks, "
+          f"maxCache = {blocks.total_bytes / 1048576:.1f} MB\n")
+
+    relative_mgmt: dict[int, dict[str, float]] = {}
+    relative_total: dict[int, dict[str, float]] = {}
+    for pressure in PRESSURES:
+        capacity = pressured_capacity(blocks, pressure)
+        mgmt: dict[str, float] = {}
+        total: dict[str, float] = {}
+        for policy in granularity_ladder(unit_counts=UNIT_COUNTS):
+            stats = simulate(blocks, policy, capacity, workload.trace)
+            mgmt[policy.name] = stats.management_overhead
+            total[policy.name] = stats.total_overhead
+        flush_mgmt = mgmt["FLUSH"]
+        flush_total = total["FLUSH"]
+        relative_mgmt[pressure] = {
+            name: value / flush_mgmt for name, value in mgmt.items()
+        }
+        relative_total[pressure] = {
+            name: value / flush_total for name, value in total.items()
+        }
+
+    policies = list(relative_mgmt[PRESSURES[0]])
+    rows = [
+        (name, *(relative_mgmt[p][name] for p in PRESSURES))
+        for name in policies
+    ]
+    print(format_table(
+        ("Policy", *(f"maxCache/{p}" for p in PRESSURES)),
+        rows,
+        title="Overhead relative to FLUSH (miss + eviction; Figure 11 style)",
+        precision=3,
+    ))
+    print()
+    rows = [
+        (name, *(relative_total[p][name] for p in PRESSURES))
+        for name in policies
+    ]
+    print(format_table(
+        ("Policy", *(f"maxCache/{p}" for p in PRESSURES)),
+        rows,
+        title="Overhead relative to FLUSH incl. link maintenance "
+              "(Figure 15 style)",
+        precision=3,
+    ))
+    print()
+    print(format_bar_chart(
+        relative_total[10],
+        title="Relative overhead at maxCache/10 (lower is better)",
+        precision=3,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Visualize phase behaviour and each policy's reaction to it.
+
+Slices the `parser` workload's trace into windows and renders per-window
+miss-rate sparklines for FLUSH, medium-grained, and fine-grained FIFO on
+a shared scale: phase transitions show up as miss spikes for everyone,
+while FLUSH adds its own self-inflicted sawtooth each time it empties
+the cache.  Also renders the final unit-occupancy map and the unit-unit
+link matrix (the Section 5.4 interconnectivity view).
+
+Run:  python examples/phase_visualizer.py
+"""
+
+from repro.analysis.connectivity import fifo_assignment
+from repro.analysis.timeline import record_timeline
+from repro.analysis.visualize import (
+    render_link_matrix,
+    render_occupancy,
+    render_timelines,
+)
+from repro.core import (
+    FineGrainedFifoPolicy,
+    FlushPolicy,
+    UnitFifoPolicy,
+    pressured_capacity,
+)
+from repro.workloads import build_workload, get_benchmark
+
+
+def main() -> None:
+    workload = build_workload(get_benchmark("parser"))
+    blocks = workload.superblocks
+    pressure = 5
+    capacity = pressured_capacity(blocks, pressure)
+    print(f"parser: {len(blocks)} superblocks, cache = maxCache/{pressure} "
+          f"= {capacity / 1024:.0f} KB, trace = {len(workload.trace)} "
+          "accesses\n")
+
+    window = max(500, len(workload.trace) // 60)
+    timelines = []
+    occupancy_policy = None
+    for policy in (FlushPolicy(), UnitFifoPolicy(8),
+                   FineGrainedFifoPolicy()):
+        timelines.append(
+            record_timeline(blocks, policy, capacity, workload.trace,
+                            window=window)
+        )
+        if policy.name == "8-unit":
+            occupancy_policy = policy
+    print(f"Miss rate per {window}-access window (shared scale):")
+    print(render_timelines(timelines))
+    print()
+    print(render_occupancy(occupancy_policy, blocks, width=36))
+    print()
+    assignment = fifo_assignment(blocks, 4)
+    print(render_link_matrix(blocks, assignment, unit_count=4))
+    print("\nMost links stay on the diagonal: chains connect superblocks "
+          "formed close\ntogether — the property medium-grained eviction "
+          "exploits (intra-unit links\ndie free when the unit flushes).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro: code cache eviction granularities in dynamic optimization systems.
+
+A from-scratch reproduction of Hazelwood & Smith, "Exploring Code Cache
+Eviction Granularities in Dynamic Optimization Systems" (CGO 2004).
+
+Packages
+--------
+``repro.core``
+    The paper's contribution: the bounded code cache, the eviction-policy
+    ladder (FLUSH, N-unit FIFO, fine-grained FIFO, plus extensions),
+    chaining links with a back-pointer table, the analytical overhead
+    model (Equations 2-4), and the trace-driven simulator.
+``repro.isa``
+    A small guest ISA with an assembler, CFG tooling and an interpreter.
+``repro.dbt``
+    A complete dynamic-binary-translator runtime over the guest ISA —
+    the DynamoRIO stand-in: dispatch, hotness, trace selection,
+    translation, chaining, memory-protection costs.
+``repro.workloads``
+    Table 1's twenty benchmarks as synthetic populations (sizes, link
+    graphs, phased access traces) plus a guest-program generator.
+``repro.papi``
+    Instruction-count probes and the regressions that re-derive the
+    paper's overhead equations from measurement.
+``repro.analysis``
+    One driver per paper table/figure, a sweep engine and text rendering.
+
+Quickstart
+----------
+>>> import repro.core as core
+>>> import repro.workloads as workloads
+>>> wl = workloads.build_workload(workloads.get_benchmark("gzip"))
+>>> capacity = core.pressured_capacity(wl.superblocks, 2)
+>>> stats = core.simulate(wl.superblocks, core.UnitFifoPolicy(8),
+...                       capacity, wl.trace)
+>>> 0.0 <= stats.miss_rate <= 1.0
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "isa", "dbt", "workloads", "papi", "analysis"]

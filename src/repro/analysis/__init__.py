@@ -1,0 +1,77 @@
+"""Experiment harness: sweeps, per-figure drivers and text rendering."""
+
+from repro.analysis.report import (
+    ExperimentResult,
+    format_bar_chart,
+    format_table,
+)
+from repro.analysis.sweep import (
+    FINE_NAME,
+    FLUSH_NAME,
+    SweepResult,
+    clear_sweep_cache,
+    full_sweep,
+    ladder_policy_factories,
+    run_sweep,
+)
+from repro.analysis.connectivity import (
+    ConnectivitySummary,
+    PlacementHeadroom,
+    connectivity_summary,
+    fifo_assignment,
+    inter_unit_fraction,
+    link_graph,
+    partition_lower_bound,
+    partition_units,
+    placement_headroom,
+)
+from repro.analysis.sensitivity import (
+    DEFAULT_VARIATIONS,
+    SensitivityPoint,
+    SensitivityReport,
+    sweep_sensitivity,
+)
+from repro.analysis.timeline import Timeline, TimelinePoint, record_timeline
+from repro.analysis.visualize import (
+    render_link_matrix,
+    render_occupancy,
+    render_timeline,
+    render_timelines,
+    sparkline,
+)
+from repro.analysis import experiments
+
+__all__ = [
+    "ExperimentResult",
+    "format_bar_chart",
+    "format_table",
+    "FINE_NAME",
+    "FLUSH_NAME",
+    "SweepResult",
+    "clear_sweep_cache",
+    "full_sweep",
+    "ladder_policy_factories",
+    "run_sweep",
+    "experiments",
+    "ConnectivitySummary",
+    "PlacementHeadroom",
+    "connectivity_summary",
+    "fifo_assignment",
+    "inter_unit_fraction",
+    "link_graph",
+    "partition_lower_bound",
+    "partition_units",
+    "placement_headroom",
+    "Timeline",
+    "TimelinePoint",
+    "record_timeline",
+    "render_link_matrix",
+    "render_occupancy",
+    "render_timeline",
+    "render_timelines",
+    "sparkline",
+    "DEFAULT_VARIATIONS",
+    "SensitivityPoint",
+    "SensitivityReport",
+    "sweep_sensitivity",
+]

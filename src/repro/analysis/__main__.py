@@ -1,0 +1,103 @@
+"""Command-line artifact regeneration: ``python -m repro.analysis``.
+
+Regenerates any of the paper's tables and figures from the library and
+prints the rendered result.  Examples::
+
+    python -m repro.analysis --list
+    python -m repro.analysis table1 figure12
+    python -m repro.analysis figure6 --scale 0.25 --pressures 2 10
+    python -m repro.analysis all --scale 0.1 --trace-accesses 5000
+
+Simulation figures share one sweep per invocation, so asking for
+several of them costs little more than asking for one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+
+from repro.analysis import experiments
+
+_DRIVERS = {fn.__name__: fn for fn in experiments.ALL_EXPERIMENTS}
+_ALIASES = {
+    "section51": "section51_backpointer_memory",
+    "section53": "section53_execution_time",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Regenerate tables and figures from Hazelwood & Smith, "
+                    "CGO 2004.",
+    )
+    parser.add_argument(
+        "artifacts", nargs="*",
+        help="artifact names (e.g. table1 figure6 table2), or 'all'",
+    )
+    parser.add_argument("--list", action="store_true",
+                        help="list available artifacts and exit")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--trace-accesses", type=int, default=None,
+                        help="override per-benchmark trace length")
+    parser.add_argument("--pressures", type=float, nargs="+",
+                        default=[2, 4, 6, 8, 10],
+                        help="cache pressure factors for sweep figures")
+    parser.add_argument("--samples", type=int, default=10_000,
+                        help="samples for the calibration figures")
+    parser.add_argument("--table2-budget", type=int, default=4_000_000,
+                        help="guest instructions per Table 2 run")
+    parser.add_argument("--precision", type=int, default=4,
+                        help="decimal places in rendered tables")
+    return parser
+
+
+def _call_driver(name: str, args: argparse.Namespace):
+    driver = _DRIVERS[name]
+    parameters = inspect.signature(driver).parameters
+    kwargs = {}
+    if "scale" in parameters:
+        kwargs["scale"] = args.scale
+    if "trace_accesses" in parameters:
+        kwargs["trace_accesses"] = args.trace_accesses
+    if "pressures" in parameters:
+        kwargs["pressures"] = tuple(args.pressures)
+    if "samples" in parameters:
+        kwargs["samples"] = args.samples
+    if "max_guest_instructions" in parameters:
+        kwargs["max_guest_instructions"] = args.table2_budget
+    return driver(**kwargs)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list or not args.artifacts:
+        print("Available artifacts:")
+        for name in _DRIVERS:
+            print(f"  {name}")
+        return 0
+    requested = []
+    for raw in args.artifacts:
+        name = _ALIASES.get(raw, raw)
+        if raw == "all":
+            requested = list(_DRIVERS)
+            break
+        if name not in _DRIVERS:
+            parser.error(
+                f"unknown artifact {raw!r}; use --list to see choices"
+            )
+        requested.append(name)
+    for index, name in enumerate(requested):
+        if index:
+            print()
+        result = _call_driver(name, args)
+        print(result.render(precision=args.precision))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""Superblock interconnectivity analysis (the paper's future work).
+
+Section 5.4: "Our future work includes a more detailed analysis and
+visualization of the interconnectivity of superblocks within the cache.
+This study will help us to determine whether a better method exists for
+determining the placement of superblocks into the cache units to
+minimize inter-unit superblock links."
+
+This module performs that analysis over a workload's static link graph:
+
+* summary statistics (degree distribution, self-loop share, component
+  structure) via :func:`connectivity_summary`;
+* a *placement lower bound*: the smallest inter-unit link fraction any
+  balanced assignment of superblocks to ``k`` units could achieve,
+  estimated with recursive Kernighan-Lin bisection
+  (:func:`partition_lower_bound`);
+* the gap between that bound and what insertion-order (FIFO) placement
+  actually produces, which quantifies how much headroom a link-aware
+  placer has (:func:`placement_headroom`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.superblock import SuperblockSet
+
+
+@dataclass(frozen=True)
+class ConnectivitySummary:
+    """Structural statistics of a superblock link graph."""
+
+    superblocks: int
+    links: int
+    self_loops: int
+    mean_out_degree: float
+    max_in_degree: int
+    weakly_connected_components: int
+    largest_component_fraction: float
+
+
+def link_graph(superblocks: SuperblockSet) -> nx.DiGraph:
+    """The workload's static link graph as a networkx digraph."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(superblocks.sids)
+    for block in superblocks:
+        for target in block.links:
+            graph.add_edge(block.sid, target)
+    return graph
+
+
+def connectivity_summary(superblocks: SuperblockSet) -> ConnectivitySummary:
+    """Compute the Section 5.4 interconnectivity statistics."""
+    graph = link_graph(superblocks)
+    self_loops = sum(1 for s, t in graph.edges if s == t)
+    components = list(nx.weakly_connected_components(graph))
+    largest = max(len(component) for component in components)
+    max_in_degree = max(
+        (degree for _, degree in graph.in_degree()), default=0
+    )
+    return ConnectivitySummary(
+        superblocks=len(superblocks),
+        links=graph.number_of_edges(),
+        self_loops=self_loops,
+        mean_out_degree=superblocks.mean_out_degree,
+        max_in_degree=max_in_degree,
+        weakly_connected_components=len(components),
+        largest_component_fraction=largest / len(superblocks),
+    )
+
+
+def _undirected_without_self_loops(superblocks: SuperblockSet) -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_nodes_from(superblocks.sids)
+    for block in superblocks:
+        for target in block.links:
+            if target != block.sid:
+                graph.add_edge(block.sid, target)
+    return graph
+
+
+def partition_units(superblocks: SuperblockSet,
+                    unit_count: int,
+                    seed: int = 0) -> dict[int, int]:
+    """Assign superblocks to *unit_count* balanced units, minimizing
+    cut links via recursive Kernighan-Lin bisection.
+
+    ``unit_count`` must be a power of two (each level halves the parts).
+    Self-loops are ignored — they are intra-unit under any assignment.
+    """
+    if unit_count < 1 or unit_count & (unit_count - 1):
+        raise ValueError("unit_count must be a positive power of two")
+    graph = _undirected_without_self_loops(superblocks)
+    parts: list[set[int]] = [set(graph.nodes)]
+    while len(parts) < unit_count:
+        next_parts: list[set[int]] = []
+        for part in parts:
+            if len(part) < 2:
+                next_parts.append(part)
+                continue
+            subgraph = graph.subgraph(part)
+            # Start from the contiguous (formation-order) split: link
+            # graphs are strongly id-local, so that is a good partition
+            # already and Kernighan-Lin can only improve on it.
+            ordered = sorted(part)
+            half = len(ordered) // 2
+            initial = (set(ordered[:half]), set(ordered[half:]))
+            left, right = nx.algorithms.community.kernighan_lin_bisection(
+                subgraph, partition=initial, seed=seed
+            )
+            next_parts.extend([set(left), set(right)])
+        parts = next_parts
+    assignment: dict[int, int] = {}
+    for unit_index, part in enumerate(parts):
+        for sid in part:
+            assignment[sid] = unit_index
+    return assignment
+
+
+def inter_unit_fraction(superblocks: SuperblockSet,
+                        assignment: dict[int, int]) -> float:
+    """Fraction of links crossing unit boundaries under *assignment*
+    (self-loops count as intra-unit, as in Figure 13)."""
+    total = 0
+    inter = 0
+    for block in superblocks:
+        for target in block.links:
+            total += 1
+            if target != block.sid and (
+                assignment[block.sid] != assignment[target]
+            ):
+                inter += 1
+    return inter / total if total else 0.0
+
+
+def fifo_assignment(superblocks: SuperblockSet,
+                    unit_count: int) -> dict[int, int]:
+    """The assignment insertion-order placement produces when every
+    block is touched once in formation order: equal-byte runs of
+    consecutive sids per unit."""
+    if unit_count < 1:
+        raise ValueError("unit_count must be positive")
+    total = superblocks.total_bytes
+    per_unit = total / unit_count
+    assignment: dict[int, int] = {}
+    cursor = 0.0
+    for sid in sorted(superblocks.sids):
+        unit_index = min(int(cursor / per_unit), unit_count - 1)
+        assignment[sid] = unit_index
+        cursor += superblocks.size_of(sid)
+    return assignment
+
+
+@dataclass(frozen=True)
+class PlacementHeadroom:
+    """How much a smart placer could improve on FIFO placement."""
+
+    unit_count: int
+    fifo_fraction: float
+    optimized_fraction: float
+
+    @property
+    def relative_improvement(self) -> float:
+        if self.fifo_fraction == 0.0:
+            return 0.0
+        return 1.0 - self.optimized_fraction / self.fifo_fraction
+
+
+def placement_headroom(superblocks: SuperblockSet, unit_count: int,
+                       seed: int = 0) -> PlacementHeadroom:
+    """Compare formation-order placement against the KL-optimized
+    assignment at the same unit count."""
+    fifo = inter_unit_fraction(
+        superblocks, fifo_assignment(superblocks, unit_count)
+    )
+    optimized = inter_unit_fraction(
+        superblocks, partition_units(superblocks, unit_count, seed=seed)
+    )
+    return PlacementHeadroom(
+        unit_count=unit_count,
+        fifo_fraction=fifo,
+        optimized_fraction=optimized,
+    )
+
+
+def partition_lower_bound(superblocks: SuperblockSet, unit_count: int,
+                          seed: int = 0) -> float:
+    """The (estimated) minimum inter-unit link fraction achievable at
+    *unit_count* balanced units."""
+    assignment = partition_units(superblocks, unit_count, seed=seed)
+    return inter_unit_fraction(superblocks, assignment)

@@ -1,0 +1,205 @@
+"""The granularity x pressure sweep engine behind Figures 6-15.
+
+One sweep simulates every (benchmark, policy, pressure) combination once
+and keeps the full per-run statistics; all of the paper's simulation
+figures are different projections of that grid (miss rates for
+Figures 6-7, eviction counts for Figure 8, overheads without link costs
+for Figures 10-11, link fractions for Figure 13, overheads with link
+costs for Figures 14-15).  Because the grid is expensive, a module-level
+cache shares it between figure functions within a process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.metrics import SimulationStats, unified_miss_rate
+from repro.core.overhead import PAPER_MODEL, OverheadModel
+from repro.core.policies import (
+    STANDARD_UNIT_COUNTS,
+    EvictionPolicy,
+    FineGrainedFifoPolicy,
+    FlushPolicy,
+    UnitFifoPolicy,
+)
+from repro.core.pressure import STANDARD_PRESSURE_FACTORS, pressured_capacity
+from repro.core.simulator import CodeCacheSimulator
+from repro.workloads.registry import Workload, build_suite
+
+PolicyFactory = Callable[[], EvictionPolicy]
+
+#: Display name of the finest-grained rung.
+FINE_NAME = "FIFO"
+FLUSH_NAME = "FLUSH"
+
+
+def ladder_policy_factories(
+    unit_counts: Sequence[int] = STANDARD_UNIT_COUNTS,
+    include_fine: bool = True,
+) -> list[tuple[str, PolicyFactory]]:
+    """(name, factory) pairs for the standard policy ladder."""
+    factories: list[tuple[str, PolicyFactory]] = []
+    for count in unit_counts:
+        if count == 1:
+            factories.append((FLUSH_NAME, FlushPolicy))
+        else:
+            factories.append(
+                (f"{count}-unit", _unit_factory(count))
+            )
+    if include_fine:
+        factories.append((FINE_NAME, FineGrainedFifoPolicy))
+    return factories
+
+
+def _unit_factory(count: int) -> PolicyFactory:
+    def make() -> UnitFifoPolicy:
+        return UnitFifoPolicy(count)
+
+    return make
+
+
+@dataclass
+class SweepResult:
+    """The stats grid of one sweep, with the projections the figures use."""
+
+    policy_names: tuple[str, ...]
+    pressures: tuple[float, ...]
+    benchmark_names: tuple[str, ...]
+    stats: dict[tuple[str, str, float], SimulationStats]
+    elapsed_seconds: float = 0.0
+
+    def get(self, benchmark: str, policy: str, pressure: float) -> SimulationStats:
+        return self.stats[(benchmark, policy, pressure)]
+
+    def records(self, policy: str, pressure: float) -> list[SimulationStats]:
+        """All per-benchmark stats for one (policy, pressure) point."""
+        return [
+            self.stats[(benchmark, policy, pressure)]
+            for benchmark in self.benchmark_names
+        ]
+
+    # -- Projections -------------------------------------------------------
+
+    def unified_miss_rates(self, pressure: float) -> dict[str, float]:
+        """Equation 1 miss rate per policy at one pressure (Figures 6-7)."""
+        return {
+            policy: unified_miss_rate(self.records(policy, pressure))
+            for policy in self.policy_names
+        }
+
+    def total(self, attribute: str, policy: str, pressure: float) -> float:
+        """Sum an attribute over benchmarks at one grid point."""
+        return sum(
+            getattr(record, attribute)
+            for record in self.records(policy, pressure)
+        )
+
+    def totals_by_policy(self, attribute: str,
+                         pressure: float) -> dict[str, float]:
+        return {
+            policy: self.total(attribute, policy, pressure)
+            for policy in self.policy_names
+        }
+
+    def per_benchmark(self, attribute: str,
+                      pressure: float) -> dict[str, dict[str, float]]:
+        """benchmark -> {policy -> attribute} at one pressure (the input
+        to unweighted-mean normalizations like Figure 8)."""
+        table: dict[str, dict[str, float]] = {}
+        for benchmark in self.benchmark_names:
+            table[benchmark] = {
+                policy: getattr(self.stats[(benchmark, policy, pressure)],
+                                attribute)
+                for policy in self.policy_names
+            }
+        return table
+
+    def inter_unit_fractions(self, pressure: float) -> dict[str, float]:
+        """Suite-level fraction of established links that were inter-unit
+        (Figure 13)."""
+        fractions = {}
+        for policy in self.policy_names:
+            records = self.records(policy, pressure)
+            inter = sum(r.links_established_inter for r in records)
+            total = inter + sum(r.links_established_intra for r in records)
+            fractions[policy] = inter / total if total else 0.0
+        return fractions
+
+
+def run_sweep(
+    workloads: Sequence[Workload],
+    policy_factories: Sequence[tuple[str, PolicyFactory]],
+    pressures: Iterable[float] = STANDARD_PRESSURE_FACTORS,
+    overhead_model: OverheadModel = PAPER_MODEL,
+    track_links: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Simulate every (workload, policy, pressure) combination.
+
+    ``progress`` (if given) receives one line per completed benchmark.
+    """
+    pressures = tuple(pressures)
+    started = time.perf_counter()
+    stats: dict[tuple[str, str, float], SimulationStats] = {}
+    for workload in workloads:
+        superblocks = workload.superblocks
+        for pressure in pressures:
+            capacity = pressured_capacity(superblocks, pressure)
+            for name, factory in policy_factories:
+                simulator = CodeCacheSimulator(
+                    superblocks,
+                    factory(),
+                    capacity,
+                    overhead_model=overhead_model,
+                    track_links=track_links,
+                )
+                record = simulator.process(workload.trace,
+                                           benchmark=workload.name)
+                record.policy_name = name
+                stats[(workload.name, name, pressure)] = record
+        if progress is not None:
+            progress(f"swept {workload.name}")
+    return SweepResult(
+        policy_names=tuple(name for name, _ in policy_factories),
+        pressures=pressures,
+        benchmark_names=tuple(w.name for w in workloads),
+        stats=stats,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+# -- Shared, memoized full-suite sweep ---------------------------------------
+
+_SWEEP_CACHE: dict[tuple, SweepResult] = {}
+
+
+def full_sweep(
+    scale: float = 1.0,
+    pressures: tuple[float, ...] = STANDARD_PRESSURE_FACTORS,
+    trace_accesses: int | None = None,
+    unit_counts: tuple[int, ...] = STANDARD_UNIT_COUNTS,
+) -> SweepResult:
+    """The all-benchmarks, all-policies grid, cached per configuration.
+
+    Every simulation figure of the paper is a projection of this grid,
+    so figure functions share one run (links are tracked; the dynamics
+    are identical with or without link accounting, only the overhead
+    attribution differs).
+    """
+    key = (scale, pressures, trace_accesses, unit_counts)
+    if key not in _SWEEP_CACHE:
+        workloads = build_suite(scale=scale, trace_accesses=trace_accesses)
+        _SWEEP_CACHE[key] = run_sweep(
+            workloads,
+            ladder_policy_factories(unit_counts),
+            pressures=pressures,
+            track_links=True,
+        )
+    return _SWEEP_CACHE[key]
+
+
+def clear_sweep_cache() -> None:
+    """Drop memoized sweeps (tests use this to keep runs independent)."""
+    _SWEEP_CACHE.clear()

@@ -1,0 +1,134 @@
+"""Terminal visualization: sparklines, occupancy maps, timeline panels.
+
+The paper's future work includes "visualization of the interconnectivity
+of superblocks within the cache"; these helpers render that and related
+state without leaving the terminal: unicode sparklines for windowed
+series, per-unit occupancy maps for unit caches, and multi-policy
+timeline panels.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.timeline import Timeline
+from repro.core.policies import UnitFifoPolicy
+from repro.core.superblock import SuperblockSet
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], maximum: float | None = None) -> str:
+    """Render *values* as a unicode sparkline.
+
+    Scaled to *maximum* (defaults to the series peak); empty input is an
+    error.
+    """
+    if not values:
+        raise ValueError("cannot render an empty series")
+    peak = maximum if maximum is not None else max(values)
+    if peak <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    cells = []
+    top = len(_SPARK_LEVELS) - 1
+    for value in values:
+        level = min(top, max(0, round(value / peak * top)))
+        cells.append(_SPARK_LEVELS[level])
+    return "".join(cells)
+
+
+def render_timeline(timeline: Timeline, width: int = 72) -> str:
+    """A panel for one run: miss-rate sparkline plus summary numbers."""
+    rates = timeline.miss_rates()
+    if len(rates) > width:
+        # Downsample by averaging fixed-size groups.
+        group = -(-len(rates) // width)
+        rates = [
+            sum(rates[i:i + group]) / len(rates[i:i + group])
+            for i in range(0, len(rates), group)
+        ]
+    peak = timeline.peak_miss_window()
+    lines = [
+        f"{timeline.policy_name}: miss rate per {timeline.window}-access "
+        "window",
+        f"  [{sparkline(rates)}]",
+        f"  overall miss rate {timeline.totals.miss_rate:.4f}; peak window "
+        f"{peak.miss_rate:.4f} at access {peak.start_access}",
+        f"  evictions {timeline.totals.eviction_invocations}, final "
+        f"resident blocks {timeline.points[-1].resident_blocks}, final "
+        f"back-pointer table {timeline.points[-1].backpointer_bytes} B",
+    ]
+    return "\n".join(lines)
+
+
+def render_timelines(timelines: Sequence[Timeline], width: int = 72) -> str:
+    """Stack several policies' panels over the same trace, sharing the
+    miss-rate scale so the panels compare visually."""
+    if not timelines:
+        raise ValueError("no timelines to render")
+    shared_peak = max(
+        max(timeline.miss_rates()) for timeline in timelines
+    )
+    panels = []
+    for timeline in timelines:
+        rates = timeline.miss_rates()
+        if len(rates) > width:
+            group = -(-len(rates) // width)
+            rates = [
+                sum(rates[i:i + group]) / len(rates[i:i + group])
+                for i in range(0, len(rates), group)
+            ]
+        panels.append(
+            f"{timeline.policy_name:>10} [{sparkline(rates, shared_peak)}] "
+            f"miss={timeline.totals.miss_rate:.4f}"
+        )
+    return "\n".join(panels)
+
+
+def render_occupancy(policy: UnitFifoPolicy,
+                     superblocks: SuperblockSet,
+                     width: int = 40) -> str:
+    """Per-unit occupancy bars for a configured unit-FIFO cache."""
+    cache = policy._cache
+    if cache is None:
+        raise ValueError("policy is not configured")
+    lines = [f"{policy.name}: unit occupancy "
+             f"({cache.unit_capacity_bytes} B/unit)"]
+    for unit in cache.units:
+        fill = unit.used_bytes / unit.capacity_bytes
+        bar = "#" * round(fill * width)
+        lines.append(
+            f"  unit {unit.index:>3} |{bar.ljust(width)}| "
+            f"{len(unit.blocks):>4} blocks, {fill * 100:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_link_matrix(superblocks: SuperblockSet,
+                       assignment: Mapping[int, int],
+                       unit_count: int) -> str:
+    """A unit-by-unit link density matrix: how many links go from blocks
+    of unit *i* to blocks of unit *j* (the interconnectivity view)."""
+    counts = [[0] * unit_count for _ in range(unit_count)]
+    for block in superblocks:
+        source_unit = assignment[block.sid]
+        for target in block.links:
+            counts[source_unit][assignment[target]] += 1
+    width = max(
+        (len(str(cell)) for row in counts for cell in row), default=1
+    )
+    header = "      " + " ".join(
+        f"u{j}".rjust(width) for j in range(unit_count)
+    )
+    lines = ["links from unit (row) to unit (column):", header]
+    for i, row in enumerate(counts):
+        cells = " ".join(str(cell).rjust(width) for cell in row)
+        lines.append(f"  u{i:<3} {cells}")
+    diagonal = sum(counts[i][i] for i in range(unit_count))
+    total = sum(sum(row) for row in counts)
+    if total:
+        lines.append(
+            f"  intra-unit: {diagonal}/{total} "
+            f"({diagonal / total * 100:.1f}%)"
+        )
+    return "\n".join(lines)

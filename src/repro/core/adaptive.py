@@ -1,0 +1,151 @@
+"""Pressure-adaptive eviction granularity (the paper's future work).
+
+Section 5.4: "Other future work includes an investigation of a cache
+management strategy that dynamically adjusts the eviction granularity
+on-the-fly, based on the perceived cache pressure."
+
+This policy perceives pressure as *churn*: the bytes inserted per epoch
+of cache accesses, relative to the cache capacity — i.e. how many times
+over the cache would have filled while serving the epoch.  Low churn
+means the working set nearly fits, where fine grains win on miss rate;
+high churn means heavy turnover, where the paper shows medium/coarse
+grains win on invocation and link-maintenance overhead.  The policy
+walks a churn -> unit-count schedule at each epoch boundary,
+repartitioning (and flushing — a real cache would have to relocate code
+anyway) whenever the target changes.
+"""
+
+from __future__ import annotations
+
+from repro.core.cache import EvictionEvent, UnitCache
+from repro.core.policies import EvictionPolicy
+
+#: Default churn thresholds (cache fills per epoch of accesses) -> unit
+#: count.  Read: "churn below 0.6 fills per epoch -> 64 units", ...,
+#: "anything above 3 fills -> 8 units".
+DEFAULT_SCHEDULE = (
+    (0.6, 64),
+    (1.5, 32),
+    (3.0, 16),
+    (float("inf"), 8),
+)
+
+
+class AdaptiveUnitPolicy(EvictionPolicy):
+    """Unit-FIFO whose unit count is re-chosen from observed churn.
+
+    Parameters
+    ----------
+    epoch_accesses:
+        Cache accesses between adaptation decisions.
+    schedule:
+        Monotone ``(churn_upper_bound, unit_count)`` pairs; the first
+        bound that the measured churn falls under selects the count.
+    initial_units:
+        The unit count used before the first epoch completes.
+    confirm_epochs:
+        Hysteresis: a new target unit count must be selected this many
+        epochs in a row before the cache is repartitioned.  Switching
+        costs a full flush, so reacting to a single epoch's churn spike
+        (a phase transition, the cold start) is a net loss.
+    """
+
+    def __init__(self, epoch_accesses: int = 5000,
+                 schedule: tuple[tuple[float, int], ...] = DEFAULT_SCHEDULE,
+                 initial_units: int = 64,
+                 confirm_epochs: int = 2) -> None:
+        super().__init__()
+        if epoch_accesses < 1:
+            raise ValueError("epoch_accesses must be positive")
+        if confirm_epochs < 1:
+            raise ValueError("confirm_epochs must be positive")
+        if not schedule or schedule[-1][0] != float("inf"):
+            raise ValueError("schedule must end with an infinite bound")
+        bounds = [bound for bound, _ in schedule]
+        if bounds != sorted(bounds):
+            raise ValueError("schedule bounds must be non-decreasing")
+        self.name = "ADAPT"
+        self.epoch_accesses = epoch_accesses
+        self.schedule = tuple(schedule)
+        self.initial_units = initial_units
+        self.confirm_epochs = confirm_epochs
+        self._cache: UnitCache | None = None
+        self._capacity = 0
+        self._max_block = 0
+        self._epoch_inserted_bytes = 0
+        self._epoch_accesses_seen = 0
+        self._pending_target: int | None = None
+        self._pending_count = 0
+        #: Unit counts chosen over time, for inspection in experiments.
+        self.unit_count_history: list[int] = []
+
+    def configure(self, capacity_bytes: int, max_block_bytes: int) -> None:
+        self._capacity = capacity_bytes
+        self._max_block = max_block_bytes
+        self._cache = self._build(self.initial_units)
+        self._epoch_inserted_bytes = 0
+        self._epoch_accesses_seen = 0
+        self._pending_target = None
+        self._pending_count = 0
+        self.unit_count_history = [self._cache.unit_count]
+        self._configured = True
+
+    def _build(self, unit_count: int) -> UnitCache:
+        clamped = max(1, min(unit_count, self._capacity // self._max_block))
+        return UnitCache(self._capacity, clamped, self._max_block)
+
+    def _target_units(self, churn: float) -> int:
+        for bound, count in self.schedule:
+            if churn <= bound:
+                return count
+        raise AssertionError("schedule must terminate")  # pragma: no cover
+
+    def on_access(self, sid: int, hit: bool) -> list[EvictionEvent]:
+        """Advance the epoch clock; adapt at each epoch boundary."""
+        self._require_configured()
+        self._epoch_accesses_seen += 1
+        if self._epoch_accesses_seen < self.epoch_accesses:
+            return []
+        return self._adapt()
+
+    def _adapt(self) -> list[EvictionEvent]:
+        churn = self._epoch_inserted_bytes / self._capacity
+        target = self._target_units(churn)
+        self._epoch_inserted_bytes = 0
+        self._epoch_accesses_seen = 0
+        if target == self._pending_target:
+            self._pending_count += 1
+        else:
+            self._pending_target = target
+            self._pending_count = 1
+        events: list[EvictionEvent] = []
+        confirmed = self._pending_count >= self.confirm_epochs
+        if confirmed and target != self._cache.unit_count:
+            rebuilt = self._build(target)
+            if rebuilt.unit_count != self._cache.unit_count:
+                flush = self._cache.flush()
+                if flush is not None:
+                    events.append(flush)
+                self._cache = rebuilt
+        self.unit_count_history.append(self._cache.unit_count)
+        return events
+
+    def insert(self, sid: int, size_bytes: int) -> list[EvictionEvent]:
+        self._require_configured()
+        events = self._cache.insert(sid, size_bytes)
+        self._epoch_inserted_bytes += size_bytes
+        return events
+
+    def contains(self, sid: int) -> bool:
+        return sid in self._cache
+
+    def unit_of(self, sid: int) -> int:
+        return self._cache.unit_of(sid)
+
+    def resident_ids(self) -> set[int]:
+        return self._cache.resident_ids()
+
+    @property
+    def effective_unit_count(self) -> int:
+        self._require_configured()
+        return self._cache.unit_count

@@ -1,0 +1,247 @@
+"""Code cache storage mechanisms.
+
+Two mechanisms cover the paper's whole granularity spectrum:
+
+* :class:`UnitCache` — the cache split into ``n`` equal units filled in
+  FIFO (circular) order.  ``n = 1`` is the coarse FLUSH scheme; larger
+  ``n`` gives the medium grains of Figure 5.
+* :class:`CircularBlockBuffer` — the finest grain: a circular buffer of
+  individual superblocks where eviction removes just enough of the
+  oldest blocks to fit the incoming one (the scheme of Hazelwood &
+  M. Smith 2002, and DynamoRIO's bounded-cache mode).
+
+Both expose the same bookkeeping surface (residency, used bytes, unit
+assignment for link classification) so the policies layer can treat them
+uniformly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.units import CacheUnit, make_units
+
+
+class ConfigurationError(Exception):
+    """Raised when a cache configuration cannot work (e.g. a unit smaller
+    than the largest superblock it must hold)."""
+
+
+@dataclass(frozen=True)
+class EvictionEvent:
+    """One invocation of the eviction mechanism.
+
+    The paper's Equation 2 charges each invocation a large fixed cost plus
+    a small per-byte cost, so the *number* of events matters as much as
+    the bytes they reclaim.
+    """
+
+    blocks: tuple[int, ...]
+    bytes_evicted: int
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+
+class UnitCache:
+    """A code cache divided into equal units, filled and evicted FIFO.
+
+    Insertion walks a fill pointer through the units in circular order.
+    When the current unit cannot hold the incoming block, the pointer
+    advances; a non-empty unit in the way is evicted *in its entirety*
+    (one :class:`EvictionEvent`).
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total cache size.
+    unit_count:
+        Number of equal units; 1 reproduces the FLUSH policy.
+    max_block_bytes:
+        The largest superblock the cache must be able to hold; used to
+        validate that a unit can hold any block.
+    """
+
+    def __init__(self, capacity_bytes: int, unit_count: int,
+                 max_block_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError("cache capacity must be positive")
+        self._units = make_units(capacity_bytes, unit_count)
+        unit_capacity = self._units[0].capacity_bytes
+        if max_block_bytes > unit_capacity:
+            raise ConfigurationError(
+                f"unit capacity {unit_capacity} B cannot hold the largest "
+                f"superblock ({max_block_bytes} B); reduce the unit count"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._fill_index = 0
+        self._sizes: dict[int, int] = {}
+        self._unit_of: dict[int, int] = {}
+
+    # -- Bookkeeping queries ----------------------------------------------
+
+    @property
+    def unit_count(self) -> int:
+        return len(self._units)
+
+    @property
+    def unit_capacity_bytes(self) -> int:
+        return self._units[0].capacity_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(unit.used_bytes for unit in self._units)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._sizes)
+
+    def __contains__(self, sid: int) -> bool:
+        return sid in self._sizes
+
+    def unit_of(self, sid: int) -> int:
+        """Index of the unit holding block *sid*."""
+        return self._unit_of[sid]
+
+    def resident_ids(self) -> set[int]:
+        return set(self._sizes)
+
+    @property
+    def units(self) -> tuple[CacheUnit, ...]:
+        return tuple(self._units)
+
+    # -- Mutation -----------------------------------------------------------
+
+    def insert(self, sid: int, size_bytes: int) -> list[EvictionEvent]:
+        """Place block *sid*, evicting whole units as needed.
+
+        Returns the eviction events triggered, in order (possibly empty).
+        """
+        if sid in self._sizes:
+            raise ValueError(f"block {sid} is already resident")
+        if size_bytes > self.unit_capacity_bytes:
+            raise ConfigurationError(
+                f"block {sid} ({size_bytes} B) exceeds the unit capacity "
+                f"({self.unit_capacity_bytes} B)"
+            )
+        events: list[EvictionEvent] = []
+        unit = self._units[self._fill_index]
+        if not unit.fits(size_bytes):
+            self._fill_index = (self._fill_index + 1) % len(self._units)
+            unit = self._units[self._fill_index]
+            if not unit.is_empty:
+                events.append(self._evict_unit(unit))
+        unit.place(sid, size_bytes)
+        self._sizes[sid] = size_bytes
+        self._unit_of[sid] = unit.index
+        return events
+
+    def _evict_unit(self, unit: CacheUnit) -> EvictionEvent:
+        evicted = unit.clear()
+        bytes_evicted = 0
+        for sid in evicted:
+            bytes_evicted += self._sizes.pop(sid)
+            del self._unit_of[sid]
+        return EvictionEvent(evicted, bytes_evicted)
+
+    def flush(self) -> EvictionEvent | None:
+        """Evict everything in one invocation (preemptive-flush support).
+
+        Returns the single event, or ``None`` if the cache was empty.
+        """
+        blocks: list[int] = []
+        bytes_evicted = 0
+        for unit in self._units:
+            for sid in unit.clear():
+                blocks.append(sid)
+                bytes_evicted += self._sizes.pop(sid)
+                del self._unit_of[sid]
+        self._fill_index = 0
+        if not blocks:
+            return None
+        return EvictionEvent(tuple(blocks), bytes_evicted)
+
+
+class CircularBlockBuffer:
+    """The finest-grained FIFO mechanism: a circular buffer of blocks.
+
+    Eviction removes the minimum number of oldest blocks needed to make
+    room.  Each removed superblock is its own :class:`EvictionEvent`:
+    the fine-grained mechanism in DynamoRIO evicts superblocks one at a
+    time, paying the eviction entry cost for each — the paper's Section 4
+    is explicit that "evicting single superblocks will lead to a high
+    number of invocations and therefore a large amount of fixed
+    overhead", and Equation 2 prices the eviction of *a superblock* of a
+    given size.
+
+    For link classification each resident block counts as its own "unit",
+    so every link between two distinct blocks is inter-unit and only self
+    links are intra-unit — exactly the paper's observation about the FIFO
+    bar in Figure 13.
+    """
+
+    def __init__(self, capacity_bytes: int, max_block_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError("cache capacity must be positive")
+        if max_block_bytes > capacity_bytes:
+            raise ConfigurationError(
+                f"cache capacity {capacity_bytes} B cannot hold the largest "
+                f"superblock ({max_block_bytes} B)"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._queue: deque[int] = deque()
+        self._sizes: dict[int, int] = {}
+        self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._sizes)
+
+    def __contains__(self, sid: int) -> bool:
+        return sid in self._sizes
+
+    def unit_of(self, sid: int) -> int:
+        """Each block is its own eviction unit; its id doubles as the
+        unit key (stable across its residency)."""
+        if sid not in self._sizes:
+            raise KeyError(sid)
+        return sid
+
+    def resident_ids(self) -> set[int]:
+        return set(self._sizes)
+
+    def insert(self, sid: int, size_bytes: int) -> list[EvictionEvent]:
+        """Place block *sid*, evicting the oldest blocks as needed."""
+        if sid in self._sizes:
+            raise ValueError(f"block {sid} is already resident")
+        if size_bytes > self.capacity_bytes:
+            raise ConfigurationError(
+                f"block {sid} ({size_bytes} B) exceeds the cache capacity"
+            )
+        events: list[EvictionEvent] = []
+        while self._used + size_bytes > self.capacity_bytes:
+            victim = self._queue.popleft()
+            victim_size = self._sizes.pop(victim)
+            self._used -= victim_size
+            events.append(EvictionEvent((victim,), victim_size))
+        self._queue.append(sid)
+        self._sizes[sid] = size_bytes
+        self._used += size_bytes
+        return events
+
+    def flush(self) -> EvictionEvent | None:
+        """Evict everything in one invocation."""
+        if not self._queue:
+            return None
+        blocks = tuple(self._queue)
+        bytes_evicted = self._used
+        self._queue.clear()
+        self._sizes.clear()
+        self._used = 0
+        return EvictionEvent(blocks, bytes_evicted)

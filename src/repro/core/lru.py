@@ -1,0 +1,210 @@
+"""LRU eviction with variable-size entries: why the paper went FIFO.
+
+Section 3.3: "Variable superblock sizes mean that an LRU or an LRU-like
+eviction algorithm would lead to internal fragmentation in the code
+cache.  To make matters worse, compaction (to remove fragmentation)
+would require adjusting all the link pointers."
+
+This module makes that argument concrete.  :class:`LruPolicy` manages
+the cache as a byte arena with a first-fit free list and true LRU
+victim selection.  Because victims are chosen by recency rather than
+address order, the holes they leave are scattered; an incoming block
+often fails to fit even though enough *total* free space exists, forcing
+extra evictions (counted in :attr:`LruPolicy.fragmentation_evictions`)
+or — with ``compact=True`` — a compaction pass whose moved bytes and
+displaced blocks are tallied so an experiment can price the link
+re-patching it would require.
+
+A FIFO circular buffer has neither problem: insertion and eviction both
+proceed in address order, so the free space is always one contiguous
+region.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.cache import ConfigurationError, EvictionEvent
+from repro.core.policies import EvictionPolicy
+
+
+class _Arena:
+    """A byte arena with a sorted free list (first-fit allocation)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        #: Sorted list of (offset, size) free holes.
+        self.holes: list[tuple[int, int]] = [(0, capacity)]
+        #: sid -> (offset, size) of placed blocks.
+        self.placed: dict[int, tuple[int, int]] = {}
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(size for _, size in self.holes)
+
+    @property
+    def largest_hole(self) -> int:
+        return max((size for _, size in self.holes), default=0)
+
+    def allocate(self, sid: int, size: int) -> bool:
+        """First-fit place *sid*; False when no hole is large enough."""
+        for index, (offset, hole_size) in enumerate(self.holes):
+            if hole_size >= size:
+                self.placed[sid] = (offset, size)
+                remainder = hole_size - size
+                if remainder:
+                    self.holes[index] = (offset + size, remainder)
+                else:
+                    del self.holes[index]
+                return True
+        return False
+
+    def release(self, sid: int) -> None:
+        """Free *sid*'s bytes, coalescing with adjacent holes."""
+        offset, size = self.placed.pop(sid)
+        self.holes.append((offset, size))
+        self.holes.sort()
+        coalesced: list[tuple[int, int]] = []
+        for hole_offset, hole_size in self.holes:
+            if coalesced and coalesced[-1][0] + coalesced[-1][1] == hole_offset:
+                previous_offset, previous_size = coalesced[-1]
+                coalesced[-1] = (previous_offset, previous_size + hole_size)
+            else:
+                coalesced.append((hole_offset, hole_size))
+        self.holes = coalesced
+
+    def compact(self) -> tuple[int, int]:
+        """Slide every block to the front; return (blocks_moved, bytes_moved).
+
+        This is the operation the paper warns about: every moved block's
+        incoming *and* outgoing links would need re-patching.
+        """
+        cursor = 0
+        moved_blocks = 0
+        moved_bytes = 0
+        for sid, (offset, size) in sorted(self.placed.items(),
+                                          key=lambda item: item[1][0]):
+            if offset != cursor:
+                moved_blocks += 1
+                moved_bytes += size
+            self.placed[sid] = (cursor, size)
+            cursor += size
+        free = self.capacity - cursor
+        self.holes = [(cursor, free)] if free else []
+        return moved_blocks, moved_bytes
+
+
+class LruPolicy(EvictionPolicy):
+    """True least-recently-used eviction over a first-fit byte arena.
+
+    Parameters
+    ----------
+    compact:
+        When an insertion cannot fit despite sufficient total free
+        space, compact the arena instead of evicting further blocks.
+        Defaults to off (the extra evictions are the phenomenon the
+        Section 3.3 study wants to see).
+    """
+
+    def __init__(self, compact: bool = False) -> None:
+        super().__init__()
+        self.name = "LRU-compact" if compact else "LRU"
+        self.compact = compact
+        self._arena: _Arena | None = None
+        self._recency: OrderedDict[int, None] = OrderedDict()
+        #: Evictions forced purely by fragmentation: performed while the
+        #: total free space already exceeded the incoming block's size.
+        self.fragmentation_evictions = 0
+        self.compactions = 0
+        self.blocks_moved = 0
+        self.bytes_moved = 0
+
+    def configure(self, capacity_bytes: int, max_block_bytes: int) -> None:
+        if max_block_bytes > capacity_bytes:
+            raise ConfigurationError(
+                f"cache capacity {capacity_bytes} B cannot hold the largest "
+                f"superblock ({max_block_bytes} B)"
+            )
+        self._arena = _Arena(capacity_bytes)
+        self._recency = OrderedDict()
+        self.fragmentation_evictions = 0
+        self.compactions = 0
+        self.blocks_moved = 0
+        self.bytes_moved = 0
+        self._configured = True
+
+    # -- Policy surface -----------------------------------------------------
+
+    def on_access(self, sid: int, hit: bool) -> list[EvictionEvent]:
+        if hit:
+            self._recency.move_to_end(sid)
+        return []
+
+    def contains(self, sid: int) -> bool:
+        return sid in self._recency
+
+    def insert(self, sid: int, size_bytes: int) -> list[EvictionEvent]:
+        self._require_configured()
+        if sid in self._recency:
+            raise ValueError(f"block {sid} is already resident")
+        arena = self._arena
+        if size_bytes > arena.capacity:
+            raise ConfigurationError(
+                f"block {sid} ({size_bytes} B) exceeds the cache capacity"
+            )
+        events: list[EvictionEvent] = []
+        while not arena.allocate(sid, size_bytes):
+            if self.compact and arena.free_bytes >= size_bytes:
+                moved_blocks, moved_bytes = arena.compact()
+                self.compactions += 1
+                self.blocks_moved += moved_blocks
+                self.bytes_moved += moved_bytes
+                continue
+            if arena.free_bytes >= size_bytes:
+                self.fragmentation_evictions += 1
+            victim, _ = self._recency.popitem(last=False)
+            _, victim_size = arena.placed[victim]
+            arena.release(victim)
+            events.append(EvictionEvent((victim,), victim_size))
+        self._recency[sid] = None
+        return events
+
+    def unit_of(self, sid: int) -> int:
+        """Each block is its own eviction unit, as in fine-grained FIFO."""
+        if sid not in self._recency:
+            raise KeyError(sid)
+        return sid
+
+    def resident_ids(self) -> set[int]:
+        return set(self._recency)
+
+    @property
+    def effective_unit_count(self) -> int:
+        self._require_configured()
+        return max(2, len(self._recency))
+
+    @property
+    def needs_backpointer_table(self) -> bool:
+        return True
+
+    # -- Fragmentation telemetry -------------------------------------------
+
+    @property
+    def free_bytes(self) -> int:
+        self._require_configured()
+        return self._arena.free_bytes
+
+    @property
+    def largest_hole_bytes(self) -> int:
+        self._require_configured()
+        return self._arena.largest_hole
+
+    @property
+    def external_fragmentation(self) -> float:
+        """1 - largest_hole/free_bytes: 0 when free space is contiguous,
+        approaching 1 when it is shattered into many small holes."""
+        self._require_configured()
+        free = self._arena.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - self._arena.largest_hole / free

@@ -1,0 +1,129 @@
+"""Link-aware placement of superblocks into cache units (future work).
+
+Section 5.4: the paper's planned follow-up is "to determine whether a
+better method exists for determining the placement of superblocks into
+the cache units to minimize inter-unit superblock links while still
+achieving low miss rates".
+
+:class:`LinkAwarePlacementPolicy` implements the natural candidate: keep
+unit-granularity FIFO *eviction*, but on insertion choose — among units
+with free space — the unit already holding the most link neighbours of
+the incoming block, so that chains tend to live and die together.  The
+trade-off it exposes (and that the ablation bench measures) is that
+placement scatter breaks the strict age-ordering of units, which can
+cost misses even as it saves unlink work.
+"""
+
+from __future__ import annotations
+
+from repro.core.cache import ConfigurationError, EvictionEvent
+from repro.core.policies import EvictionPolicy
+from repro.core.superblock import SuperblockSet
+from repro.core.units import CacheUnit, make_units
+
+
+class LinkAwarePlacementPolicy(EvictionPolicy):
+    """Unit-FIFO eviction with link-affinity placement.
+
+    Parameters
+    ----------
+    superblocks:
+        The workload's link graph (placement needs to know each block's
+        neighbours up front).
+    unit_count:
+        Number of equal cache units, clamped as in the plain unit policy.
+    """
+
+    def __init__(self, superblocks: SuperblockSet, unit_count: int) -> None:
+        super().__init__()
+        if unit_count < 2:
+            raise ValueError(
+                "link-aware placement needs at least two units to choose from"
+            )
+        self.name = f"{unit_count}-unit-linkaware"
+        self.superblocks = superblocks
+        self.requested_unit_count = unit_count
+        self._units: list[CacheUnit] = []
+        self._victim_index = 0
+        self._sizes: dict[int, int] = {}
+        self._unit_of: dict[int, int] = {}
+
+    def configure(self, capacity_bytes: int, max_block_bytes: int) -> None:
+        most_units = max(1, capacity_bytes // max_block_bytes)
+        clamped = min(self.requested_unit_count, most_units)
+        self._units = make_units(capacity_bytes, clamped)
+        if self._units[0].capacity_bytes < max_block_bytes:
+            raise ConfigurationError(
+                "unit capacity cannot hold the largest superblock"
+            )
+        self._victim_index = 0
+        self._sizes = {}
+        self._unit_of = {}
+        self._configured = True
+
+    # -- Placement ----------------------------------------------------------
+
+    def _affinities(self, sid: int) -> dict[int, int]:
+        """Resident link neighbours of *sid*, counted per unit index."""
+        neighbours = set(self.superblocks.outgoing(sid))
+        neighbours |= self.superblocks.incoming(sid)
+        neighbours.discard(sid)
+        counts: dict[int, int] = {}
+        for neighbour in neighbours:
+            unit_index = self._unit_of.get(neighbour)
+            if unit_index is not None:
+                counts[unit_index] = counts.get(unit_index, 0) + 1
+        return counts
+
+    def _choose_unit(self, sid: int, size_bytes: int) -> CacheUnit | None:
+        """The unit with space that holds the most neighbours, or None."""
+        counts = self._affinities(sid)
+        best: CacheUnit | None = None
+        best_affinity = -1
+        for unit in self._units:
+            if not unit.fits(size_bytes):
+                continue
+            affinity = counts.get(unit.index, 0)
+            if affinity > best_affinity:
+                best = unit
+                best_affinity = affinity
+        return best
+
+    def insert(self, sid: int, size_bytes: int) -> list[EvictionEvent]:
+        self._require_configured()
+        if sid in self._sizes:
+            raise ValueError(f"block {sid} is already resident")
+        events: list[EvictionEvent] = []
+        unit = self._choose_unit(sid, size_bytes)
+        if unit is None:
+            unit = self._units[self._victim_index]
+            self._victim_index = (self._victim_index + 1) % len(self._units)
+            events.append(self._evict_unit(unit))
+        unit.place(sid, size_bytes)
+        self._sizes[sid] = size_bytes
+        self._unit_of[sid] = unit.index
+        return events
+
+    def _evict_unit(self, unit: CacheUnit) -> EvictionEvent:
+        evicted = unit.clear()
+        bytes_evicted = 0
+        for victim in evicted:
+            bytes_evicted += self._sizes.pop(victim)
+            del self._unit_of[victim]
+        return EvictionEvent(evicted, bytes_evicted)
+
+    # -- Queries -----------------------------------------------------------
+
+    def contains(self, sid: int) -> bool:
+        return sid in self._sizes
+
+    def unit_of(self, sid: int) -> int:
+        return self._unit_of[sid]
+
+    def resident_ids(self) -> set[int]:
+        return set(self._sizes)
+
+    @property
+    def effective_unit_count(self) -> int:
+        self._require_configured()
+        return len(self._units)

@@ -1,0 +1,372 @@
+"""Eviction policies across the paper's whole granularity spectrum.
+
+The granularity ladder (Figures 6-15) runs::
+
+    FLUSH (1 unit) - 2 - 4 - 8 - ... - 512 units - fine-grained FIFO
+
+plus two policies from related work that we implement for comparison:
+Dynamo's preemptive flush (flush on a detected phase change rather than
+on overflow) and generational caching (Hazelwood & M. Smith 2003).
+
+A policy owns the cache mechanism and exposes a uniform surface to the
+simulator: residency lookup, insertion (returning the eviction events it
+triggered), the unit key of each resident block (for classifying links
+as intra- or inter-unit), and whether the configuration needs a
+back-pointer table at all (FLUSH does not — Section 5 of the paper).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.cache import (
+    CircularBlockBuffer,
+    ConfigurationError,
+    EvictionEvent,
+    UnitCache,
+)
+
+#: The unit counts plotted in the paper's figures, FLUSH through 512.
+STANDARD_UNIT_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+class EvictionPolicy(ABC):
+    """Interface between the simulator and a cache-management scheme.
+
+    A policy is constructed unconfigured, then bound to a concrete cache
+    geometry with :meth:`configure` (capacity depends on the workload's
+    ``maxCache`` and the pressure factor, which the experiment chooses).
+    """
+
+    #: Short name used in result tables; set by subclasses.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._configured = False
+
+    @abstractmethod
+    def configure(self, capacity_bytes: int, max_block_bytes: int) -> None:
+        """Bind the policy to a cache of *capacity_bytes*, guaranteeing it
+        can hold any block up to *max_block_bytes*."""
+
+    @abstractmethod
+    def contains(self, sid: int) -> bool:
+        """True when block *sid* is resident."""
+
+    @abstractmethod
+    def insert(self, sid: int, size_bytes: int) -> list[EvictionEvent]:
+        """Insert block *sid*; return the eviction invocations triggered."""
+
+    @abstractmethod
+    def unit_of(self, sid: int) -> int:
+        """Stable key of the eviction unit currently holding *sid*."""
+
+    @abstractmethod
+    def resident_ids(self) -> set[int]:
+        """The set of resident block ids."""
+
+    @property
+    @abstractmethod
+    def effective_unit_count(self) -> int:
+        """Number of eviction units after any geometry clamping."""
+
+    @property
+    def needs_backpointer_table(self) -> bool:
+        """Whether inter-unit links can exist, requiring a back-pointer
+        table (everything except a single-unit FLUSH cache)."""
+        return self.effective_unit_count > 1
+
+    def on_access(self, sid: int, hit: bool) -> list[EvictionEvent]:
+        """Hook called for every access before it is serviced.
+
+        Most policies ignore it; the preemptive-flush policy uses it to
+        watch for phase changes.  May return eviction events (a
+        preemptive flush) that the simulator must account for.
+        """
+        return []
+
+    def _require_configured(self) -> None:
+        if not self._configured:
+            raise RuntimeError(f"{self.name}: configure() must be called first")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class UnitFifoPolicy(EvictionPolicy):
+    """Medium-grained FIFO: evict one of *n* equal cache units at a time.
+
+    The requested unit count is clamped so a unit can always hold the
+    largest superblock (the paper's units contain "several code blocks");
+    small benchmarks therefore saturate the ladder early, exactly as a
+    real implementation would have to.
+    """
+
+    def __init__(self, unit_count: int) -> None:
+        super().__init__()
+        if unit_count < 1:
+            raise ValueError(f"unit count must be >= 1, got {unit_count}")
+        self.requested_unit_count = unit_count
+        self.name = f"{unit_count}-unit" if unit_count > 1 else "FLUSH"
+        self._cache: UnitCache | None = None
+
+    def configure(self, capacity_bytes: int, max_block_bytes: int) -> None:
+        most_units = max(1, capacity_bytes // max_block_bytes)
+        clamped = min(self.requested_unit_count, most_units)
+        self._cache = UnitCache(capacity_bytes, clamped, max_block_bytes)
+        self._configured = True
+
+    def contains(self, sid: int) -> bool:
+        return sid in self._cache
+
+    def insert(self, sid: int, size_bytes: int) -> list[EvictionEvent]:
+        self._require_configured()
+        return self._cache.insert(sid, size_bytes)
+
+    def unit_of(self, sid: int) -> int:
+        return self._cache.unit_of(sid)
+
+    def resident_ids(self) -> set[int]:
+        return self._cache.resident_ids()
+
+    @property
+    def effective_unit_count(self) -> int:
+        self._require_configured()
+        return self._cache.unit_count
+
+    @property
+    def used_bytes(self) -> int:
+        self._require_configured()
+        return self._cache.used_bytes
+
+
+class FlushPolicy(UnitFifoPolicy):
+    """The coarsest granularity: flush the whole cache when it fills."""
+
+    def __init__(self) -> None:
+        super().__init__(unit_count=1)
+        self.name = "FLUSH"
+
+
+class FineGrainedFifoPolicy(EvictionPolicy):
+    """The finest granularity: a circular buffer of individual blocks.
+
+    Each insertion that needs space evicts the minimum number of oldest
+    blocks, in one invocation — the baseline of the paper's Figure 8.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.name = "FIFO"
+        self._cache: CircularBlockBuffer | None = None
+
+    def configure(self, capacity_bytes: int, max_block_bytes: int) -> None:
+        self._cache = CircularBlockBuffer(capacity_bytes, max_block_bytes)
+        self._configured = True
+
+    def contains(self, sid: int) -> bool:
+        return sid in self._cache
+
+    def insert(self, sid: int, size_bytes: int) -> list[EvictionEvent]:
+        self._require_configured()
+        return self._cache.insert(sid, size_bytes)
+
+    def unit_of(self, sid: int) -> int:
+        return self._cache.unit_of(sid)
+
+    def resident_ids(self) -> set[int]:
+        return self._cache.resident_ids()
+
+    @property
+    def effective_unit_count(self) -> int:
+        # Every block is its own unit; report the resident count, which is
+        # what matters for "can inter-unit links exist" (yes, once two
+        # blocks are resident).
+        self._require_configured()
+        return max(2, self._cache.resident_count)
+
+    @property
+    def needs_backpointer_table(self) -> bool:
+        return True
+
+
+class PreemptiveFlushPolicy(EvictionPolicy):
+    """Dynamo's policy: flush the whole cache on a detected phase change.
+
+    Dynamo observed that a burst of new-code formation signals a program
+    phase change and that flushing *then* beats flushing on overflow.
+    The detector compares a fast and a slow exponential moving average
+    of the miss indicator: when the recent miss rate spikes to
+    ``spike_ratio`` times its long-run level while the cache is
+    substantially full, the phase has shifted and the cache is flushed
+    preemptively.  Overflow still forces a flush as a backstop, and a
+    cooldown prevents re-triggering while the new phase warms up.
+    """
+
+    def __init__(self, fast_alpha: float = 0.01, slow_alpha: float = 0.0005,
+                 spike_ratio: float = 1.8, min_fill_fraction: float = 0.5,
+                 warmup_accesses: int = 2000,
+                 cooldown_accesses: int = 2000) -> None:
+        super().__init__()
+        if not 0.0 < slow_alpha < fast_alpha <= 1.0:
+            raise ValueError("need 0 < slow_alpha < fast_alpha <= 1")
+        if spike_ratio <= 1.0:
+            raise ValueError("spike_ratio must exceed 1")
+        if warmup_accesses < 1 or cooldown_accesses < 0:
+            raise ValueError("warmup/cooldown must be non-negative "
+                             "(warmup positive)")
+        self.name = "PREEMPT"
+        self.fast_alpha = fast_alpha
+        self.slow_alpha = slow_alpha
+        self.spike_ratio = spike_ratio
+        self.min_fill_fraction = min_fill_fraction
+        self.warmup_accesses = warmup_accesses
+        self.cooldown_accesses = cooldown_accesses
+        self._cache: UnitCache | None = None
+        self._fast = 0.0
+        self._slow = 0.0
+        self._accesses = 0
+        self._cooldown_until = 0
+        self.preemptive_flushes = 0
+
+    def configure(self, capacity_bytes: int, max_block_bytes: int) -> None:
+        self._cache = UnitCache(capacity_bytes, 1, max_block_bytes)
+        self._fast = 0.0
+        self._slow = 0.0
+        self._accesses = 0
+        self._cooldown_until = 0
+        self.preemptive_flushes = 0
+        self._configured = True
+
+    def on_access(self, sid: int, hit: bool) -> list[EvictionEvent]:
+        self._require_configured()
+        miss = 0.0 if hit else 1.0
+        self._fast += self.fast_alpha * (miss - self._fast)
+        self._slow += self.slow_alpha * (miss - self._slow)
+        self._accesses += 1
+        if self._accesses < self.warmup_accesses:
+            return []
+        if self._accesses < self._cooldown_until:
+            return []
+        cache = self._cache
+        fill = cache.used_bytes / cache.capacity_bytes
+        spiking = self._fast > self.spike_ratio * max(self._slow, 0.01)
+        if spiking and fill >= self.min_fill_fraction:
+            event = cache.flush()
+            self._cooldown_until = self._accesses + self.cooldown_accesses
+            # Converge the detector so the flush's own misses don't
+            # immediately re-trigger it.
+            self._fast = self._slow
+            if event is not None:
+                self.preemptive_flushes += 1
+                return [event]
+        return []
+
+    def contains(self, sid: int) -> bool:
+        return sid in self._cache
+
+    def insert(self, sid: int, size_bytes: int) -> list[EvictionEvent]:
+        self._require_configured()
+        return self._cache.insert(sid, size_bytes)
+
+    def unit_of(self, sid: int) -> int:
+        return self._cache.unit_of(sid)
+
+    def resident_ids(self) -> set[int]:
+        return self._cache.resident_ids()
+
+    @property
+    def effective_unit_count(self) -> int:
+        return 1
+
+
+class GenerationalPolicy(EvictionPolicy):
+    """Two-generation cache management (Hazelwood & M. Smith, MICRO 2003).
+
+    The cache is split into a *nursery* and a *persistent* region, each a
+    unit-FIFO cache.  Blocks are born in the nursery; a block that keeps
+    coming back (missed again after eviction ``promote_after`` times) has
+    proven long-lived and is placed in the persistent region, where
+    churn — and therefore link breakage — is far lower.
+    """
+
+    def __init__(self, nursery_fraction: float = 0.5, nursery_units: int = 8,
+                 persistent_units: int = 2, promote_after: int = 1) -> None:
+        super().__init__()
+        if not 0.0 < nursery_fraction < 1.0:
+            raise ValueError("nursery_fraction must be in (0, 1)")
+        if promote_after < 1:
+            raise ValueError("promote_after must be >= 1")
+        self.name = "GEN"
+        self.nursery_fraction = nursery_fraction
+        self.nursery_units = nursery_units
+        self.persistent_units = persistent_units
+        self.promote_after = promote_after
+        self._nursery: UnitCache | None = None
+        self._persistent: UnitCache | None = None
+        self._evict_counts: dict[int, int] = {}
+        self.promotions = 0
+
+    def configure(self, capacity_bytes: int, max_block_bytes: int) -> None:
+        nursery_bytes = int(capacity_bytes * self.nursery_fraction)
+        persistent_bytes = capacity_bytes - nursery_bytes
+        if min(nursery_bytes, persistent_bytes) < max_block_bytes:
+            raise ConfigurationError(
+                "both generations must hold the largest superblock; "
+                "increase capacity or adjust nursery_fraction"
+            )
+        nursery_units = max(1, min(self.nursery_units,
+                                   nursery_bytes // max_block_bytes))
+        persistent_units = max(1, min(self.persistent_units,
+                                      persistent_bytes // max_block_bytes))
+        self._nursery = UnitCache(nursery_bytes, nursery_units, max_block_bytes)
+        self._persistent = UnitCache(persistent_bytes, persistent_units,
+                                     max_block_bytes)
+        self._evict_counts = {}
+        self.promotions = 0
+        self._configured = True
+
+    def contains(self, sid: int) -> bool:
+        return sid in self._nursery or sid in self._persistent
+
+    def insert(self, sid: int, size_bytes: int) -> list[EvictionEvent]:
+        self._require_configured()
+        born_again = self._evict_counts.get(sid, 0) >= self.promote_after
+        region = self._persistent if born_again else self._nursery
+        if born_again:
+            self.promotions += 1
+        events = region.insert(sid, size_bytes)
+        for event in events:
+            for victim in event.blocks:
+                self._evict_counts[victim] = self._evict_counts.get(victim, 0) + 1
+        return events
+
+    def unit_of(self, sid: int) -> int:
+        if sid in self._nursery:
+            return self._nursery.unit_of(sid)
+        # Offset persistent unit keys past the nursery's to keep them distinct.
+        return self._nursery.unit_count + self._persistent.unit_of(sid)
+
+    def resident_ids(self) -> set[int]:
+        return self._nursery.resident_ids() | self._persistent.resident_ids()
+
+    @property
+    def effective_unit_count(self) -> int:
+        self._require_configured()
+        return self._nursery.unit_count + self._persistent.unit_count
+
+
+def granularity_ladder(include_fine: bool = True,
+                       unit_counts: tuple[int, ...] = STANDARD_UNIT_COUNTS,
+                       ) -> list[EvictionPolicy]:
+    """Build the paper's standard policy ladder, coarse to fine.
+
+    ``unit_counts`` must start at 1 (FLUSH).  With *include_fine* the
+    finest-grained FIFO policy is appended as the last rung.
+    """
+    ladder: list[EvictionPolicy] = []
+    for count in unit_counts:
+        ladder.append(FlushPolicy() if count == 1 else UnitFifoPolicy(count))
+    if include_fine:
+        ladder.append(FineGrainedFifoPolicy())
+    return ladder

@@ -1,0 +1,148 @@
+"""The trace-driven code cache simulator — the paper's core methodology.
+
+The paper replayed DynamoRIO's verbose logs ("the actual code regions
+that a code cache would manage including actual region sizes and
+inter-region links") through a code cache simulator, then attached the
+analytical overhead penalties of Equations 2-4.  This module is that
+simulator: it consumes a stream of superblock accesses, maintains the
+cache under a chosen eviction policy, tracks chaining links, and charges
+the overhead model for every miss, eviction invocation and unlink
+operation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.links import LinkManager
+from repro.core.metrics import SimulationStats
+from repro.core.overhead import OverheadModel, PAPER_MODEL
+from repro.core.policies import EvictionPolicy
+from repro.core.superblock import SuperblockSet
+
+
+class CodeCacheSimulator:
+    """Replays a superblock access trace against one policy configuration.
+
+    Parameters
+    ----------
+    superblocks:
+        The workload's superblock population (sizes and link graph).
+    policy:
+        An (unconfigured) eviction policy; the simulator configures it
+        for *capacity_bytes*.
+    capacity_bytes:
+        The bounded code cache size — typically ``maxCache / n`` for a
+        cache pressure factor ``n`` (Section 4.2).
+    overhead_model:
+        Instruction-cost model; defaults to the paper's coefficients.
+    track_links:
+        When false, chaining links are ignored entirely: no link
+        bookkeeping and no Equation 4 charges.  Figures 6-11 use this
+        mode; Figures 13-15 enable it.
+    """
+
+    def __init__(
+        self,
+        superblocks: SuperblockSet,
+        policy: EvictionPolicy,
+        capacity_bytes: int,
+        overhead_model: OverheadModel = PAPER_MODEL,
+        track_links: bool = True,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.superblocks = superblocks
+        self.policy = policy
+        self.capacity_bytes = capacity_bytes
+        self.overhead_model = overhead_model
+        policy.configure(capacity_bytes, superblocks.max_block_bytes)
+        self.links = LinkManager(superblocks, policy) if track_links else None
+
+    def process(self, trace: Iterable[int],
+                benchmark: str = "") -> SimulationStats:
+        """Replay *trace* (an iterable of superblock ids); return stats."""
+        stats = SimulationStats(policy_name=self.policy.name,
+                                benchmark=benchmark)
+        if hasattr(trace, "tolist"):
+            # Plain ints hash measurably faster than numpy scalars in
+            # the dict lookups that dominate the hot loop.
+            trace = trace.tolist()
+        policy = self.policy
+        links = self.links
+        model = self.overhead_model
+        sizes = self.superblocks.sizes()
+        contains = policy.contains
+        insert = policy.insert
+        miss_cost = model.miss_cost
+        eviction_cost = model.eviction_cost
+        unlink_cost = model.unlink_cost
+        # Policies that don't watch accesses skip the hook entirely; this
+        # keeps the hot loop at two calls per hit.
+        watches_accesses = (
+            type(policy).on_access is not EvictionPolicy.on_access
+        )
+
+        for sid in trace:
+            stats.accesses += 1
+            if watches_accesses:
+                hinted = contains(sid)
+                preemptive = policy.on_access(sid, hinted)
+                if preemptive:
+                    stats.preemptive_flushes += len(preemptive)
+                    self._account_evictions(preemptive, stats)
+            if contains(sid):
+                stats.hits += 1
+                continue
+            stats.misses += 1
+            size = sizes[sid]
+            stats.inserted_bytes += size
+            stats.miss_overhead += miss_cost(size)
+            events = insert(sid, size)
+            if events:
+                self._account_evictions(events, stats)
+            if links is not None:
+                links.on_insert(sid)
+
+        if links is not None:
+            stats.links_established_intra = links.established_intra
+            stats.links_established_inter = links.established_inter
+            stats.peak_backpointer_bytes = links.peak_backpointer_bytes
+        return stats
+
+    def _account_evictions(self, events, stats: SimulationStats) -> None:
+        """Charge eviction and unlinking costs for a batch of events."""
+        model = self.overhead_model
+        links = self.links
+        for event in events:
+            stats.eviction_invocations += 1
+            stats.evicted_blocks += event.block_count
+            stats.evicted_bytes += event.bytes_evicted
+            stats.eviction_overhead += model.eviction_cost(event.bytes_evicted)
+            if links is not None:
+                for record in links.on_evict(event.blocks):
+                    stats.unlink_operations += 1
+                    stats.links_removed += record.links_removed
+                    stats.unlink_overhead += model.unlink_cost(
+                        record.links_removed
+                    )
+
+
+def simulate(
+    superblocks: SuperblockSet,
+    policy: EvictionPolicy,
+    capacity_bytes: int,
+    trace: Iterable[int],
+    overhead_model: OverheadModel = PAPER_MODEL,
+    track_links: bool = True,
+    benchmark: str = "",
+) -> SimulationStats:
+    """One-shot convenience wrapper: build a simulator and replay *trace*."""
+    simulator = CodeCacheSimulator(
+        superblocks,
+        policy,
+        capacity_bytes,
+        overhead_model=overhead_model,
+        track_links=track_links,
+    )
+    return simulator.process(trace, benchmark=benchmark)

@@ -1,0 +1,135 @@
+"""Superblocks: the variable-sized entries a code cache manages.
+
+A superblock is a single-entry, multiple-exit region of translated code
+(Hwu et al.).  For the cache-management study, the properties that matter
+are its identity, its byte size, and its outgoing chaining links — the
+paper's Section 3 explains why these (rather than fixed-size lines with a
+backing store) are what distinguish code caches from hardware caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class Superblock:
+    """One translated code region.
+
+    Attributes
+    ----------
+    sid:
+        Stable integer identity, unique within a workload.
+    size_bytes:
+        Encoded size of the translated code, exit stubs included.
+    links:
+        ``sid``\\ s of the superblocks this one may chain to (its exit
+        targets).  A superblock may link to itself (a loop) — the paper
+        notes this is why even per-superblock FIFO has intra-unit links.
+    source_address:
+        Original-code PC the superblock was formed at, when known.
+    """
+
+    sid: int
+    size_bytes: int
+    links: tuple[int, ...] = field(default=())
+    source_address: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.sid < 0:
+            raise ValueError(f"superblock id must be non-negative, got {self.sid}")
+        if self.size_bytes <= 0:
+            raise ValueError(
+                f"superblock {self.sid} must have positive size, "
+                f"got {self.size_bytes}"
+            )
+
+    @property
+    def has_self_loop(self) -> bool:
+        return self.sid in self.links
+
+    @property
+    def out_degree(self) -> int:
+        return len(self.links)
+
+
+class SuperblockSet:
+    """An immutable collection of superblocks indexed by ``sid``.
+
+    This is the static population a workload can touch; the cache holds a
+    resident subset of it at any moment.  Also precomputes the reverse
+    link adjacency (who links *to* each block), which the link manager
+    needs on every insertion.
+    """
+
+    def __init__(self, superblocks: Iterable[Superblock]) -> None:
+        self._by_sid: dict[int, Superblock] = {}
+        for superblock in superblocks:
+            if superblock.sid in self._by_sid:
+                raise ValueError(f"duplicate superblock id {superblock.sid}")
+            self._by_sid[superblock.sid] = superblock
+        if not self._by_sid:
+            raise ValueError("a superblock set cannot be empty")
+        for superblock in self._by_sid.values():
+            for target in superblock.links:
+                if target not in self._by_sid:
+                    raise ValueError(
+                        f"superblock {superblock.sid} links to unknown "
+                        f"superblock {target}"
+                    )
+        self._incoming: dict[int, frozenset[int]] = self._build_incoming()
+
+    def _build_incoming(self) -> dict[int, frozenset[int]]:
+        incoming: dict[int, set[int]] = {sid: set() for sid in self._by_sid}
+        for superblock in self._by_sid.values():
+            for target in superblock.links:
+                incoming[target].add(superblock.sid)
+        return {sid: frozenset(sources) for sid, sources in incoming.items()}
+
+    # -- Queries -----------------------------------------------------------
+
+    def __getitem__(self, sid: int) -> Superblock:
+        return self._by_sid[sid]
+
+    def __contains__(self, sid: int) -> bool:
+        return sid in self._by_sid
+
+    def __len__(self) -> int:
+        return len(self._by_sid)
+
+    def __iter__(self):
+        return iter(self._by_sid.values())
+
+    @property
+    def sids(self) -> tuple[int, ...]:
+        return tuple(self._by_sid)
+
+    def size_of(self, sid: int) -> int:
+        return self._by_sid[sid].size_bytes
+
+    def incoming(self, sid: int) -> frozenset[int]:
+        """The ``sid``\\ s of blocks that link to *sid* (self included)."""
+        return self._incoming[sid]
+
+    def outgoing(self, sid: int) -> tuple[int, ...]:
+        return self._by_sid[sid].links
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all superblock sizes — the paper's ``maxCache`` term,
+        the size an unbounded cache would grow to."""
+        return sum(block.size_bytes for block in self._by_sid.values())
+
+    @property
+    def max_block_bytes(self) -> int:
+        return max(block.size_bytes for block in self._by_sid.values())
+
+    @property
+    def mean_out_degree(self) -> float:
+        """Average outbound links per superblock (the Figure 12 metric)."""
+        return sum(b.out_degree for b in self._by_sid.values()) / len(self._by_sid)
+
+    def sizes(self) -> Mapping[int, int]:
+        """``sid -> size_bytes`` for every superblock."""
+        return {sid: block.size_bytes for sid, block in self._by_sid.items()}

@@ -1,0 +1,80 @@
+"""Cache units: the medium-grained eviction quantum.
+
+The paper's Figure 5 partitions the code cache into equal-sized *cache
+units*, each holding several superblocks.  A unit is filled with a bump
+pointer (no internal fragmentation beyond the unused tail) and is always
+evicted in its entirety, which is what makes medium-grained eviction
+cheap: one invocation reclaims many blocks and all intra-unit links die
+for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class UnitOverflowError(Exception):
+    """Raised when a block is placed into a unit that cannot hold it."""
+
+
+@dataclass
+class CacheUnit:
+    """One equal-sized partition of the code cache.
+
+    Blocks are appended bump-pointer style; ``blocks`` preserves the
+    insertion order, which downstream consumers use for age accounting.
+    """
+
+    index: int
+    capacity_bytes: int
+    used_bytes: int = 0
+    blocks: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("a cache unit needs positive capacity")
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.blocks
+
+    def fits(self, size_bytes: int) -> bool:
+        return size_bytes <= self.free_bytes
+
+    def place(self, sid: int, size_bytes: int) -> None:
+        """Append block *sid* of *size_bytes* at the bump pointer."""
+        if not self.fits(size_bytes):
+            raise UnitOverflowError(
+                f"block {sid} ({size_bytes} B) does not fit in unit "
+                f"{self.index} with {self.free_bytes} B free"
+            )
+        self.blocks.append(sid)
+        self.used_bytes += size_bytes
+
+    def clear(self) -> tuple[int, ...]:
+        """Empty the unit; return the evicted block ids in insertion order."""
+        evicted = tuple(self.blocks)
+        self.blocks.clear()
+        self.used_bytes = 0
+        return evicted
+
+
+def make_units(capacity_bytes: int, unit_count: int) -> list[CacheUnit]:
+    """Split *capacity_bytes* into *unit_count* equal units.
+
+    The remainder from integer division is dropped (the paper's units are
+    "of equal size"); validation that units can hold the largest
+    superblock happens at policy configuration.
+    """
+    if unit_count <= 0:
+        raise ValueError(f"unit count must be positive, got {unit_count}")
+    if capacity_bytes < unit_count:
+        raise ValueError(
+            f"cannot split {capacity_bytes} bytes into {unit_count} units"
+        )
+    unit_capacity = capacity_bytes // unit_count
+    return [CacheUnit(index, unit_capacity) for index in range(unit_count)]

@@ -1,0 +1,71 @@
+"""The dynamic binary translator substrate (our DynamoRIO stand-in).
+
+Implements the full Figure 1 pipeline over the guest ISA: interpretation
+with hotness profiling, NET-style superblock selection, translation into
+a policy-managed code cache, hash-table dispatch, exit chaining with a
+back-pointer table, and a memory-protection cost model.  Runs produce
+both functional results and the instruction-count overheads the paper
+measures with PAPI.
+"""
+
+from repro.dbt.bbcache import BasicBlockCache, CachedBlock
+from repro.dbt.costs import DEFAULT_COSTS, CostModel, WorkMeter
+from repro.dbt.events import (
+    EventLog,
+    LinkPatched,
+    SuperblockEntered,
+    SuperblockEvicted,
+    SuperblockFormed,
+)
+from repro.dbt.hotness import DEFAULT_HOT_THRESHOLD, HotnessProfile
+from repro.dbt.trace_selection import (
+    DEFAULT_MAX_BLOCKS,
+    DEFAULT_MAX_BYTES,
+    SelectedTrace,
+    select_superblock,
+)
+from repro.dbt.translator import (
+    CODE_EXPANSION,
+    EXIT_STUB_BYTES,
+    TranslatedSuperblock,
+    translate,
+    translated_size,
+)
+from repro.dbt.dispatch import DispatchTable
+from repro.dbt.chaining import ChainingManager, UnlinkWork
+from repro.dbt.memprotect import MemoryProtection
+from repro.dbt.logio import LogFormatError, load_log, save_log
+from repro.dbt.runtime import DBTRuntime, RunResult
+
+__all__ = [
+    "BasicBlockCache",
+    "CachedBlock",
+    "DEFAULT_COSTS",
+    "CostModel",
+    "WorkMeter",
+    "EventLog",
+    "LinkPatched",
+    "SuperblockEntered",
+    "SuperblockEvicted",
+    "SuperblockFormed",
+    "DEFAULT_HOT_THRESHOLD",
+    "HotnessProfile",
+    "DEFAULT_MAX_BLOCKS",
+    "DEFAULT_MAX_BYTES",
+    "SelectedTrace",
+    "select_superblock",
+    "CODE_EXPANSION",
+    "EXIT_STUB_BYTES",
+    "TranslatedSuperblock",
+    "translate",
+    "translated_size",
+    "DispatchTable",
+    "ChainingManager",
+    "UnlinkWork",
+    "MemoryProtection",
+    "DBTRuntime",
+    "RunResult",
+    "LogFormatError",
+    "load_log",
+    "save_log",
+]

@@ -1,0 +1,103 @@
+"""The basic-block cache: DynamoRIO's first-level code cache.
+
+Section 2.2 of the paper: "DynamoRIO ... includes two code caches.  A
+*basic-block cache* stores all single-entry, single-exit regions that
+have been encountered during execution, which allows DynamoRIO to avoid
+the high overhead of interpretation during every execution of a basic
+block.  Once a basic block's execution count exceeds a *hotness
+threshold* the system combines basic blocks to form superblocks ...
+stored in a separate code cache."
+
+This module implements that first level.  Each cold basic block is
+translated once (cheaply — no optimization, just copy + stub) and
+thereafter executes near-natively; the superblock cache studied by the
+paper sits on top.  Like DynamoRIO's research configuration, the
+basic-block cache is unbounded: the eviction study concerns the
+superblock cache, and block entries are small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbt.costs import CostModel, WorkMeter
+from repro.isa.cfg import BasicBlock
+
+#: Meter category for basic-block translation work.
+BB_TRANSLATION = "bb_translation"
+
+#: Translated basic blocks grow less than superblocks: a straight copy
+#: plus one exit stub, no optimization or straightening.
+BB_CODE_EXPANSION = 1.2
+BB_STUB_BYTES = 8
+
+
+@dataclass(frozen=True)
+class CachedBlock:
+    """One basic block resident in the block cache."""
+
+    start: int
+    guest_instructions: int
+    size_bytes: int
+
+
+class BasicBlockCache:
+    """First-level cache of translated single-entry, single-exit blocks.
+
+    Parameters
+    ----------
+    costs / meter:
+        Work-unit accounting: entering a cached block costs
+        ``bb_dispatch_cost`` (the block-to-block linkage is cheap but
+        not free) and executing it costs ``bb_native_per_instruction``
+        per guest instruction; translating a cold block costs
+        ``bb_translate_fixed`` plus per-instruction copy work.
+    """
+
+    def __init__(self, costs: CostModel, meter: WorkMeter) -> None:
+        self._costs = costs
+        self._meter = meter
+        self._blocks: dict[int, CachedBlock] = {}
+        self.translations = 0
+        self.executions = 0
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def total_bytes(self) -> int:
+        """Memory footprint of the block cache."""
+        return sum(block.size_bytes for block in self._blocks.values())
+
+    def translate(self, block: BasicBlock) -> CachedBlock:
+        """Translate a cold block into the cache, charging copy work."""
+        if block.start in self._blocks:
+            raise ValueError(f"block {block.start:#x} is already cached")
+        costs = self._costs
+        self._meter.charge(
+            BB_TRANSLATION,
+            costs.bb_translate_fixed
+            + costs.bb_translate_per_instruction * len(block),
+        )
+        cached = CachedBlock(
+            start=block.start,
+            guest_instructions=len(block),
+            size_bytes=round(block.size_bytes * BB_CODE_EXPANSION)
+            + BB_STUB_BYTES,
+        )
+        self._blocks[block.start] = cached
+        self.translations += 1
+        return cached
+
+    def charge_execution(self, executed_instructions: int) -> None:
+        """Account one execution of a cached block."""
+        costs = self._costs
+        self.executions += 1
+        self._meter.charge(
+            "bb_native",
+            costs.bb_dispatch_cost
+            + costs.bb_native_per_instruction * executed_instructions,
+        )

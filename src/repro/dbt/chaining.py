@@ -1,0 +1,143 @@
+"""Runtime chaining: patching superblock exits to other superblocks.
+
+This is the live counterpart of :mod:`repro.core.links`: links form as
+superblocks and their targets become co-resident, and must be unpatched
+(via the back-pointer table) when a target is evicted — Section 3.1's
+dangling-pointer problem.  All patch/unpatch work is charged to the
+meter with the Equation 4 cost structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbt.costs import CostModel, WorkMeter
+from repro.dbt.dispatch import DispatchTable
+from repro.dbt.translator import TranslatedSuperblock
+
+#: Meter categories.
+LINKING = "linking"
+UNLINKING = "unlinking"
+
+
+@dataclass(frozen=True)
+class UnlinkWork:
+    """Unlinking performed for one evicted superblock."""
+
+    sid: int
+    links_removed: int
+
+
+class ChainingManager:
+    """Tracks patched links and pending (unpatched) exits.
+
+    Parameters
+    ----------
+    costs / meter:
+        Work-unit accounting.
+    enabled:
+        With chaining disabled (the Table 2 experiment) no links are
+        ever patched, so every cache exit goes through the dispatcher.
+    """
+
+    def __init__(self, costs: CostModel, meter: WorkMeter,
+                 enabled: bool = True) -> None:
+        self._costs = costs
+        self._meter = meter
+        self.enabled = enabled
+        self._out: dict[int, set[int]] = {}
+        self._in: dict[int, set[int]] = {}
+        #: Unpatched exits: target pc -> superblock ids wanting it.
+        self._wanting: dict[int, set[int]] = {}
+        #: Exit target pcs per resident superblock.
+        self._exits: dict[int, tuple[int, ...]] = {}
+        self._heads: dict[int, int] = {}
+        self.links_patched = 0
+        self.links_unpatched = 0
+
+    # -- Insertion ---------------------------------------------------------
+
+    def on_insert(self, block: TranslatedSuperblock,
+                  dispatch: DispatchTable) -> list[tuple[int, int]]:
+        """Register a newly cached superblock and patch what can be
+        patched; returns the ``(source, target)`` links established."""
+        sid = block.sid
+        self._exits[sid] = block.exit_targets
+        self._heads[sid] = block.head_pc
+        self._out.setdefault(sid, set())
+        self._in.setdefault(sid, set())
+        if not self.enabled:
+            return []
+        patched: list[tuple[int, int]] = []
+        # Outgoing exits, including a loop back to this block's own head.
+        for target_pc in block.exit_targets:
+            target_sid = dispatch.peek(target_pc)
+            if target_sid is not None and target_pc == self._heads.get(
+                target_sid
+            ):
+                self._patch(sid, target_sid)
+                patched.append((sid, target_sid))
+            else:
+                self._wanting.setdefault(target_pc, set()).add(sid)
+        # Incoming: resident superblocks with unpatched exits to our head.
+        for source in tuple(self._wanting.get(block.head_pc, ())):
+            self._patch(source, sid)
+            patched.append((source, sid))
+            self._wanting[block.head_pc].discard(source)
+        return patched
+
+    def _patch(self, source: int, target: int) -> None:
+        if target in self._out[source]:
+            return
+        self._out[source].add(target)
+        self._in[target].add(source)
+        self.links_patched += 1
+        self._meter.charge(LINKING, self._costs.link_patch_cost)
+
+    # -- Queries ------------------------------------------------------------
+
+    def has_link(self, source: int, target: int) -> bool:
+        return target in self._out.get(source, ())
+
+    @property
+    def live_link_count(self) -> int:
+        return sum(len(targets) for targets in self._out.values())
+
+    def incoming_of(self, sid: int) -> frozenset[int]:
+        return frozenset(self._in.get(sid, ()))
+
+    # -- Eviction -----------------------------------------------------------
+
+    def on_evict(self, sids: tuple[int, ...]) -> list[UnlinkWork]:
+        """Unpatch incoming links from survivors and drop all state for
+        the evicted superblocks; charges Equation 4 work per victim."""
+        evicted = set(sids)
+        work: list[UnlinkWork] = []
+        for sid in sids:
+            survivors = [s for s in self._in.get(sid, ()) if s not in evicted]
+            if survivors:
+                self._meter.charge(
+                    UNLINKING, self._costs.unlink_work(len(survivors))
+                )
+                self.links_unpatched += len(survivors)
+                work.append(UnlinkWork(sid, len(survivors)))
+            head = self._heads.get(sid)
+            for source in survivors:
+                self._out[source].discard(sid)
+                # The survivor's exit is unresolved again.
+                if head is not None:
+                    self._wanting.setdefault(head, set()).add(source)
+        for sid in sids:
+            self._drop(sid, evicted)
+        return work
+
+    def _drop(self, sid: int, evicted: set[int]) -> None:
+        for target in self._out.pop(sid, set()):
+            if target not in evicted:
+                self._in[target].discard(sid)
+        self._in.pop(sid, None)
+        for target_pc in self._exits.pop(sid, ()):
+            wanting = self._wanting.get(target_pc)
+            if wanting is not None:
+                wanting.discard(sid)
+        self._heads.pop(sid, None)

@@ -1,0 +1,59 @@
+"""Hash-table dispatch: guest PC to cached superblock.
+
+Figure 1 of the paper: the dispatcher consults a hash table mapping
+original PCs to transformed code; a hit jumps straight into the code
+cache, a miss (for a hot PC) triggers translation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class DispatchTable:
+    """Maps guest head PCs to superblock ids, with lookup accounting."""
+
+    def __init__(self) -> None:
+        self._by_pc: dict[int, int] = {}
+        self._head_of: dict[int, int] = {}
+        self.lookups = 0
+        self.hits = 0
+
+    def lookup(self, pc: int) -> int | None:
+        """Return the superblock id cached for *pc*, or ``None``."""
+        self.lookups += 1
+        sid = self._by_pc.get(pc)
+        if sid is not None:
+            self.hits += 1
+        return sid
+
+    def peek(self, pc: int) -> int | None:
+        """Like :meth:`lookup` but without counting (internal queries)."""
+        return self._by_pc.get(pc)
+
+    def add(self, pc: int, sid: int) -> None:
+        if pc in self._by_pc:
+            raise ValueError(f"pc {pc:#x} is already cached as superblock "
+                             f"{self._by_pc[pc]}")
+        self._by_pc[pc] = sid
+        self._head_of[sid] = pc
+
+    def remove(self, sids: Iterable[int]) -> None:
+        """Drop the table entries of evicted superblocks."""
+        for sid in sids:
+            pc = self._head_of.pop(sid, None)
+            if pc is not None:
+                del self._by_pc[pc]
+
+    def head_of(self, sid: int) -> int:
+        return self._head_of[sid]
+
+    @property
+    def miss_count(self) -> int:
+        return self.lookups - self.hits
+
+    def __len__(self) -> int:
+        return len(self._by_pc)
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._by_pc

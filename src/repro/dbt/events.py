@@ -1,0 +1,110 @@
+"""DBT event records: the "verbose log" the paper replays.
+
+The paper's methodology: "we used the verbose output from DynamoRIO to
+drive the code cache simulator; therefore we were able to represent the
+actual code regions that a code cache would manage including actual
+region sizes and inter-region links.  We were able to save and reuse the
+DynamoRIO logs to allow for repeatability."
+
+Our DBT runtime emits the same kinds of events; :class:`EventLog` can
+convert a run into the superblock population + access trace the core
+simulator consumes, closing the loop between substrate and simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.superblock import Superblock, SuperblockSet
+
+
+@dataclass(frozen=True)
+class SuperblockFormed:
+    """A new superblock was translated and inserted."""
+
+    sid: int
+    head_pc: int
+    size_bytes: int
+    block_starts: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SuperblockEntered:
+    """Execution entered a cached superblock (one cache access)."""
+
+    sid: int
+
+
+@dataclass(frozen=True)
+class LinkPatched:
+    """A chaining link was patched from one superblock to another."""
+
+    source: int
+    target: int
+
+
+@dataclass(frozen=True)
+class SuperblockEvicted:
+    """A superblock was evicted from the code cache."""
+
+    sid: int
+
+
+class EventLog:
+    """An append-only log of DBT events with trace-export helpers."""
+
+    def __init__(self) -> None:
+        self.events: list[object] = []
+        self._formed: dict[int, SuperblockFormed] = {}
+        self._links: dict[int, set[int]] = {}
+        self._accesses: list[int] = []
+
+    # -- Recording -----------------------------------------------------------
+
+    def record_formed(self, event: SuperblockFormed) -> None:
+        self.events.append(event)
+        self._formed[event.sid] = event
+
+    def record_entered(self, event: SuperblockEntered) -> None:
+        self.events.append(event)
+        self._accesses.append(event.sid)
+
+    def record_link(self, event: LinkPatched) -> None:
+        self.events.append(event)
+        self._links.setdefault(event.source, set()).add(event.target)
+
+    def record_evicted(self, event: SuperblockEvicted) -> None:
+        self.events.append(event)
+
+    # -- Export ---------------------------------------------------------------
+
+    @property
+    def formed_count(self) -> int:
+        return len(self._formed)
+
+    def superblock_set(self) -> SuperblockSet:
+        """The population of superblocks this run formed, with the links
+        that were ever patched between them."""
+        if not self._formed:
+            raise ValueError("no superblocks were formed in this run")
+        blocks = []
+        for sid, formed in self._formed.items():
+            links = tuple(sorted(self._links.get(sid, ())))
+            blocks.append(
+                Superblock(
+                    sid,
+                    formed.size_bytes,
+                    links=links,
+                    source_address=formed.head_pc,
+                )
+            )
+        return SuperblockSet(blocks)
+
+    def access_trace(self) -> np.ndarray:
+        """The superblock-entry stream, replayable by the core simulator."""
+        return np.asarray(self._accesses, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,119 @@
+"""Saving and reloading DBT verbose logs.
+
+The paper: "We were able to save and reuse the DynamoRIO logs to allow
+for repeatability in the experiments."  This module gives our event
+logs the same property: a compact, line-oriented text format (one event
+per line) that round-trips through :func:`save_log` / :func:`load_log`,
+so a captured run can be re-simulated later — or shared — without
+re-executing the guest.
+
+Format (version-tagged header, then one record per line)::
+
+    #repro-dbt-log v1
+    F <sid> <head_pc> <size_bytes> <block_start>...
+    E <sid>
+    L <source_sid> <target_sid>
+    V <sid>
+
+``F`` = superblock formed, ``E`` = entered (one cache access),
+``L`` = link patched, ``V`` = evicted.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.dbt.events import (
+    EventLog,
+    LinkPatched,
+    SuperblockEntered,
+    SuperblockEvicted,
+    SuperblockFormed,
+)
+
+_HEADER = "#repro-dbt-log v1"
+
+
+class LogFormatError(Exception):
+    """Raised when a log file is malformed, with the offending line."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _serialize_events(log: EventLog) -> Iterator[str]:
+    yield _HEADER
+    for event in log.events:
+        if isinstance(event, SuperblockFormed):
+            starts = " ".join(str(start) for start in event.block_starts)
+            yield f"F {event.sid} {event.head_pc} {event.size_bytes} {starts}"
+        elif isinstance(event, SuperblockEntered):
+            yield f"E {event.sid}"
+        elif isinstance(event, LinkPatched):
+            yield f"L {event.source} {event.target}"
+        elif isinstance(event, SuperblockEvicted):
+            yield f"V {event.sid}"
+        else:  # pragma: no cover - the log only holds the four kinds
+            raise TypeError(f"unknown event type: {type(event).__name__}")
+
+
+def dump_log(log: EventLog, stream: IO[str]) -> int:
+    """Write *log* to *stream*; return the number of lines written."""
+    count = 0
+    for line in _serialize_events(log):
+        stream.write(line + "\n")
+        count += 1
+    return count
+
+
+def save_log(log: EventLog, path: str | Path) -> int:
+    """Write *log* to *path*; return the number of event lines."""
+    path = Path(path)
+    with path.open("w") as stream:
+        return dump_log(log, stream) - 1  # header excluded
+
+
+def parse_log(stream: IO[str]) -> EventLog:
+    """Parse a log from *stream* (inverse of :func:`dump_log`)."""
+    log = EventLog()
+    header = stream.readline().rstrip("\n")
+    if header != _HEADER:
+        raise LogFormatError(1, f"bad header {header!r}")
+    for line_number, raw in enumerate(stream, start=2):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        kind = fields[0]
+        try:
+            if kind == "F":
+                sid, head_pc, size_bytes = (int(fields[1]), int(fields[2]),
+                                            int(fields[3]))
+                starts = tuple(int(field) for field in fields[4:])
+                if not starts:
+                    raise ValueError("formed event without block starts")
+                log.record_formed(
+                    SuperblockFormed(sid, head_pc, size_bytes, starts)
+                )
+            elif kind == "E":
+                log.record_entered(SuperblockEntered(int(fields[1])))
+            elif kind == "L":
+                log.record_link(
+                    LinkPatched(int(fields[1]), int(fields[2]))
+                )
+            elif kind == "V":
+                log.record_evicted(SuperblockEvicted(int(fields[1])))
+            else:
+                raise ValueError(f"unknown record kind {kind!r}")
+        except (IndexError, ValueError) as error:
+            raise LogFormatError(line_number, str(error))
+    return log
+
+
+def load_log(path: str | Path) -> EventLog:
+    """Read an event log previously written by :func:`save_log`."""
+    path = Path(path)
+    with path.open() as stream:
+        return parse_log(stream)

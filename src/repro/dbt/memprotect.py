@@ -1,0 +1,46 @@
+"""Memory-protection cost model: why unchained execution is so slow.
+
+Table 2's 447 %-3357 % slowdowns are, per the paper, "not in the hash
+table lookup but ... caused by the memory protection changes (and
+associated system calls) that the DynamoRIO system does in order to
+protect the translation manager from the user code.  In systems where
+this is not necessary, the slowdown is reduced, but is still
+significant."
+
+Every cache exit back to the dispatcher toggles protection twice
+(unprotect the manager's data on the way out of the cache, re-protect
+before resuming cached code).  Chaining exists precisely to avoid these
+exits.
+"""
+
+from __future__ import annotations
+
+from repro.dbt.costs import CostModel, WorkMeter
+
+#: Meter category for protection-toggle work.
+MEMORY_PROTECTION = "memory_protection"
+
+
+class MemoryProtection:
+    """Charges protection toggles on unchained cache exits.
+
+    With ``enabled=False`` (a system that does not protect its manager)
+    exits still pay the dispatch cost but no system calls — the "reduced
+    but still significant" slowdown regime the paper mentions.
+    """
+
+    def __init__(self, costs: CostModel, meter: WorkMeter,
+                 enabled: bool = True) -> None:
+        self._costs = costs
+        self._meter = meter
+        self.enabled = enabled
+        self.toggle_count = 0
+
+    def on_cache_exit(self) -> None:
+        """Account one cache-to-dispatcher transition."""
+        if not self.enabled:
+            return
+        self.toggle_count += 2
+        self._meter.charge(
+            MEMORY_PROTECTION, 2.0 * self._costs.memory_protection_toggle
+        )

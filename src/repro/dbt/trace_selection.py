@@ -1,0 +1,113 @@
+"""Superblock (trace) selection: growing hot code regions.
+
+When a block head turns hot, the selector grows a single-entry,
+multiple-exit region from it in the NET (Next-Executing-Tail) style that
+Dynamo and DynamoRIO use: follow the most-executed successor at each
+step, stop when the trace would loop back on itself, re-enter already
+selected code, fall off profiled code, or exceed size limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.cfg import BasicBlock, ControlFlowGraph
+from repro.dbt.hotness import HotnessProfile
+
+#: Growth limits, in the spirit of DynamoRIO's trace bounds.
+DEFAULT_MAX_BLOCKS = 16
+DEFAULT_MAX_BYTES = 1024
+
+
+@dataclass(frozen=True)
+class SelectedTrace:
+    """A selected superblock region: basic blocks in execution order."""
+
+    head: int
+    blocks: tuple[BasicBlock, ...]
+
+    @property
+    def block_starts(self) -> tuple[int, ...]:
+        return tuple(block.start for block in self.blocks)
+
+    @property
+    def guest_bytes(self) -> int:
+        return sum(block.size_bytes for block in self.blocks)
+
+    @property
+    def guest_instructions(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    def exit_targets(self) -> tuple[int, ...]:
+        """Static successor addresses that leave the region — the exits a
+        chainer may later patch toward other superblocks.
+
+        Every successor that is not the straight-line continuation is an
+        exit: a superblock is single-entry, so even a branch whose target
+        block was *copied into* this region leaves through a stub (and
+        may be chained to that block's own superblock).  The region head
+        itself is a normal exit target — patching it yields a self-link.
+        """
+        targets: list[int] = []
+        seen: set[int] = set()
+        for i, block in enumerate(self.blocks):
+            next_start = (
+                self.blocks[i + 1].start if i + 1 < len(self.blocks) else None
+            )
+            for successor in block.successors:
+                if successor == next_start:
+                    continue  # falls through inside the region
+                if successor not in seen:
+                    seen.add(successor)
+                    targets.append(successor)
+        return tuple(targets)
+
+
+def select_superblock(
+    cfg: ControlFlowGraph,
+    head: int,
+    profile: HotnessProfile,
+    max_blocks: int = DEFAULT_MAX_BLOCKS,
+    max_bytes: int = DEFAULT_MAX_BYTES,
+) -> SelectedTrace:
+    """Grow a superblock from the hot *head* along the hottest path."""
+    if max_blocks < 1 or max_bytes < 1:
+        raise ValueError("trace limits must be positive")
+    blocks: list[BasicBlock] = []
+    visited: set[int] = set()
+    current = head
+    total_bytes = 0
+    while True:
+        block = cfg.block_at(current)
+        if total_bytes + block.size_bytes > max_bytes and blocks:
+            break
+        blocks.append(block)
+        visited.add(current)
+        total_bytes += block.size_bytes
+        if len(blocks) >= max_blocks:
+            break
+        next_start = _hottest_successor(block, profile)
+        if next_start is None:
+            break  # indirect control flow or program end
+        if next_start == head or next_start in visited:
+            break  # closed a loop or would re-enter selected code
+        current = next_start
+    return SelectedTrace(head=head, blocks=tuple(blocks))
+
+
+def _hottest_successor(block: BasicBlock,
+                       profile: HotnessProfile) -> int | None:
+    """The most-executed static successor, or ``None`` if there is none
+    (or none was ever executed)."""
+    best: int | None = None
+    best_count = 0
+    for successor in block.successors:
+        count = profile.count(successor)
+        if count > best_count:
+            best = successor
+            best_count = count
+    if best is None and block.successors:
+        # Successors exist but none were profiled yet: take the first
+        # (the fall-through path), as real selectors do with cold exits.
+        return block.successors[0]
+    return best

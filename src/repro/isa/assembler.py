@@ -1,0 +1,95 @@
+"""A small text assembler for the guest ISA.
+
+Syntax, one statement per line::
+
+    ; comments start with ';' or '#'
+    loop:                   ; a label on its own line
+        movi r1, 100
+        add  r2, r2, r1     ; three-operand ALU
+        load r3, r2, 8      ; r3 = mem[r2 + 8]
+        bne  r2, r0, loop   ; compare-and-branch to a label
+        halt
+
+Operands are comma separated.  Registers are ``r0``..``r31``; bare
+integers (decimal or ``0x`` hex, optionally negative) are immediates;
+anything else is a label reference.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction, Opcode, is_register
+from repro.isa.program import Program
+
+
+class AssemblerError(Exception):
+    """Raised on a syntax or semantic error, with the line number."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+_OPCODES_BY_NAME = {opcode.value: opcode for opcode in Opcode}
+
+
+def _parse_operand(token: str):
+    """Convert one operand token into a register name, int, or label."""
+    token = token.strip()
+    if is_register(token):
+        return token
+    try:
+        return int(token, 0)
+    except ValueError:
+        return token  # a label reference
+
+
+def assemble(source: str, entry: str | None = None, name: str = "program") -> Program:
+    """Assemble *source* text into a :class:`~repro.isa.program.Program`.
+
+    Parameters
+    ----------
+    source:
+        Assembly text in the module's syntax.
+    entry:
+        Optional entry label passed through to the program.
+    name:
+        Program name for logs.
+    """
+    instructions: list[Instruction] = []
+    labels: dict[str, int] = {}
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        # Allow "label: instr" on one line by peeling labels off the front.
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not label or " " in label:
+                raise AssemblerError(line_number, f"bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(line_number, f"duplicate label {label!r}")
+            labels[label] = len(instructions)
+            line = rest.strip()
+        if not line:
+            continue
+        mnemonic, _, operand_text = line.partition(" ")
+        opcode = _OPCODES_BY_NAME.get(mnemonic.lower())
+        if opcode is None:
+            raise AssemblerError(line_number, f"unknown opcode {mnemonic!r}")
+        operands = tuple(
+            _parse_operand(token)
+            for token in operand_text.split(",")
+            if token.strip()
+        )
+        try:
+            instructions.append(Instruction(opcode, operands))
+        except ValueError as error:
+            raise AssemblerError(line_number, str(error))
+    if not instructions:
+        raise AssemblerError(0, "no instructions in source")
+    for label, index in list(labels.items()):
+        # A label at the very end of the file has nothing to point at.
+        if index >= len(instructions):
+            raise AssemblerError(0, f"label {label!r} has no following instruction")
+    return Program(instructions, labels, entry=entry, name=name)

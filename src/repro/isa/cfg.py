@@ -1,0 +1,193 @@
+"""Basic-block extraction and control-flow graphs over guest programs.
+
+The DBT's trace selector works at basic-block granularity (single-entry,
+single-exit straight-line regions), exactly as DynamoRIO's basic-block
+cache does.  This module computes the static partition of a program into
+basic blocks and the edges between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A single-entry, single-exit straight-line region.
+
+    Attributes
+    ----------
+    start:
+        Byte address of the first instruction.
+    instructions:
+        The instructions in the block, in order.
+    successors:
+        Byte addresses of the statically-known successor blocks.  Indirect
+        jumps and returns contribute no static successors.
+    """
+
+    start: int
+    instructions: tuple[Instruction, ...]
+    successors: tuple[int, ...] = field(default=())
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(instruction.size for instruction in self.instructions)
+
+    @property
+    def terminator(self) -> Instruction:
+        return self.instructions[-1]
+
+    @property
+    def end(self) -> int:
+        """First byte address past the block."""
+        return self.start + self.size_bytes
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class ControlFlowGraph:
+    """The set of basic blocks of a program plus their edges.
+
+    Wraps a :mod:`networkx` digraph keyed by block start address so that
+    callers can run standard graph algorithms (dominators, partitioning)
+    over guest code.
+    """
+
+    def __init__(self, program: Program, blocks: dict[int, BasicBlock]) -> None:
+        self.program = program
+        self._blocks = dict(blocks)
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(self._blocks)
+        for block in self._blocks.values():
+            for successor in block.successors:
+                self._graph.add_edge(block.start, successor)
+
+    @property
+    def blocks(self) -> dict[int, BasicBlock]:
+        return dict(self._blocks)
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.block_at(self.program.entry_address)
+
+    def block_at(self, address: int) -> BasicBlock:
+        return self._blocks[address]
+
+    def block_containing(self, address: int) -> BasicBlock:
+        """Return the block whose byte range covers *address*."""
+        for block in self._blocks.values():
+            if block.start <= address < block.end:
+                return block
+        raise KeyError(f"no basic block covers address {address:#x}")
+
+    def successors(self, address: int) -> tuple[int, ...]:
+        return tuple(self._graph.successors(address))
+
+    def predecessors(self, address: int) -> tuple[int, ...]:
+        return tuple(self._graph.predecessors(address))
+
+    def as_networkx(self) -> nx.DiGraph:
+        """Return a copy of the underlying digraph."""
+        return self._graph.copy()
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._blocks
+
+    def __iter__(self):
+        return iter(sorted(self._blocks))
+
+
+def _leader_addresses(program: Program) -> set[int]:
+    """Find the addresses that start basic blocks.
+
+    Leaders are: the program entry, every label (labels are the
+    addresses indirect jumps can compute, so they are potential dynamic
+    targets), every direct control-transfer target, and every
+    instruction following a control transfer.
+    """
+    leaders = {program.entry_address, program.address_of_index(0)}
+    leaders.update(program.labels.values())
+    for address, instruction in program.iter_addressed():
+        target = instruction.label_target
+        if target is not None:
+            leaders.add(program.resolve(target))
+        if instruction.is_control:
+            fall_through = address + instruction.size
+            if fall_through < program.size_bytes:
+                leaders.add(fall_through)
+    return leaders
+
+
+def _static_successors(program: Program, block_instrs: list[tuple[int, Instruction]],
+                       next_leader: int | None) -> tuple[int, ...]:
+    """Compute the statically-known successor addresses of a block."""
+    address, terminator = block_instrs[-1]
+    successors: list[int] = []
+    target = terminator.label_target
+    if terminator.opcode in (Opcode.HALT, Opcode.RET, Opcode.JMPR):
+        # RET/JMPR targets are dynamic; HALT has none.
+        return ()
+    if target is not None:
+        successors.append(program.resolve(target))
+    if terminator.is_conditional_branch or not terminator.is_control:
+        # Fall-through successor (branch not taken, or plain straight-line
+        # block split by a leader).
+        fall_through = address + terminator.size
+        if fall_through < program.size_bytes:
+            successors.append(fall_through)
+    elif terminator.opcode is Opcode.CALL:
+        # Calls continue at the target; the return address successor is
+        # dynamic (via RET) but statically the call site block flows into
+        # the callee only.
+        pass
+    if next_leader is not None and not successors and not terminator.is_control:
+        successors.append(next_leader)
+    # De-duplicate while preserving order.
+    seen: set[int] = set()
+    unique = []
+    for successor in successors:
+        if successor not in seen:
+            seen.add(successor)
+            unique.append(successor)
+    return tuple(unique)
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Partition *program* into basic blocks and build its CFG."""
+    leaders = _leader_addresses(program)
+    blocks: dict[int, BasicBlock] = {}
+    current: list[tuple[int, Instruction]] = []
+    for address, instruction in program.iter_addressed():
+        if address in leaders and current:
+            blocks[current[0][0]] = _finish_block(program, current, address)
+            current = []
+        current.append((address, instruction))
+        if instruction.is_control:
+            blocks[current[0][0]] = _finish_block(program, current, None)
+            current = []
+    if current:
+        blocks[current[0][0]] = _finish_block(program, current, None)
+    return ControlFlowGraph(program, blocks)
+
+
+def _finish_block(
+    program: Program,
+    block_instrs: list[tuple[int, Instruction]],
+    next_leader: int | None,
+) -> BasicBlock:
+    successors = _static_successors(program, block_instrs, next_leader)
+    return BasicBlock(
+        start=block_instrs[0][0],
+        instructions=tuple(instruction for _, instruction in block_instrs),
+        successors=successors,
+    )

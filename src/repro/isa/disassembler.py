@@ -1,0 +1,38 @@
+"""Disassembly: rendering a program back to assembler-compatible text.
+
+The inverse of :func:`repro.isa.assembler.assemble`: every program
+disassembles to text that re-assembles into an identical image (same
+opcodes, operands, labels and layout).  Useful for inspecting generated
+workload programs and for the DBT CLI's ``--dump-asm``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+
+
+def disassemble(program: Program, addresses: bool = False) -> str:
+    """Render *program* as assembly text.
+
+    Parameters
+    ----------
+    addresses:
+        Prefix every instruction with its byte address (for human
+        reading; the output no longer re-assembles verbatim since the
+        assembler does not accept address prefixes — use the default
+        for round-tripping).
+    """
+    label_by_address: dict[int, list[str]] = {}
+    for name, address in program.labels.items():
+        label_by_address.setdefault(address, []).append(name)
+    for names in label_by_address.values():
+        names.sort()
+    lines: list[str] = []
+    for address, instruction in program.iter_addressed():
+        for name in label_by_address.get(address, ()):
+            lines.append(f"{name}:")
+        body = f"    {instruction}"
+        if addresses:
+            body = f"{address:6d}  {body}"
+        lines.append(body)
+    return "\n".join(lines) + "\n"

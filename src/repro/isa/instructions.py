@@ -1,0 +1,240 @@
+"""Instruction definitions for the guest ISA.
+
+The ISA is deliberately small but structurally faithful to the properties
+the paper's study depends on:
+
+* **Variable-length encodings.**  Superblock byte sizes in the paper vary
+  widely (Figure 3); to get that variety from synthetic code, different
+  opcode classes encode to different byte counts, like IA-32.
+* **Rich control flow.**  Conditional branches, direct and indirect jumps,
+  calls and returns — the events a dynamic translator must intercept and
+  the join points where superblock chaining happens.
+
+Instruction operands are registers (``r0``..``r31``), integer immediates,
+or label names (resolved to addresses when a :class:`~repro.isa.program.
+Program` is laid out).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Opcode(enum.Enum):
+    """Every opcode in the guest ISA, grouped by class below."""
+
+    # ALU register-register / register-immediate.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    MOV = "mov"
+    MOVI = "movi"  # move immediate
+    # Memory.
+    LOAD = "load"
+    STORE = "store"
+    # Conditional branches (register compare, label target).
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    # Unconditional control transfer.
+    JMP = "jmp"
+    JMPR = "jmpr"  # indirect jump through a register
+    CALL = "call"
+    RET = "ret"
+    # Misc.
+    NOP = "nop"
+    HALT = "halt"
+
+
+ALU_OPCODES = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.MOV,
+        Opcode.MOVI,
+    }
+)
+
+MEMORY_OPCODES = frozenset({Opcode.LOAD, Opcode.STORE})
+
+BRANCH_OPCODES = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+
+CONTROL_OPCODES = frozenset(
+    {Opcode.JMP, Opcode.JMPR, Opcode.CALL, Opcode.RET, Opcode.HALT}
+) | BRANCH_OPCODES
+
+#: Encoded size in bytes for each opcode class.  Chosen to echo IA-32's
+#: mix (short ALU ops, longer memory/branch/call forms) so that basic
+#: blocks and superblocks acquire realistic, varied byte sizes.
+_SIZE_BY_OPCODE = {
+    Opcode.ADD: 3,
+    Opcode.SUB: 3,
+    Opcode.MUL: 4,
+    Opcode.DIV: 4,
+    Opcode.AND: 3,
+    Opcode.OR: 3,
+    Opcode.XOR: 3,
+    Opcode.SHL: 3,
+    Opcode.SHR: 3,
+    Opcode.MOV: 2,
+    Opcode.MOVI: 5,
+    Opcode.LOAD: 6,
+    Opcode.STORE: 6,
+    Opcode.BEQ: 6,
+    Opcode.BNE: 6,
+    Opcode.BLT: 6,
+    Opcode.BGE: 6,
+    Opcode.JMP: 5,
+    Opcode.JMPR: 2,
+    Opcode.CALL: 5,
+    Opcode.RET: 1,
+    Opcode.NOP: 1,
+    Opcode.HALT: 1,
+}
+
+NUM_REGISTERS = 32
+
+
+def instruction_size(opcode: Opcode) -> int:
+    """Return the encoded byte size of *opcode*."""
+    return _SIZE_BY_OPCODE[opcode]
+
+
+def is_register(operand: object) -> bool:
+    """True when *operand* names a register (``"r0"``..``"r31"``)."""
+    if not isinstance(operand, str) or not operand.startswith("r"):
+        return False
+    suffix = operand[1:]
+    return suffix.isdigit() and 0 <= int(suffix) < NUM_REGISTERS
+
+
+def register_index(operand: str) -> int:
+    """Return the register-file index for a register operand name."""
+    if not is_register(operand):
+        raise ValueError(f"not a register operand: {operand!r}")
+    return int(operand[1:])
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One guest instruction.
+
+    Operands use a uniform tuple; their meaning depends on the opcode:
+
+    * ALU three-operand: ``(dst, src1, src2)`` where ``src2`` may be an
+      immediate integer.
+    * ``MOV dst, src`` / ``MOVI dst, imm``.
+    * ``LOAD dst, base, offset`` / ``STORE src, base, offset``.
+    * Branches: ``(src1, src2, label)``.
+    * ``JMP label`` / ``JMPR reg`` / ``CALL label`` / ``RET`` / ``HALT``.
+    """
+
+    opcode: Opcode
+    operands: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        _validate_operands(self.opcode, self.operands)
+
+    @property
+    def size(self) -> int:
+        """Encoded size in bytes."""
+        return instruction_size(self.opcode)
+
+    @property
+    def is_control(self) -> bool:
+        """True when this instruction may redirect control flow."""
+        return self.opcode in CONTROL_OPCODES
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.opcode in BRANCH_OPCODES
+
+    @property
+    def label_target(self) -> str | None:
+        """The label operand for direct control transfers, else ``None``."""
+        if self.opcode in BRANCH_OPCODES:
+            return self.operands[2]
+        if self.opcode in (Opcode.JMP, Opcode.CALL):
+            return self.operands[0]
+        return None
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return self.opcode.value
+        rendered = ", ".join(str(op) for op in self.operands)
+        return f"{self.opcode.value} {rendered}"
+
+
+_OPERAND_COUNTS = {
+    Opcode.MOV: 2,
+    Opcode.MOVI: 2,
+    Opcode.LOAD: 3,
+    Opcode.STORE: 3,
+    Opcode.JMP: 1,
+    Opcode.JMPR: 1,
+    Opcode.CALL: 1,
+    Opcode.RET: 0,
+    Opcode.NOP: 0,
+    Opcode.HALT: 0,
+}
+
+
+def _validate_operands(opcode: Opcode, operands: tuple) -> None:
+    """Raise ``ValueError`` on an operand tuple malformed for *opcode*."""
+    if opcode in BRANCH_OPCODES:
+        expected = 3
+    elif opcode in ALU_OPCODES and opcode not in (Opcode.MOV, Opcode.MOVI):
+        expected = 3
+    else:
+        expected = _OPERAND_COUNTS[opcode]
+    if len(operands) != expected:
+        raise ValueError(
+            f"{opcode.value} expects {expected} operands, got {len(operands)}"
+        )
+    if opcode in BRANCH_OPCODES:
+        src1, src2, target = operands
+        if not is_register(src1) or not is_register(src2):
+            raise ValueError(f"{opcode.value} sources must be registers")
+        if not isinstance(target, str):
+            raise ValueError(f"{opcode.value} target must be a label name")
+    elif opcode in (Opcode.JMP, Opcode.CALL):
+        if not isinstance(operands[0], str) or is_register(operands[0]):
+            raise ValueError(f"{opcode.value} target must be a label name")
+    elif opcode is Opcode.JMPR:
+        if not is_register(operands[0]):
+            raise ValueError("jmpr operand must be a register")
+    elif opcode is Opcode.MOVI:
+        dst, imm = operands
+        if not is_register(dst) or not isinstance(imm, int):
+            raise ValueError("movi expects (register, immediate)")
+    elif opcode is Opcode.MOV:
+        dst, src = operands
+        if not is_register(dst) or not is_register(src):
+            raise ValueError("mov expects (register, register)")
+    elif opcode in (Opcode.LOAD, Opcode.STORE):
+        reg, base, offset = operands
+        if not is_register(reg) or not is_register(base):
+            raise ValueError(f"{opcode.value} expects register operands")
+        if not isinstance(offset, int):
+            raise ValueError(f"{opcode.value} offset must be an integer")
+    elif opcode in ALU_OPCODES:
+        dst, src1, src2 = operands
+        if not is_register(dst) or not is_register(src1):
+            raise ValueError(f"{opcode.value} dst/src1 must be registers")
+        if not (is_register(src2) or isinstance(src2, int)):
+            raise ValueError(f"{opcode.value} src2 must be register or immediate")

@@ -1,0 +1,223 @@
+"""The reference interpreter for the guest ISA.
+
+This is the "interpretation" stage of Figure 1 in the paper: the slow
+path a dynamic optimization system falls back to before code is cached.
+It executes one instruction at a time, counts executed instructions (our
+stand-in for a hardware instruction counter), and exposes the machine
+state so the DBT runtime can intercept execution at block boundaries.
+
+Semantics notes
+---------------
+* Registers are 64-bit two's-complement values; ``r0`` is a normal
+  register (not hardwired to zero).
+* Memory is a sparse byte-addressed word store: ``mem[addr]`` holds one
+  64-bit value; unwritten locations read as zero.
+* ``CALL`` pushes the return address on an internal return stack and
+  ``RET`` pops it — guest programs need not manage a stack pointer.
+  ``RET`` with an empty return stack halts (models returning from main).
+* ``DIV`` by zero yields zero rather than trapping, keeping synthetic
+  programs total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import (
+    Instruction,
+    NUM_REGISTERS,
+    Opcode,
+    is_register,
+    register_index,
+)
+from repro.isa.program import Program
+
+_WORD_MASK = (1 << 64) - 1
+_SIGN_BIT = 1 << 63
+
+
+def _to_signed(value: int) -> int:
+    value &= _WORD_MASK
+    return value - (1 << 64) if value & _SIGN_BIT else value
+
+
+class ExecutionLimitExceeded(Exception):
+    """Raised when a run exceeds its instruction budget (runaway guest)."""
+
+
+@dataclass
+class MachineState:
+    """The complete architectural state of the guest machine."""
+
+    pc: int = 0
+    registers: list[int] = field(default_factory=lambda: [0] * NUM_REGISTERS)
+    memory: dict[int, int] = field(default_factory=dict)
+    return_stack: list[int] = field(default_factory=list)
+    halted: bool = False
+
+    def read_register(self, name: str) -> int:
+        return _to_signed(self.registers[register_index(name)])
+
+    def write_register(self, name: str, value: int) -> None:
+        self.registers[register_index(name)] = value & _WORD_MASK
+
+    def read_memory(self, address: int) -> int:
+        return _to_signed(self.memory.get(address, 0))
+
+    def write_memory(self, address: int, value: int) -> None:
+        self.memory[address] = value & _WORD_MASK
+
+
+class Interpreter:
+    """Executes a :class:`~repro.isa.program.Program` instruction by
+    instruction, maintaining an instruction count.
+
+    Parameters
+    ----------
+    program:
+        The code image to execute.
+    state:
+        Optional pre-built machine state (for resuming); defaults to a
+        fresh state positioned at the program entry.
+    """
+
+    def __init__(self, program: Program, state: MachineState | None = None) -> None:
+        self.program = program
+        self.state = state or MachineState(pc=program.entry_address)
+        self.instruction_count = 0
+
+    # -- Execution --------------------------------------------------------
+
+    def step(self) -> Instruction:
+        """Execute one instruction; return it.  No-op once halted."""
+        state = self.state
+        if state.halted:
+            raise RuntimeError("machine is halted")
+        instruction = self.program.fetch(state.pc)
+        self._execute(instruction)
+        self.instruction_count += 1
+        return instruction
+
+    def run(self, max_instructions: int = 10_000_000) -> int:
+        """Run until ``HALT`` (or final ``RET``); return instructions executed.
+
+        Raises
+        ------
+        ExecutionLimitExceeded
+            If the budget is exhausted before the program halts.
+        """
+        executed_before = self.instruction_count
+        while not self.state.halted:
+            if self.instruction_count - executed_before >= max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_instructions} instructions in "
+                    f"{self.program.name}"
+                )
+            self.step()
+        return self.instruction_count - executed_before
+
+    def run_block(self, stop_addresses: set[int],
+                  max_instructions: int = 1_000_000) -> int:
+        """Run until the PC lands on any address in *stop_addresses*.
+
+        Used by the DBT runtime to interpret up to the next basic-block
+        boundary.  Returns the number of instructions executed.  Stops
+        immediately if already at a stop address *after* executing at
+        least one instruction, or when the machine halts.
+        """
+        executed = 0
+        state = self.state
+        while not state.halted:
+            if executed >= max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_instructions} instructions in a block run"
+                )
+            self.step()
+            executed += 1
+            if state.pc in stop_addresses:
+                break
+        return executed
+
+    # -- Instruction semantics --------------------------------------------
+
+    def _execute(self, instruction: Instruction) -> None:
+        state = self.state
+        opcode = instruction.opcode
+        operands = instruction.operands
+        next_pc = state.pc + instruction.size
+
+        if opcode in _ALU_HANDLERS:
+            dst, src1, src2 = operands
+            lhs = state.read_register(src1)
+            rhs = state.read_register(src2) if is_register(src2) else int(src2)
+            state.write_register(dst, _ALU_HANDLERS[opcode](lhs, rhs))
+        elif opcode is Opcode.MOV:
+            dst, src = operands
+            state.write_register(dst, state.read_register(src))
+        elif opcode is Opcode.MOVI:
+            dst, imm = operands
+            state.write_register(dst, imm)
+        elif opcode is Opcode.LOAD:
+            dst, base, offset = operands
+            state.write_register(
+                dst, state.read_memory(state.read_register(base) + offset)
+            )
+        elif opcode is Opcode.STORE:
+            src, base, offset = operands
+            state.write_memory(
+                state.read_register(base) + offset, state.read_register(src)
+            )
+        elif opcode in _BRANCH_PREDICATES:
+            src1, src2, target = operands
+            taken = _BRANCH_PREDICATES[opcode](
+                state.read_register(src1), state.read_register(src2)
+            )
+            if taken:
+                next_pc = self.program.resolve(target)
+        elif opcode is Opcode.JMP:
+            next_pc = self.program.resolve(operands[0])
+        elif opcode is Opcode.JMPR:
+            next_pc = state.read_register(operands[0]) & _WORD_MASK
+        elif opcode is Opcode.CALL:
+            state.return_stack.append(next_pc)
+            next_pc = self.program.resolve(operands[0])
+        elif opcode is Opcode.RET:
+            if state.return_stack:
+                next_pc = state.return_stack.pop()
+            else:
+                state.halted = True
+        elif opcode is Opcode.HALT:
+            state.halted = True
+        elif opcode is Opcode.NOP:
+            pass
+        else:  # pragma: no cover - all opcodes handled above
+            raise NotImplementedError(opcode)
+
+        state.pc = next_pc
+
+
+def _safe_div(lhs: int, rhs: int) -> int:
+    if rhs == 0:
+        return 0
+    quotient = abs(lhs) // abs(rhs)
+    return -quotient if (lhs < 0) != (rhs < 0) else quotient
+
+
+_ALU_HANDLERS = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: _safe_div,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << (b & 63),
+    Opcode.SHR: lambda a, b: (a & _WORD_MASK) >> (b & 63),
+}
+
+_BRANCH_PREDICATES = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: a < b,
+    Opcode.BGE: lambda a, b: a >= b,
+}

@@ -1,0 +1,33 @@
+"""Performance-counter substrate: PAPI-style probes plus regression.
+
+Brackets DBT management routines with instruction-count probes, logs
+``(quantity, instructions)`` samples, and fits the least-squares lines
+that become the simulator's overhead model — the methodology behind the
+paper's Figure 9 and Equations 2-4.
+"""
+
+from repro.papi.counters import CounterReading, SampleLog, probe
+from repro.papi.regression import LinearFit, fit_linear, fit_samples
+from repro.papi.calibration import (
+    CalibrationResult,
+    calibrate_eviction,
+    calibrate_from_run,
+    calibrate_regeneration,
+    calibrate_unlinking,
+    calibrated_overhead_model,
+)
+
+__all__ = [
+    "CounterReading",
+    "SampleLog",
+    "probe",
+    "LinearFit",
+    "fit_linear",
+    "fit_samples",
+    "CalibrationResult",
+    "calibrate_eviction",
+    "calibrate_from_run",
+    "calibrate_regeneration",
+    "calibrate_unlinking",
+    "calibrated_overhead_model",
+]

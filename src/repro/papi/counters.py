@@ -1,0 +1,82 @@
+"""Instruction-count probes: our stand-in for the PAPI interface.
+
+The paper: "we used the PAPI performance counter interface to the
+Pentium processors to collect the overhead estimates ... We collected a
+log of over 10,000 code cache evictions, including their eviction size
+(in bytes) and the number of instructions required to perform the
+eviction."
+
+A :class:`Probe` brackets a routine call and reads the work-meter delta,
+exactly as PAPI brackets a code region and reads the retired-instruction
+counter.  A :class:`SampleLog` accumulates ``(quantity, instructions)``
+pairs for the regression step.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.dbt.costs import WorkMeter
+
+
+@dataclass
+class CounterReading:
+    """The instruction count measured across one probed region."""
+
+    instructions: float = 0.0
+
+
+@contextmanager
+def probe(meter: WorkMeter,
+          category: str | None = None) -> Iterator[CounterReading]:
+    """Measure the work charged to *meter* inside the ``with`` block.
+
+    With *category*, only that category's charges are counted (PAPI's
+    equivalent of counting a single event type).
+    """
+    reading = CounterReading()
+    before = meter.total(category)
+    try:
+        yield reading
+    finally:
+        reading.instructions = meter.total(category) - before
+
+
+@dataclass
+class SampleLog:
+    """Accumulated ``(quantity, instructions)`` measurement pairs."""
+
+    quantity_label: str = "bytes"
+    quantities: list[float] = field(default_factory=list)
+    instructions: list[float] = field(default_factory=list)
+
+    def add(self, quantity: float, instructions: float) -> None:
+        if quantity < 0 or instructions < 0:
+            raise ValueError("samples must be non-negative")
+        self.quantities.append(quantity)
+        self.instructions.append(instructions)
+
+    def __len__(self) -> int:
+        return len(self.quantities)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            np.asarray(self.quantities, dtype=np.float64),
+            np.asarray(self.instructions, dtype=np.float64),
+        )
+
+    @property
+    def mean_quantity(self) -> float:
+        if not self.quantities:
+            raise ValueError("no samples collected")
+        return float(np.mean(self.quantities))
+
+    @property
+    def mean_instructions(self) -> float:
+        if not self.instructions:
+            raise ValueError("no samples collected")
+        return float(np.mean(self.instructions))

@@ -1,0 +1,69 @@
+"""Least-squares linear fits: how Equations 2-4 were derived.
+
+The paper: "We then used a least-squares linear regression trendline
+(illustrated in Figure 9) to develop Equation 2."  This module fits
+``instructions = slope * quantity + intercept`` over a sample log and
+reports the goodness of fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.overhead import LinearCost
+from repro.papi.counters import SampleLog
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A fitted ``slope * x + intercept`` line with its R-squared."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    sample_count: int
+
+    def predict(self, quantity: float) -> float:
+        return self.slope * quantity + self.intercept
+
+    def as_cost(self) -> LinearCost:
+        """The fit as a simulator-pluggable cost term."""
+        return LinearCost(slope=self.slope, intercept=self.intercept)
+
+    def __str__(self) -> str:
+        return (
+            f"y = {self.slope:.2f} * x + {self.intercept:.1f} "
+            f"(R^2 = {self.r_squared:.4f}, n = {self.sample_count})"
+        )
+
+
+def fit_linear(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """Ordinary least squares for ``y ~ slope * x + intercept``."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if x.size < 2:
+        raise ValueError("need at least two samples to fit a line")
+    design = np.column_stack([x, np.ones_like(x)])
+    (slope, intercept), residuals, _, _ = np.linalg.lstsq(design, y, rcond=None)
+    predicted = slope * x + intercept
+    total = float(np.sum((y - np.mean(y)) ** 2))
+    if total == 0.0:
+        r_squared = 1.0
+    else:
+        r_squared = 1.0 - float(np.sum((y - predicted) ** 2)) / total
+    return LinearFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=r_squared,
+        sample_count=int(x.size),
+    )
+
+
+def fit_samples(log: SampleLog) -> LinearFit:
+    """Fit a line over an accumulated sample log."""
+    x, y = log.as_arrays()
+    return fit_linear(x, y)

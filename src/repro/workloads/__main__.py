@@ -1,0 +1,109 @@
+"""Workload inspection and export: ``python -m repro.workloads``.
+
+Examples::
+
+    python -m repro.workloads list
+    python -m repro.workloads describe crafty
+    python -m repro.workloads export gzip --out gzip.dbtlog --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table
+from repro.workloads.distributions import size_histogram
+from repro.workloads.export import export_workload
+from repro.workloads.registry import (
+    all_benchmarks,
+    build_workload,
+    get_benchmark,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Inspect and export the Table 1 benchmark workloads.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the twenty benchmarks")
+
+    describe = commands.add_parser(
+        "describe", help="materialize one benchmark and summarize it"
+    )
+    describe.add_argument("benchmark")
+    describe.add_argument("--scale", type=float, default=1.0)
+
+    export = commands.add_parser(
+        "export", help="write a benchmark as a replayable event log"
+    )
+    export.add_argument("benchmark")
+    export.add_argument("--out", required=True, metavar="FILE")
+    export.add_argument("--scale", type=float, default=1.0)
+    export.add_argument("--trace-accesses", type=int, default=None)
+    return parser
+
+
+def _command_list() -> None:
+    rows = [
+        (spec.name, spec.suite, spec.superblock_count, spec.description)
+        for spec in all_benchmarks()
+    ]
+    print(format_table(
+        ("Name", "Suite", "Superblocks", "Description"), rows,
+        title="Table 1 benchmarks",
+    ))
+
+
+def _command_describe(args: argparse.Namespace) -> None:
+    workload = build_workload(get_benchmark(args.benchmark),
+                              scale=args.scale)
+    blocks = workload.superblocks
+    print(f"{workload.name} (scale {args.scale:g})")
+    print(format_table(("Property", "Value"), [
+        ("superblocks", len(blocks)),
+        ("maxCache bytes", blocks.total_bytes),
+        ("largest superblock", blocks.max_block_bytes),
+        ("mean out-degree", round(blocks.mean_out_degree, 3)),
+        ("trace accesses", len(workload.trace)),
+        ("distinct blocks touched", len(set(workload.trace.tolist()))),
+    ]))
+    print()
+    sizes = [block.size_bytes for block in blocks]
+    import numpy as np
+    print(format_table(
+        ("Size bin (bytes)", "Fraction"),
+        size_histogram(np.asarray(sizes)),
+        title="Superblock size distribution",
+    ))
+
+
+def _command_export(args: argparse.Namespace) -> None:
+    workload = build_workload(
+        get_benchmark(args.benchmark),
+        scale=args.scale,
+        trace_accesses=args.trace_accesses,
+    )
+    records = export_workload(workload, args.out)
+    print(f"Wrote {records} event records for {workload.name} "
+          f"({len(workload.superblocks)} superblocks, "
+          f"{len(workload.trace)} accesses) to {args.out}")
+    print(f"Replay with: python -m repro.core {args.out}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        _command_list()
+    elif args.command == "describe":
+        _command_describe(args)
+    elif args.command == "export":
+        _command_export(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Superblock size distributions (Figures 3 and 4 of the paper).
+
+Superblock sizes are strongly right-skewed: most are small, a few are
+very large, and the median varies between benchmarks (Figure 4 shows
+SPEC medians in the low-to-mid 200s of bytes).  A log-normal law captures
+this: we parameterize by the *median* (so Figure 4 can be dialed in
+directly — the median of a log-normal is ``exp(mu)``) and a shape
+``sigma`` (heavier tails for the interactive Windows applications, whose
+unbounded-cache footprints per block are several times larger than
+SPEC's).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Byte-size bin edges used to present Figure 3's histograms.
+FIGURE3_BIN_EDGES = (0, 64, 128, 192, 256, 384, 512, 768, 1024, 2048, 1 << 30)
+
+
+@dataclass(frozen=True)
+class LogNormalSizeDistribution:
+    """Log-normal superblock sizes, parameterized by median and shape.
+
+    Attributes
+    ----------
+    median_bytes:
+        The distribution median (``exp(mu)``); the Figure 4 knob.
+    sigma:
+        Log-space standard deviation; controls the heavy tail and thus
+        the mean/median ratio (``mean = median * exp(sigma^2 / 2)``).
+    min_bytes, max_bytes:
+        Clipping bounds — a translated superblock is never smaller than
+        a couple of instructions nor absurdly large.
+    """
+
+    median_bytes: float
+    sigma: float
+    min_bytes: int = 32
+    max_bytes: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.median_bytes <= 0:
+            raise ValueError("median_bytes must be positive")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if not 0 < self.min_bytes <= self.max_bytes:
+            raise ValueError("need 0 < min_bytes <= max_bytes")
+        if not self.min_bytes <= self.median_bytes <= self.max_bytes:
+            raise ValueError("median must lie within the clipping bounds")
+
+    @property
+    def mu(self) -> float:
+        return math.log(self.median_bytes)
+
+    @property
+    def theoretical_mean(self) -> float:
+        """Mean of the unclipped log-normal."""
+        return self.median_bytes * math.exp(self.sigma**2 / 2.0)
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw *count* integer sizes (clipped, at least 1 byte each)."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        raw = rng.lognormal(mean=self.mu, sigma=self.sigma, size=count)
+        clipped = np.clip(raw, self.min_bytes, self.max_bytes)
+        return clipped.astype(np.int64)
+
+
+def size_histogram(sizes: np.ndarray,
+                   bin_edges: tuple[int, ...] = FIGURE3_BIN_EDGES,
+                   ) -> list[tuple[str, float]]:
+    """Bucket *sizes* into Figure 3-style ``(label, fraction)`` rows."""
+    sizes = np.asarray(sizes)
+    if sizes.size == 0:
+        raise ValueError("cannot histogram an empty size array")
+    counts, _ = np.histogram(sizes, bins=np.array(bin_edges))
+    fractions = counts / sizes.size
+    rows = []
+    for i, fraction in enumerate(fractions):
+        low, high = bin_edges[i], bin_edges[i + 1]
+        label = f">{low}" if high >= (1 << 30) else f"{low}-{high}"
+        rows.append((label, float(fraction)))
+    return rows
+
+
+def median_of(sizes: np.ndarray) -> float:
+    """Sample median (the Figure 4 statistic)."""
+    sizes = np.asarray(sizes)
+    if sizes.size == 0:
+        raise ValueError("cannot take the median of an empty size array")
+    return float(np.median(sizes))

@@ -1,0 +1,213 @@
+"""Synthetic guest programs for experiments that need a running DBT.
+
+The statistical workloads (:mod:`repro.workloads.registry`) drive the
+trace simulator directly; experiments that exercise the *runtime* —
+Table 2's chaining study, the PAPI calibration, and the examples — need
+actual executable guest code.  This generator emits loop-nest programs
+in the guest ISA whose hot regions produce superblocks with the
+structural variety the study needs: branchy loop bodies, cross-function
+calls, and block sizes tunable per benchmark profile.
+
+The Table 2 mapping exploits the paper's own explanation of the
+slowdown spread: unchained execution pays a fixed dispatcher +
+memory-protection cost per superblock exit, so programs whose hot loops
+are *short* (gzip's tight compression loops) exit constantly and slow
+down far more than programs with long straight-line loop bodies between
+exits (mcf's pointer-chasing).  Each benchmark's loop-body length is
+sized so that the analytic slowdown ``1 + exit_cost / body_length``
+lands near the paper's measured percentage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+_SCRATCH_REGISTERS = ("r2", "r3", "r4", "r5", "r6", "r7", "r8")
+_ALU_OPS = ("add", "sub", "mul", "xor", "or", "and", "shl", "shr")
+
+
+@dataclass(frozen=True)
+class GuestProgramSpec:
+    """Shape of a generated loop-nest guest program.
+
+    Attributes
+    ----------
+    name:
+        Program name (shows up in logs).
+    functions:
+        Number of functions called from the main loop.
+    body_blocks:
+        Branch diamonds per function loop body (controls block count).
+    instructions_per_block:
+        Straight-line instructions per diamond arm (controls block size —
+        the Table 2 slowdown knob).
+    inner_iterations:
+        Loop iterations per function call (must exceed the hotness
+        threshold for superblocks to form).
+    outer_iterations:
+        Main-loop iterations.
+    side_exit_mask:
+        Branch behaviour of each diamond.  ``None``: the side arm is
+        never taken (a deterministic hot path — Table 2 programs use
+        this so time-between-exits is controlled).  An integer power-of-
+        two mask ``m``: the side arm is taken whenever the loop counter
+        satisfies ``counter & m == 0`` (varied control flow for demos
+        and trace-selection stress).
+    memory_ops:
+        Whether diamond arms include loads/stores.
+    seed:
+        Generator seed.
+    """
+
+    name: str
+    functions: int = 4
+    body_blocks: int = 3
+    instructions_per_block: int = 6
+    inner_iterations: int = 120
+    outer_iterations: int = 10
+    side_exit_mask: int | None = 1
+    memory_ops: bool = True
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.functions < 1 or self.body_blocks < 1:
+            raise ValueError("need at least one function and one body block")
+        if self.instructions_per_block < 1:
+            raise ValueError("instructions_per_block must be positive")
+        if self.inner_iterations < 1 or self.outer_iterations < 1:
+            raise ValueError("iteration counts must be positive")
+        if self.side_exit_mask is not None and self.side_exit_mask < 1:
+            raise ValueError("side_exit_mask must be a positive mask or None")
+
+
+def _arm_instructions(rng: np.random.Generator, count: int,
+                      memory_ops: bool) -> list[str]:
+    """Straight-line scratch-register work for one diamond arm."""
+    lines = []
+    for _ in range(count):
+        kind = rng.random()
+        if memory_ops and kind < 0.2:
+            register = str(rng.choice(_SCRATCH_REGISTERS))
+            offset = int(rng.integers(0, 16)) * 8
+            if rng.random() < 0.5:
+                lines.append(f"    load {register}, r10, {offset}")
+            else:
+                lines.append(f"    store {register}, r10, {offset}")
+        else:
+            op = str(rng.choice(_ALU_OPS))
+            dst = str(rng.choice(_SCRATCH_REGISTERS))
+            src = str(rng.choice(_SCRATCH_REGISTERS))
+            operand = int(rng.integers(1, 7))
+            lines.append(f"    {op} {dst}, {src}, {operand}")
+    return lines
+
+
+def generate_program(spec: GuestProgramSpec) -> Program:
+    """Emit the loop-nest program described by *spec*."""
+    rng = np.random.default_rng(spec.seed)
+    lines: list[str] = []
+    lines.append("main:")
+    lines.append("    movi r10, 4096")
+    lines.append(f"    movi r9, {spec.outer_iterations}")
+    lines.append("main_loop:")
+    for index in range(spec.functions):
+        lines.append(f"    call f{index}")
+    lines.append("    sub r9, r9, 1")
+    lines.append("    bne r9, r0, main_loop")
+    lines.append("    halt")
+    for index in range(spec.functions):
+        lines.extend(_function_lines(spec, index, rng))
+    source = "\n".join(lines)
+    return assemble(source, entry="main", name=spec.name)
+
+
+def _function_lines(spec: GuestProgramSpec, index: int,
+                    rng: np.random.Generator) -> list[str]:
+    lines = [f"f{index}:"]
+    lines.append(f"    movi r1, {spec.inner_iterations}")
+    lines.append(f"f{index}_loop:")
+    for body in range(spec.body_blocks):
+        side = f"f{index}_b{body}_side"
+        join = f"f{index}_b{body}_join"
+        if spec.side_exit_mask is None:
+            # A never-taken branch: the side arm exists statically (an
+            # exit stub in the superblock) but the hot path is exact.
+            lines.append(f"    bne r0, r0, {side}")
+        else:
+            lines.append(f"    and r3, r1, {spec.side_exit_mask}")
+            lines.append(f"    beq r3, r0, {side}")
+        lines.extend(_arm_instructions(rng, spec.instructions_per_block,
+                                       spec.memory_ops))
+        lines.append(f"    jmp {join}")
+        lines.append(f"{side}:")
+        lines.extend(_arm_instructions(rng, spec.instructions_per_block,
+                                       spec.memory_ops))
+        lines.append(f"{join}:")
+        lines.append("    add r2, r2, 1")
+    lines.append("    sub r1, r1, 1")
+    lines.append(f"    bne r1, r0, f{index}_loop")
+    lines.append("    ret")
+    return lines
+
+
+def _table2_spec(name: str, body_blocks: int, instructions_per_block: int,
+                 seed: int) -> GuestProgramSpec:
+    return GuestProgramSpec(
+        name,
+        functions=3,
+        body_blocks=body_blocks,
+        instructions_per_block=instructions_per_block,
+        inner_iterations=200,
+        outer_iterations=100,
+        side_exit_mask=None,
+        seed=seed,
+    )
+
+
+#: Per-benchmark program shapes for the Table 2 chaining study.  Loop
+#: body length (instructions between unchained exits) is sized from the
+#: paper's slowdowns: ``body ~= exit_cost / (slowdown - 1)`` with the
+#: default ~1335-unit dispatcher + protection exit cost.
+TABLE2_SPECS = (
+    _table2_spec("gzip", 2, 12, seed=31),     # paper: 3357 % slowdown
+    _table2_spec("vpr", 6, 26, seed=32),      # paper:  643 %
+    _table2_spec("gcc", 4, 15, seed=33),      # paper: 1494 %
+    _table2_spec("mcf", 8, 28, seed=34),      # paper:  447 %
+    _table2_spec("crafty", 4, 15, seed=35),   # paper: 1550 %
+    _table2_spec("parser", 3, 17, seed=36),   # paper: 1841 %
+    _table2_spec("perlbmk", 3, 16, seed=37),  # paper: 1967 %
+    _table2_spec("gap", 3, 15, seed=38),      # paper: 2070 %
+    _table2_spec("vortex", 5, 17, seed=39),   # paper: 1119 %
+    _table2_spec("bzip2", 4, 17, seed=40),    # paper: 1396 %
+    _table2_spec("twolf", 5, 23, seed=41),    # paper:  886 %
+)
+
+
+def table2_program(benchmark: str) -> Program:
+    """The generated guest program standing in for a Table 2 benchmark."""
+    for spec in TABLE2_SPECS:
+        if spec.name == benchmark:
+            return generate_program(spec)
+    known = ", ".join(spec.name for spec in TABLE2_SPECS)
+    raise KeyError(f"no Table 2 program for {benchmark!r}; known: {known}")
+
+
+def demo_program(seed: int = 7) -> Program:
+    """A small, quick-to-run program for examples and tests."""
+    return generate_program(
+        GuestProgramSpec(
+            "demo",
+            functions=2,
+            body_blocks=2,
+            instructions_per_block=4,
+            inner_iterations=80,
+            outer_iterations=4,
+            side_exit_mask=1,
+            seed=seed,
+        )
+    )

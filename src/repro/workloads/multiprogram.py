@@ -1,0 +1,94 @@
+"""Multiprogramming: several applications sharing one code cache.
+
+Section 2.3 of the paper motivates bounded caches by "combining these
+findings with the observation that users tend to execute several
+programs at once": each program's translated code competes for the same
+cache.  This module combines materialized workloads into one — superblock
+ids are remapped into disjoint ranges and the traces are interleaved in
+timeslices, as an OS scheduler would interleave the programs — so any
+policy/pressure experiment can be run on the combined load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.superblock import Superblock, SuperblockSet
+from repro.workloads.registry import BenchmarkSpec, Workload
+
+
+def combine_workloads(
+    workloads: list[Workload],
+    timeslice: int = 1000,
+    name: str = "multiprogram",
+    seed: int = 0,
+) -> Workload:
+    """Merge *workloads* into a single timesliced workload.
+
+    Superblock ids are offset so the populations stay disjoint; the
+    traces are consumed round-robin in *timeslice*-access quanta (with
+    per-round order shuffled, as scheduling jitter would), until every
+    program's trace is exhausted.
+    """
+    if not workloads:
+        raise ValueError("need at least one workload to combine")
+    if timeslice < 1:
+        raise ValueError("timeslice must be positive")
+    rng = np.random.default_rng(seed)
+
+    blocks: list[Superblock] = []
+    offsets: list[int] = []
+    offset = 0
+    for workload in workloads:
+        offsets.append(offset)
+        for block in workload.superblocks:
+            blocks.append(
+                Superblock(
+                    block.sid + offset,
+                    block.size_bytes,
+                    links=tuple(target + offset for target in block.links),
+                    source_address=block.source_address,
+                )
+            )
+        offset += max(workload.superblocks.sids) + 1
+
+    cursors = [0] * len(workloads)
+    pieces: list[np.ndarray] = []
+    active = set(range(len(workloads)))
+    while active:
+        order = list(active)
+        rng.shuffle(order)
+        for index in order:
+            trace = workloads[index].trace
+            start = cursors[index]
+            if start >= len(trace):
+                active.discard(index)
+                continue
+            piece = trace[start:start + timeslice]
+            cursors[index] = start + len(piece)
+            pieces.append(piece + offsets[index])
+    combined_trace = np.concatenate(pieces)
+
+    spec = replace(
+        workloads[0].spec,
+        name=name,
+        description="combined multiprogram workload",
+        superblock_count=len(blocks),
+    )
+    return Workload(
+        spec=spec,
+        superblocks=SuperblockSet(blocks),
+        trace=combined_trace,
+    )
+
+
+def multiprogram_pressure(workloads: list[Workload],
+                          shared_capacity: int) -> float:
+    """The effective pressure factor the combined load puts on a cache
+    of *shared_capacity* bytes (sum of footprints over capacity)."""
+    if shared_capacity < 1:
+        raise ValueError("shared_capacity must be positive")
+    total = sum(w.superblocks.total_bytes for w in workloads)
+    return total / shared_capacity

@@ -1,0 +1,115 @@
+"""Unit tests for the link-graph connectivity analysis."""
+
+import pytest
+
+from repro.analysis.connectivity import (
+    connectivity_summary,
+    fifo_assignment,
+    inter_unit_fraction,
+    link_graph,
+    partition_lower_bound,
+    partition_units,
+    placement_headroom,
+)
+from repro.core.superblock import Superblock, SuperblockSet
+from repro.workloads.registry import build_workload, get_benchmark
+
+
+def _two_clusters():
+    """Two 4-block cliques joined by a single bridge link."""
+    blocks = []
+    for base in (0, 4):
+        for i in range(4):
+            sid = base + i
+            links = tuple(base + j for j in range(4) if base + j != sid)
+            blocks.append(Superblock(sid, 100, links=links))
+    # Bridge: 0 -> 4, plus a self loop on 0.
+    blocks[0] = Superblock(0, 100, links=blocks[0].links + (4, 0))
+    return SuperblockSet(blocks)
+
+
+class TestSummary:
+    def test_counts(self):
+        summary = connectivity_summary(_two_clusters())
+        assert summary.superblocks == 8
+        assert summary.links == 8 * 3 + 2
+        assert summary.self_loops == 1
+        assert summary.weakly_connected_components == 1
+        assert summary.largest_component_fraction == 1.0
+
+    def test_disconnected_components(self):
+        blocks = SuperblockSet([
+            Superblock(0, 10, links=(1,)),
+            Superblock(1, 10),
+            Superblock(2, 10),
+        ])
+        summary = connectivity_summary(blocks)
+        assert summary.weakly_connected_components == 2
+        assert summary.largest_component_fraction == pytest.approx(2 / 3)
+
+    def test_link_graph_shape(self):
+        graph = link_graph(_two_clusters())
+        assert graph.number_of_nodes() == 8
+        assert graph.has_edge(0, 4)
+
+
+class TestPartitioning:
+    def test_bisection_finds_the_natural_cut(self):
+        blocks = _two_clusters()
+        assignment = partition_units(blocks, 2, seed=1)
+        # The two cliques must land in different units.
+        first = {assignment[i] for i in range(4)}
+        second = {assignment[i] for i in range(4, 8)}
+        assert len(first) == 1
+        assert len(second) == 1
+        assert first != second
+        # Only the bridge link crosses: 1 of 26 links (self loop intra).
+        fraction = inter_unit_fraction(blocks, assignment)
+        assert fraction == pytest.approx(1 / 26)
+
+    def test_unit_count_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            partition_units(_two_clusters(), 3)
+        with pytest.raises(ValueError):
+            partition_units(_two_clusters(), 0)
+
+    def test_single_unit_has_no_inter_links(self):
+        blocks = _two_clusters()
+        assignment = partition_units(blocks, 1)
+        assert inter_unit_fraction(blocks, assignment) == 0.0
+
+    def test_fifo_assignment_is_balanced_by_bytes(self):
+        blocks = SuperblockSet([Superblock(i, 100) for i in range(8)])
+        assignment = fifo_assignment(blocks, 4)
+        from collections import Counter
+        counts = Counter(assignment.values())
+        assert all(count == 2 for count in counts.values())
+
+    def test_fifo_assignment_validation(self):
+        with pytest.raises(ValueError):
+            fifo_assignment(_two_clusters(), 0)
+
+
+class TestHeadroom:
+    def test_optimized_beats_fifo_on_clustered_graphs(self):
+        # Adversarial ids: interleave the two cliques so FIFO placement
+        # (consecutive ids together) cuts many links.
+        blocks = []
+        for i in range(4):
+            even_links = tuple(2 * j for j in range(4) if 2 * j != 2 * i)
+            odd_links = tuple(2 * j + 1 for j in range(4)
+                              if 2 * j + 1 != 2 * i + 1)
+            blocks.append(Superblock(2 * i, 100, links=even_links))
+            blocks.append(Superblock(2 * i + 1, 100, links=odd_links))
+        population = SuperblockSet(blocks)
+        headroom = placement_headroom(population, 2, seed=3)
+        assert headroom.optimized_fraction < headroom.fifo_fraction
+        assert headroom.relative_improvement > 0.5
+
+    def test_real_workload_headroom_is_positive(self):
+        workload = build_workload(get_benchmark("vpr"), scale=0.4)
+        headroom = placement_headroom(workload.superblocks, 4, seed=0)
+        assert 0.0 <= headroom.optimized_fraction
+        assert headroom.optimized_fraction <= headroom.fifo_fraction
+        bound = partition_lower_bound(workload.superblocks, 4, seed=0)
+        assert bound == pytest.approx(headroom.optimized_fraction)

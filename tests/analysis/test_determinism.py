@@ -1,0 +1,53 @@
+"""End-to-end determinism of the experiment pipeline.
+
+Reproducibility was a design goal of the paper's methodology ("we were
+able to save and reuse the DynamoRIO logs to allow for repeatability");
+our pipeline goes further — everything is seeded, so whole figures are
+bit-for-bit reproducible.
+"""
+
+from repro.analysis import experiments
+from repro.analysis.sweep import clear_sweep_cache
+
+_KWARGS = dict(scale=0.05, trace_accesses=2000, pressures=(2, 6))
+
+
+def _fresh(callable_, **kwargs):
+    clear_sweep_cache()
+    try:
+        return callable_(**kwargs)
+    finally:
+        clear_sweep_cache()
+
+
+class TestDeterminism:
+    def test_figure6_is_bit_reproducible(self):
+        first = _fresh(experiments.figure6, pressure=2, **_KWARGS)
+        second = _fresh(experiments.figure6, pressure=2, **_KWARGS)
+        assert first.series == second.series
+
+    def test_figure13_is_bit_reproducible(self):
+        first = _fresh(experiments.figure13, pressure=2, **_KWARGS)
+        second = _fresh(experiments.figure13, pressure=2, **_KWARGS)
+        assert first.series == second.series
+
+    def test_calibrations_are_seeded(self):
+        first = experiments.figure9(samples=1200, seed=7)
+        second = experiments.figure9(samples=1200, seed=7)
+        assert first.series["slope"] == second.series["slope"]
+        assert first.series["intercept"] == second.series["intercept"]
+        different = experiments.figure9(samples=1200, seed=8)
+        assert (
+            different.series["slope"],
+            different.series["intercept"],
+        ) != (
+            first.series["slope"],
+            first.series["intercept"],
+        )
+
+    def test_table2_is_reproducible(self):
+        first = experiments.table2(max_guest_instructions=60_000,
+                                   benchmarks=("bzip2",))
+        second = experiments.table2(max_guest_instructions=60_000,
+                                    benchmarks=("bzip2",))
+        assert first.series == second.series

@@ -1,0 +1,82 @@
+"""Unit tests for text rendering of results."""
+
+import pytest
+
+from repro.analysis.report import (
+    ExperimentResult,
+    format_bar_chart,
+    format_table,
+    format_value,
+)
+
+
+class TestFormatValue:
+    def test_floats_use_precision(self):
+        assert format_value(0.123456, precision=3) == "0.123"
+
+    def test_ints_and_strings_pass_through(self):
+        assert format_value(42) == "42"
+        assert format_value("abc") == "abc"
+
+    def test_bools_render_as_words(self):
+        assert format_value(True) == "True"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("Name", "Value"),
+                            [("gzip", 1), ("photoshop", 22)])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title(self):
+        text = format_table(("A",), [(1,)], title="My Title")
+        assert text.startswith("My Title\n========")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("A", "B"), [(1,)])
+
+    def test_float_precision(self):
+        text = format_table(("X",), [(0.123456,)], precision=2)
+        assert "0.12" in text
+        assert "0.123" not in text
+
+
+class TestFormatBarChart:
+    def test_bars_scale_to_peak(self):
+        text = format_bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title(self):
+        text = format_bar_chart({"a": 1.0}, title="Chart")
+        assert text.startswith("Chart")
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart({})
+
+    def test_all_zero_series(self):
+        text = format_bar_chart({"a": 0.0})
+        assert "#" not in text
+
+
+class TestExperimentResult:
+    def test_render_includes_id_and_notes(self):
+        result = ExperimentResult(
+            experiment_id="figure6",
+            title="Miss rates",
+            columns=("Policy", "Rate"),
+            rows=[("FLUSH", 0.2)],
+            notes="a caveat",
+        )
+        text = result.render()
+        assert "[figure6]" in text
+        assert "FLUSH" in text
+        assert "Note: a caveat" in text
+
+    def test_render_without_notes(self):
+        result = ExperimentResult("x", "t", ("A",), [(1,)])
+        assert "Note:" not in result.render()

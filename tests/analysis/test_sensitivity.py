@@ -1,0 +1,49 @@
+"""Unit tests for the sensitivity-analysis harness."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    DEFAULT_VARIATIONS,
+    SensitivityPoint,
+    sweep_sensitivity,
+)
+from repro.workloads.registry import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def report():
+    return sweep_sensitivity(
+        get_benchmark("gap"),
+        pressure=8,
+        variations={"zipf_exponent": (1.2, 1.6),
+                    "sweep_fraction": (0.25, 0.5)},
+        trace_accesses=8000,
+    )
+
+
+class TestSweepSensitivity:
+    def test_one_point_per_variation_value(self, report):
+        assert len(report.points) == 4
+        parameters = {point.parameter for point in report.points}
+        assert parameters == {"zipf_exponent", "sweep_fraction"}
+
+    def test_points_carry_contest_outcomes(self, report):
+        for point in report.points:
+            assert isinstance(point, SensitivityPoint)
+            assert point.winner  # some policy won
+            assert point.flush_relative >= 1.0
+            assert point.fifo_relative >= 1.0
+
+    def test_medium_win_fraction_bounds(self, report):
+        assert 0.0 <= report.medium_win_fraction <= 1.0
+
+    def test_worst_case_is_a_member(self, report):
+        assert report.worst_case_for_medium() in report.points
+
+    def test_default_variations_have_triples(self):
+        for values in DEFAULT_VARIATIONS.values():
+            assert len(values) >= 2
+
+    def test_labels(self, report):
+        assert report.benchmark == "gap"
+        assert report.pressure == 8

@@ -1,0 +1,112 @@
+"""Unit tests for the pressure-adaptive granularity policy."""
+
+import pytest
+
+from repro.core.adaptive import DEFAULT_SCHEDULE, AdaptiveUnitPolicy
+from repro.core.simulator import simulate
+from repro.core.superblock import Superblock, SuperblockSet
+from repro.workloads.traces import loop_trace, scan_trace
+
+
+def _blocks(count=40, size=100):
+    return SuperblockSet([Superblock(sid, size) for sid in range(count)])
+
+
+class TestConfiguration:
+    def test_initial_unit_count(self):
+        policy = AdaptiveUnitPolicy(initial_units=16)
+        policy.configure(10_000, 100)
+        assert policy.effective_unit_count == 16
+        assert policy.unit_count_history == [16]
+
+    def test_initial_units_are_clamped(self):
+        policy = AdaptiveUnitPolicy(initial_units=1000)
+        policy.configure(1000, 100)
+        assert policy.effective_unit_count == 10
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveUnitPolicy(schedule=((1.0, 8),))  # no infinite bound
+        with pytest.raises(ValueError):
+            AdaptiveUnitPolicy(
+                schedule=((5.0, 8), (1.0, 16), (float("inf"), 4))
+            )
+        with pytest.raises(ValueError):
+            AdaptiveUnitPolicy(epoch_accesses=0)
+
+    def test_default_schedule_is_monotone(self):
+        bounds = [bound for bound, _ in DEFAULT_SCHEDULE]
+        assert bounds == sorted(bounds)
+        assert bounds[-1] == float("inf")
+        # Higher churn always maps to coarser units.
+        counts = [count for _, count in DEFAULT_SCHEDULE]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestAdaptation:
+    def test_high_churn_coarsens_granularity(self):
+        policy = AdaptiveUnitPolicy(epoch_accesses=200, initial_units=64)
+        blocks = _blocks(count=100)
+        # A relentless scan over 100 blocks with room for 40: every
+        # access misses, so each epoch inserts 5x the capacity.
+        simulate(blocks, policy, 4000, scan_trace(100, 10))
+        assert policy.effective_unit_count == 8
+        assert len(policy.unit_count_history) > 1
+
+    def test_low_churn_refines_granularity(self):
+        policy = AdaptiveUnitPolicy(epoch_accesses=100, initial_units=8)
+        blocks = _blocks(count=10)
+        # Everything fits: churn is zero after the cold misses, so the
+        # schedule's finest rung (64 units) is selected.
+        simulate(blocks, policy, 10_000, loop_trace(list(range(10)), 100))
+        assert policy.effective_unit_count > 8
+
+    def test_repartition_flushes_and_charges(self):
+        policy = AdaptiveUnitPolicy(
+            epoch_accesses=20,
+            initial_units=64,
+            schedule=((0.01, 64), (float("inf"), 4)),
+        )
+        blocks = _blocks(count=50)
+        stats = simulate(blocks, policy, 3000, scan_trace(50, 5))
+        # The schedule forces 64 -> 4 after the first epoch; the flush
+        # that accompanies the repartition is a charged eviction.
+        assert 4 in policy.unit_count_history
+        assert stats.eviction_invocations > 0
+
+    def test_stable_schedule_does_not_thrash_the_geometry(self):
+        policy = AdaptiveUnitPolicy(epoch_accesses=50, initial_units=8,
+                                    schedule=((float("inf"), 8),))
+        blocks = _blocks(count=50)
+        simulate(blocks, policy, 3000, scan_trace(50, 8))
+        assert set(policy.unit_count_history) == {8}
+
+    def test_no_flush_when_clamp_keeps_geometry(self):
+        # Target changes 64 -> 32 but both clamp to the same feasible
+        # count, so the cache must not be flushed.
+        policy = AdaptiveUnitPolicy(
+            epoch_accesses=10,
+            initial_units=64,
+            schedule=((0.01, 64), (float("inf"), 32)),
+        )
+        blocks = _blocks(count=20)
+        stats = simulate(blocks, policy, 500, scan_trace(20, 10))
+        # Capacity 500 with 100-byte blocks: at most 5 units ever.
+        assert set(policy.unit_count_history) == {5}
+        assert stats.accesses == 200
+
+
+class TestInterface:
+    def test_residency_queries(self):
+        policy = AdaptiveUnitPolicy()
+        policy.configure(5000, 100)
+        policy.insert(1, 100)
+        assert policy.contains(1)
+        assert policy.resident_ids() == {1}
+        policy.unit_of(1)
+
+    def test_unconfigured_rejected(self):
+        with pytest.raises(RuntimeError):
+            AdaptiveUnitPolicy().insert(0, 10)
+        with pytest.raises(RuntimeError):
+            AdaptiveUnitPolicy().on_access(0, hit=True)

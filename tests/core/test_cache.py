@@ -1,0 +1,192 @@
+"""Unit and property tests for the cache storage mechanisms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import (
+    CircularBlockBuffer,
+    ConfigurationError,
+    UnitCache,
+)
+
+
+class TestUnitCacheBasics:
+    def test_insert_without_eviction(self):
+        cache = UnitCache(400, 4, max_block_bytes=100)
+        assert cache.insert(1, 60) == []
+        assert 1 in cache
+        assert cache.used_bytes == 60
+        assert cache.unit_of(1) == 0
+
+    def test_fill_advances_units(self):
+        cache = UnitCache(400, 4, max_block_bytes=100)
+        cache.insert(1, 80)
+        cache.insert(2, 80)  # 80+80 > 100: moves to unit 1
+        assert cache.unit_of(1) == 0
+        assert cache.unit_of(2) == 1
+
+    def test_wrap_evicts_whole_unit(self):
+        cache = UnitCache(200, 2, max_block_bytes=100)
+        cache.insert(1, 90)
+        cache.insert(2, 90)   # unit 1
+        events = cache.insert(3, 90)  # wraps, evicts unit 0 (block 1)
+        assert len(events) == 1
+        assert events[0].blocks == (1,)
+        assert events[0].bytes_evicted == 90
+        assert 1 not in cache
+        assert 3 in cache
+
+    def test_unit_eviction_takes_all_blocks(self):
+        cache = UnitCache(200, 2, max_block_bytes=60)
+        cache.insert(1, 40)
+        cache.insert(2, 40)   # unit 0 holds 1, 2
+        cache.insert(3, 60)   # unit 1
+        cache.insert(4, 40)   # unit 1
+        events = cache.insert(5, 60)  # wraps to unit 0
+        assert events[0].blocks == (1, 2)
+        assert events[0].bytes_evicted == 80
+
+    def test_flush_policy_behaviour_with_one_unit(self):
+        cache = UnitCache(100, 1, max_block_bytes=100)
+        cache.insert(1, 50)
+        cache.insert(2, 40)
+        events = cache.insert(3, 30)
+        assert events[0].blocks == (1, 2)
+        assert cache.resident_count == 1
+
+    def test_duplicate_insert_rejected(self):
+        cache = UnitCache(200, 2, max_block_bytes=50)
+        cache.insert(1, 10)
+        with pytest.raises(ValueError):
+            cache.insert(1, 10)
+
+    def test_oversized_block_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            UnitCache(200, 4, max_block_bytes=60)
+
+    def test_oversized_block_rejected_at_insert(self):
+        cache = UnitCache(200, 2, max_block_bytes=100)
+        with pytest.raises(ConfigurationError):
+            cache.insert(1, 150)
+
+    def test_explicit_flush(self):
+        cache = UnitCache(200, 2, max_block_bytes=100)
+        cache.insert(1, 50)
+        cache.insert(2, 60)
+        event = cache.flush()
+        assert set(event.blocks) == {1, 2}
+        assert cache.used_bytes == 0
+        assert cache.flush() is None
+
+    def test_resident_ids(self):
+        cache = UnitCache(300, 3, max_block_bytes=100)
+        cache.insert(1, 10)
+        cache.insert(2, 10)
+        assert cache.resident_ids() == {1, 2}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            UnitCache(0, 1, max_block_bytes=1)
+
+
+class TestCircularBlockBuffer:
+    def test_insert_and_hit(self):
+        buffer = CircularBlockBuffer(100, max_block_bytes=50)
+        assert buffer.insert(1, 30) == []
+        assert 1 in buffer
+        assert buffer.used_bytes == 30
+
+    def test_evicts_oldest_first(self):
+        buffer = CircularBlockBuffer(100, max_block_bytes=50)
+        buffer.insert(1, 40)
+        buffer.insert(2, 40)
+        events = buffer.insert(3, 40)
+        assert [event.blocks for event in events] == [(1,)]
+        assert 2 in buffer and 3 in buffer
+
+    def test_each_victim_is_its_own_event(self):
+        # DynamoRIO's fine-grained FIFO pays the eviction entry cost per
+        # superblock — the Section 4 accounting behind Figure 8.
+        buffer = CircularBlockBuffer(100, max_block_bytes=90)
+        buffer.insert(1, 30)
+        buffer.insert(2, 30)
+        buffer.insert(3, 30)
+        events = buffer.insert(4, 90)
+        assert len(events) == 3
+        assert [event.blocks for event in events] == [(1,), (2,), (3,)]
+        assert sum(event.bytes_evicted for event in events) == 90
+
+    def test_unit_of_is_the_block_itself(self):
+        buffer = CircularBlockBuffer(100, max_block_bytes=50)
+        buffer.insert(7, 10)
+        assert buffer.unit_of(7) == 7
+        with pytest.raises(KeyError):
+            buffer.unit_of(8)
+
+    def test_flush(self):
+        buffer = CircularBlockBuffer(100, max_block_bytes=50)
+        buffer.insert(1, 10)
+        buffer.insert(2, 10)
+        event = buffer.flush()
+        assert event.blocks == (1, 2)
+        assert buffer.used_bytes == 0
+        assert buffer.flush() is None
+
+    def test_duplicate_insert_rejected(self):
+        buffer = CircularBlockBuffer(100, max_block_bytes=50)
+        buffer.insert(1, 10)
+        with pytest.raises(ValueError):
+            buffer.insert(1, 10)
+
+    def test_oversized_configurations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CircularBlockBuffer(100, max_block_bytes=200)
+        buffer = CircularBlockBuffer(100, max_block_bytes=100)
+        with pytest.raises(ConfigurationError):
+            buffer.insert(1, 101)
+
+
+_INSERTS = st.lists(st.integers(1, 120), min_size=1, max_size=200)
+
+
+class TestOccupancyInvariants:
+    @given(sizes=_INSERTS)
+    @settings(max_examples=60, deadline=None)
+    def test_unit_cache_never_exceeds_capacity(self, sizes):
+        cache = UnitCache(480, 4, max_block_bytes=120)
+        resident_sizes = {}
+        for sid, size in enumerate(sizes):
+            events = cache.insert(sid, size)
+            for event in events:
+                total = 0
+                for victim in event.blocks:
+                    total += resident_sizes.pop(victim)
+                assert total == event.bytes_evicted
+            resident_sizes[sid] = size
+            assert cache.used_bytes == sum(resident_sizes.values())
+            assert cache.used_bytes <= 480
+            assert cache.resident_ids() == set(resident_sizes)
+
+    @given(sizes=_INSERTS)
+    @settings(max_examples=60, deadline=None)
+    def test_circular_buffer_never_exceeds_capacity(self, sizes):
+        buffer = CircularBlockBuffer(480, max_block_bytes=120)
+        resident_sizes = {}
+        for sid, size in enumerate(sizes):
+            for event in buffer.insert(sid, size):
+                for victim in event.blocks:
+                    resident_sizes.pop(victim)
+            resident_sizes[sid] = size
+            assert buffer.used_bytes == sum(resident_sizes.values())
+            assert buffer.used_bytes <= 480
+
+    @given(sizes=_INSERTS)
+    @settings(max_examples=40, deadline=None)
+    def test_circular_buffer_eviction_order_is_fifo(self, sizes):
+        buffer = CircularBlockBuffer(480, max_block_bytes=120)
+        evicted = []
+        for sid, size in enumerate(sizes):
+            for event in buffer.insert(sid, size):
+                evicted.extend(event.blocks)
+        assert evicted == sorted(evicted)

@@ -1,0 +1,168 @@
+"""Unit tests for the link manager and back-pointer table."""
+
+import pytest
+
+from repro.core.links import BACKPOINTER_ENTRY_BYTES, LinkManager
+from repro.core.policies import FineGrainedFifoPolicy, UnitFifoPolicy
+from repro.core.superblock import Superblock, SuperblockSet
+
+
+def _population():
+    return SuperblockSet([
+        Superblock(0, 50, links=(1,)),
+        Superblock(1, 50, links=(2, 1)),   # self loop on 1
+        Superblock(2, 50, links=(0,)),
+        Superblock(3, 50, links=(0, 1)),
+    ])
+
+
+def _manager(unit_count=2, capacity=400):
+    blocks = _population()
+    policy = UnitFifoPolicy(unit_count)
+    policy.configure(capacity, blocks.max_block_bytes)
+    return blocks, policy, LinkManager(blocks, policy)
+
+
+def _insert(policy, links, sid, size=50):
+    policy.insert(sid, size)
+    links.on_insert(sid)
+
+
+class TestEstablishment:
+    def test_links_form_when_both_ends_resident(self):
+        _, policy, links = _manager()
+        _insert(policy, links, 0)
+        assert links.live_link_count == 0  # target 1 not resident yet
+        _insert(policy, links, 1)
+        # 0->1 established, plus 1's self loop.
+        assert links.live_link_count == 2
+        assert links.incoming_of(1) == {0, 1}
+
+    def test_incoming_links_patch_on_target_insert(self):
+        _, policy, links = _manager()
+        _insert(policy, links, 3)  # links to 0 and 1, neither resident
+        _insert(policy, links, 0)
+        assert links.incoming_of(0) == {3}
+
+    def test_self_loop_is_intra_unit(self):
+        _, policy, links = _manager()
+        _insert(policy, links, 1)
+        assert links.established_intra == 1
+        assert links.established_inter == 0
+
+    def test_duplicate_establishment_is_idempotent(self):
+        _, policy, links = _manager()
+        _insert(policy, links, 0)
+        _insert(policy, links, 1)
+        count = links.live_link_count
+        links.on_insert(0)  # re-announce
+        assert links.live_link_count == count
+
+    def test_intra_vs_inter_classification(self):
+        blocks, policy, links = _manager(unit_count=2, capacity=200)
+        # Unit capacity 100: blocks 0 and 1 land in unit 0, block 2 in 1.
+        _insert(policy, links, 0)
+        _insert(policy, links, 1)
+        _insert(policy, links, 2)
+        assert policy.unit_of(0) == policy.unit_of(1)
+        assert policy.unit_of(2) != policy.unit_of(0)
+        # 0->1 intra; 1->1 intra; 1->2 inter; 2->0 inter.
+        assert links.live_intra_count == 2
+        assert links.live_inter_count == 2
+        assert links.inter_unit_fraction == pytest.approx(0.5)
+
+
+class TestEviction:
+    def test_unlink_counts_only_surviving_sources(self):
+        _, policy, links = _manager(unit_count=4, capacity=400)
+        for sid in (0, 1, 2, 3):
+            _insert(policy, links, sid)
+        records = links.on_evict([1])
+        # Incoming to 1: from 0, 3 and itself; the self link is free.
+        assert len(records) == 1
+        assert records[0].sid == 1
+        assert records[0].links_removed == 2
+
+    def test_co_evicted_sources_are_free(self):
+        _, policy, links = _manager(unit_count=4, capacity=400)
+        for sid in (0, 1, 2, 3):
+            _insert(policy, links, sid)
+        records = links.on_evict([0, 1, 3])
+        # Only 2 survives; it links to 0. 1's other sources die with it.
+        assert {(r.sid, r.links_removed) for r in records} == {(0, 1)}
+
+    def test_full_flush_has_no_unlink_work(self):
+        _, policy, links = _manager(unit_count=4, capacity=400)
+        for sid in (0, 1, 2, 3):
+            _insert(policy, links, sid)
+        assert links.on_evict([0, 1, 2, 3]) == []
+        assert links.live_link_count == 0
+
+    def test_state_is_clean_after_eviction(self):
+        _, policy, links = _manager(unit_count=4, capacity=400)
+        for sid in (0, 1, 2, 3):
+            _insert(policy, links, sid)
+        links.on_evict([1])
+        assert links.incoming_of(1) == frozenset()
+        assert all(1 not in links.incoming_of(s) for s in (0, 2, 3))
+        live = links.live_links()
+        assert all(1 not in pair for pair in live)
+
+    def test_reinsertion_reestablishes_links(self):
+        _, policy, links = _manager(unit_count=4, capacity=400)
+        for sid in (0, 1, 2):
+            _insert(policy, links, sid)
+        before = links.live_link_count
+        links.on_evict([1])
+        policy_resident = policy.resident_ids()
+        assert 1 in policy_resident  # policy state managed separately here
+        links.on_insert(1)
+        assert links.live_link_count == before
+
+    def test_eviction_of_unlinked_block_is_silent(self):
+        blocks = SuperblockSet([Superblock(0, 10), Superblock(1, 10)])
+        policy = UnitFifoPolicy(2)
+        policy.configure(40, 10)
+        links = LinkManager(blocks, policy)
+        policy.insert(0, 10)
+        links.on_insert(0)
+        assert links.on_evict([0]) == []
+
+
+class TestMemoryAccounting:
+    def test_backpointer_bytes(self):
+        _, policy, links = _manager(unit_count=4, capacity=400)
+        for sid in (0, 1, 2, 3):
+            _insert(policy, links, sid)
+        live = links.live_link_count
+        assert links.backpointer_table_bytes == BACKPOINTER_ENTRY_BYTES * live
+        assert links.inter_unit_backpointer_bytes == (
+            BACKPOINTER_ENTRY_BYTES * links.live_inter_count
+        )
+
+    def test_peak_tracks_maximum(self):
+        _, policy, links = _manager(unit_count=4, capacity=400)
+        for sid in (0, 1, 2, 3):
+            _insert(policy, links, sid)
+        peak = links.peak_backpointer_bytes
+        links.on_evict([0, 1, 2, 3])
+        assert links.peak_backpointer_bytes == peak
+        assert links.backpointer_table_bytes == 0
+
+    def test_empty_fraction_is_zero(self):
+        _, _, links = _manager()
+        assert links.inter_unit_fraction == 0.0
+
+
+class TestWithFineGrainedPolicy:
+    def test_all_cross_block_links_are_inter_unit(self):
+        blocks = _population()
+        policy = FineGrainedFifoPolicy()
+        policy.configure(400, blocks.max_block_bytes)
+        links = LinkManager(blocks, policy)
+        for sid in (0, 1, 2, 3):
+            policy.insert(sid, 50)
+            links.on_insert(sid)
+        # Only the self loop (1 -> 1) is intra.
+        assert links.live_intra_count == 1
+        assert links.live_inter_count == links.live_link_count - 1

@@ -1,0 +1,174 @@
+"""Unit tests for the LRU policy and its fragmentation telemetry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import ConfigurationError
+from repro.core.lru import LruPolicy, _Arena
+from repro.core.policies import FineGrainedFifoPolicy
+from repro.core.simulator import simulate
+from repro.core.superblock import Superblock, SuperblockSet
+
+
+class TestArena:
+    def test_first_fit_allocation(self):
+        arena = _Arena(100)
+        assert arena.allocate(1, 40)
+        assert arena.allocate(2, 60)
+        assert not arena.allocate(3, 1)
+        assert arena.free_bytes == 0
+
+    def test_release_coalesces_adjacent_holes(self):
+        arena = _Arena(100)
+        arena.allocate(1, 30)
+        arena.allocate(2, 30)
+        arena.allocate(3, 40)
+        arena.release(1)
+        arena.release(3)
+        assert len(arena.holes) == 2
+        arena.release(2)  # merges all three into one hole
+        assert arena.holes == [(0, 100)]
+
+    def test_fragmented_free_space(self):
+        arena = _Arena(100)
+        for sid in range(5):
+            arena.allocate(sid, 20)
+        arena.release(1)
+        arena.release(3)
+        assert arena.free_bytes == 40
+        assert arena.largest_hole == 20
+        # A 30-byte block fits in total free space but in no hole.
+        assert not arena.allocate(9, 30)
+
+    def test_compact_creates_one_hole(self):
+        arena = _Arena(100)
+        for sid in range(5):
+            arena.allocate(sid, 20)
+        arena.release(1)
+        arena.release(3)
+        moved_blocks, moved_bytes = arena.compact()
+        assert moved_blocks == 2  # blocks 2 and 4 slide down
+        assert moved_bytes == 40
+        assert arena.holes == [(60, 40)]
+        assert arena.allocate(9, 30)
+
+
+class TestLruPolicy:
+    def test_lru_victim_selection(self):
+        policy = LruPolicy()
+        policy.configure(100, 50)
+        policy.insert(1, 40)
+        policy.insert(2, 40)
+        policy.on_access(1, hit=True)  # 2 is now least recently used
+        events = policy.insert(3, 40)
+        victims = [sid for event in events for sid in event.blocks]
+        assert victims == [2]
+        assert policy.contains(1)
+
+    def test_recency_updates_on_hits(self):
+        policy = LruPolicy()
+        policy.configure(120, 40)
+        for sid in (1, 2, 3):
+            policy.insert(sid, 40)
+        policy.on_access(1, hit=True)
+        policy.on_access(2, hit=True)
+        events = policy.insert(4, 40)
+        victims = [sid for event in events for sid in event.blocks]
+        assert victims == [3]
+
+    def test_fragmentation_forces_extra_evictions(self):
+        # Free space is ample but shattered; LRU evicts more than the
+        # byte math requires.  This is Section 3.3's complaint.
+        policy = LruPolicy()
+        policy.configure(100, 50)
+        for sid, size in enumerate((20, 20, 20, 20, 20)):
+            policy.insert(sid, size)
+        # Touch even blocks so odd ones are the LRU victims, leaving
+        # scattered holes.
+        for sid in (0, 2, 4):
+            policy.on_access(sid, hit=True)
+        policy.insert(10, 20)  # evicts 1, reuses its hole
+        events = policy.insert(11, 40)  # needs two non-adjacent holes
+        assert policy.fragmentation_evictions > 0
+        assert sum(event.block_count for event in events) >= 2
+
+    def test_compaction_avoids_fragmentation_evictions(self):
+        policy = LruPolicy(compact=True)
+        policy.configure(100, 50)
+        for sid in range(5):
+            policy.insert(sid, 20)
+        for sid in (0, 2, 4):
+            policy.on_access(sid, hit=True)
+        policy.insert(10, 20)
+        policy.insert(11, 20)
+        before = policy.fragmentation_evictions
+        policy.on_access(0, hit=True)
+        # Now force a case needing compaction: evictions leave holes.
+        events = policy.insert(12, 40)
+        assert policy.fragmentation_evictions == before  # compaction instead
+        if policy.compactions:
+            assert policy.bytes_moved > 0
+
+    def test_external_fragmentation_metric(self):
+        policy = LruPolicy()
+        policy.configure(100, 50)
+        assert policy.external_fragmentation == 0.0
+        for sid in range(5):
+            policy.insert(sid, 20)
+        for sid in (0, 2, 4):
+            policy.on_access(sid, hit=True)
+        policy.insert(10, 20)  # evict 1 -> hole at 20..40
+        policy.on_access(10, hit=True)
+        policy.insert(11, 20)  # evict 3 -> hole reused or scattered
+        assert 0.0 <= policy.external_fragmentation <= 1.0
+
+    def test_interface_contract(self):
+        policy = LruPolicy()
+        policy.configure(1000, 100)
+        policy.insert(7, 50)
+        assert policy.contains(7)
+        assert policy.resident_ids() == {7}
+        assert policy.unit_of(7) == 7
+        with pytest.raises(KeyError):
+            policy.unit_of(8)
+        with pytest.raises(ValueError):
+            policy.insert(7, 50)
+        assert policy.needs_backpointer_table
+
+    def test_configuration_errors(self):
+        with pytest.raises(ConfigurationError):
+            LruPolicy().configure(100, 200)
+        policy = LruPolicy()
+        policy.configure(100, 100)
+        with pytest.raises(ConfigurationError):
+            policy.insert(1, 150)
+
+
+class TestLruVsFifoBehaviour:
+    def test_lru_wins_on_skewed_reuse(self):
+        # A hot block plus a cold scan: LRU protects the hot block,
+        # FIFO cycles it out.
+        blocks = SuperblockSet([Superblock(i, 100) for i in range(12)])
+        trace = []
+        for i in range(500):
+            trace.append(0)
+            trace.append(1 + (i % 11))
+        lru = simulate(blocks, LruPolicy(), 500, trace)
+        fifo = simulate(blocks, FineGrainedFifoPolicy(), 500, trace)
+        assert lru.misses <= fifo.misses
+
+    @given(st.lists(st.integers(0, 15), min_size=10, max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_invariants(self, trace):
+        blocks = SuperblockSet(
+            [Superblock(i, 40 + 17 * (i % 5)) for i in range(16)]
+        )
+        policy = LruPolicy()
+        capacity = 600
+        stats = simulate(blocks, policy, capacity, trace)
+        resident = policy.resident_ids()
+        used = sum(blocks.size_of(sid) for sid in resident)
+        assert used <= capacity
+        assert used == capacity - policy.free_bytes
+        assert stats.hits + stats.misses == len(trace)

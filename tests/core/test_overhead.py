@@ -1,0 +1,94 @@
+"""Unit tests for the analytical overhead and execution-time models."""
+
+import pytest
+
+from repro.core.overhead import (
+    FREE_MODEL,
+    PAPER_MODEL,
+    ExecutionTimeModel,
+    LinearCost,
+    OverheadModel,
+)
+
+
+class TestLinearCost:
+    def test_evaluation(self):
+        cost = LinearCost(slope=2.0, intercept=10.0)
+        assert cost(5) == 20.0
+        assert cost(0) == 10.0
+
+    def test_negative_quantity_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCost(1.0, 0.0)(-1)
+
+
+class TestPaperModel:
+    def test_equation_2_example(self):
+        # "An eviction of 230 bytes of code, for example, would require
+        # 3,690 instructions."
+        assert PAPER_MODEL.eviction_cost(230) == pytest.approx(3692.1, abs=5)
+
+    def test_equation_3_example(self):
+        # "Servicing a cache miss for a 230-byte superblock, therefore,
+        # tends to require 19,264 instructions."
+        assert PAPER_MODEL.miss_cost(230) == pytest.approx(19264, abs=10)
+
+    def test_equation_4_coefficients(self):
+        assert PAPER_MODEL.unlink_cost(0) == pytest.approx(95.7)
+        assert PAPER_MODEL.unlink_cost(2) == pytest.approx(688.7)
+
+    def test_miss_dominated_by_size_eviction_by_fixed_cost(self):
+        # The paper's central observation: eviction cost is mostly fixed;
+        # miss cost is mostly size-dependent.
+        size = 230
+        eviction = PAPER_MODEL.eviction_cost(size)
+        assert PAPER_MODEL.eviction.intercept / eviction > 0.75
+        miss = PAPER_MODEL.miss_cost(size)
+        assert PAPER_MODEL.miss.slope * size / miss > 0.85
+
+    def test_free_model_is_zero(self):
+        assert FREE_MODEL.miss_cost(1000) == 0.0
+        assert FREE_MODEL.eviction_cost(1000) == 0.0
+        assert FREE_MODEL.unlink_cost(5) == 0.0
+
+    def test_custom_model(self):
+        model = OverheadModel(
+            miss=LinearCost(1.0, 0.0),
+            eviction=LinearCost(0.0, 100.0),
+            unlink=LinearCost(10.0, 1.0),
+        )
+        assert model.miss_cost(7) == 7.0
+        assert model.eviction_cost(7) == 100.0
+        assert model.unlink_cost(3) == 31.0
+
+
+class TestExecutionTimeModel:
+    def test_seconds(self):
+        model = ExecutionTimeModel(cpi=1.0, clock_hz=2.4e9)
+        assert model.seconds(2.4e9) == pytest.approx(1.0)
+
+    def test_cpi_scales_time(self):
+        slow = ExecutionTimeModel(cpi=2.0, clock_hz=1e9)
+        fast = ExecutionTimeModel(cpi=1.0, clock_hz=1e9)
+        assert slow.seconds(1e9) == 2 * fast.seconds(1e9)
+
+    def test_total_seconds(self):
+        model = ExecutionTimeModel(cpi=1.0, clock_hz=1e9)
+        assert model.total_seconds(6e8, 4e8) == pytest.approx(1.0)
+
+    def test_percent_reduction(self):
+        model = ExecutionTimeModel()
+        # Base 100, overhead 100 -> 60: total 200 -> 160 = 20 % reduction.
+        assert model.percent_reduction(100, 100, 60) == pytest.approx(20.0)
+
+    def test_percent_reduction_can_be_negative(self):
+        model = ExecutionTimeModel()
+        assert model.percent_reduction(100, 50, 100) < 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionTimeModel(cpi=0.0)
+        with pytest.raises(ValueError):
+            ExecutionTimeModel(clock_hz=-1)
+        with pytest.raises(ValueError):
+            ExecutionTimeModel().percent_reduction(0, 0, 0)

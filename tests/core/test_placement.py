@@ -1,0 +1,101 @@
+"""Unit tests for link-aware placement (the paper's future work)."""
+
+import pytest
+
+from repro.core.links import LinkManager
+from repro.core.placement import LinkAwarePlacementPolicy
+from repro.core.policies import UnitFifoPolicy
+from repro.core.simulator import simulate
+from repro.core.superblock import Superblock, SuperblockSet
+from repro.workloads.registry import build_workload, get_benchmark
+
+
+def _chain_population(count=8, size=100):
+    """Blocks linked in a chain: 0 -> 1 -> 2 -> ..."""
+    return SuperblockSet([
+        Superblock(sid, size,
+                   links=(sid + 1,) if sid + 1 < count else ())
+        for sid in range(count)
+    ])
+
+
+class TestPlacement:
+    def test_neighbours_gravitate_to_the_same_unit(self):
+        blocks = _chain_population(count=8)
+        policy = LinkAwarePlacementPolicy(blocks, unit_count=4)
+        policy.configure(1600, 100)  # 4 units of 400 B = 4 blocks each
+        for sid in range(4):
+            policy.insert(sid, 100)
+        # A plain bump-pointer cache would have filled unit 0 and stayed
+        # there too, but the affinity rule must also keep a *new* chain
+        # member with its neighbours rather than starting a fresh unit.
+        units = {policy.unit_of(sid) for sid in range(4)}
+        assert len(units) == 1
+
+    def test_affinity_beats_emptier_units(self):
+        blocks = SuperblockSet([
+            Superblock(0, 100, links=(1,)),
+            Superblock(1, 100),
+            Superblock(2, 100),
+        ])
+        policy = LinkAwarePlacementPolicy(blocks, unit_count=2)
+        policy.configure(800, 100)
+        policy.insert(0, 100)
+        policy.insert(2, 100)  # no links: lands wherever (first unit)
+        policy.insert(1, 100)  # linked from 0: must join 0's unit
+        assert policy.unit_of(1) == policy.unit_of(0)
+
+    def test_eviction_is_round_robin_over_units(self):
+        blocks = _chain_population(count=12)
+        policy = LinkAwarePlacementPolicy(blocks, unit_count=2)
+        policy.configure(400, 100)  # 2 units x 2 blocks
+        events = []
+        for sid in range(8):
+            events.extend(policy.insert(sid, 100))
+        victim_units = [policy.requested_unit_count for _ in events]
+        assert len(events) >= 2  # the cache had to cycle
+
+    def test_validation(self):
+        blocks = _chain_population()
+        with pytest.raises(ValueError):
+            LinkAwarePlacementPolicy(blocks, unit_count=1)
+        policy = LinkAwarePlacementPolicy(blocks, unit_count=2)
+        policy.configure(400, 100)
+        policy.insert(0, 100)
+        with pytest.raises(ValueError):
+            policy.insert(0, 100)
+
+    def test_unit_count_clamped(self):
+        blocks = _chain_population()
+        policy = LinkAwarePlacementPolicy(blocks, unit_count=64)
+        policy.configure(800, 100)
+        assert policy.effective_unit_count == 8
+
+
+class TestAblationAgainstPlainFifo:
+    def test_link_aware_placement_reduces_inter_unit_links(self):
+        """The future-work hypothesis: affinity placement lowers the
+        inter-unit link fraction at equal unit count."""
+        workload = build_workload(get_benchmark("vpr"), scale=0.5,
+                                  trace_accesses=20_000)
+        blocks = workload.superblocks
+        capacity = blocks.total_bytes // 4
+        plain = simulate(blocks, UnitFifoPolicy(8), capacity, workload.trace)
+        aware = simulate(
+            blocks,
+            LinkAwarePlacementPolicy(blocks, unit_count=8),
+            capacity,
+            workload.trace,
+        )
+        assert (aware.inter_unit_link_fraction
+                < plain.inter_unit_link_fraction)
+
+    def test_policy_works_with_link_manager(self):
+        blocks = _chain_population(count=6)
+        policy = LinkAwarePlacementPolicy(blocks, unit_count=2)
+        policy.configure(400, 100)
+        links = LinkManager(blocks, policy)
+        for sid in range(4):
+            policy.insert(sid, 100)
+            links.on_insert(sid)
+        assert links.live_link_count > 0

@@ -1,0 +1,57 @@
+"""Unit tests for cache-pressure sizing."""
+
+import pytest
+
+from repro.core.pressure import (
+    STANDARD_PRESSURE_FACTORS,
+    pressure_sweep,
+    pressured_capacity,
+)
+from repro.core.superblock import Superblock, SuperblockSet
+
+
+def _blocks(total=1000, largest=100):
+    count = total // largest
+    return SuperblockSet(
+        [Superblock(i, largest) for i in range(count)]
+    )
+
+
+class TestPressuredCapacity:
+    def test_divides_max_cache(self):
+        blocks = _blocks(1000, 100)
+        assert pressured_capacity(blocks, 2) == 500
+        assert pressured_capacity(blocks, 10) == 100
+
+    def test_floors_at_largest_block(self):
+        blocks = _blocks(1000, 100)
+        assert pressured_capacity(blocks, 100) == 100
+
+    def test_factor_one_is_max_cache(self):
+        blocks = _blocks(1000, 100)
+        assert pressured_capacity(blocks, 1) == blocks.total_bytes
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            pressured_capacity(_blocks(), 0.5)
+
+    def test_fractional_factor(self):
+        blocks = _blocks(1000, 100)
+        assert pressured_capacity(blocks, 2.5) == 400
+
+
+class TestPressureSweep:
+    def test_standard_factors(self):
+        assert STANDARD_PRESSURE_FACTORS == (2, 4, 6, 8, 10)
+
+    def test_sweep_covers_factors(self):
+        blocks = _blocks(10_000, 100)
+        sweep = pressure_sweep(blocks)
+        assert set(sweep) == set(STANDARD_PRESSURE_FACTORS)
+        assert sweep[2] == 5000
+        assert sweep[10] == 1000
+
+    def test_sweep_is_monotone_decreasing(self):
+        sweep = pressure_sweep(_blocks(10_000, 100))
+        capacities = [sweep[f] for f in sorted(sweep)]
+        assert capacities == sorted(capacities, reverse=True)

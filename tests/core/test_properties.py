@@ -1,0 +1,139 @@
+"""Property-based invariants across the whole policy ladder.
+
+These are the safety properties any code cache manager must keep, checked
+under randomized workloads with hypothesis:
+
+* occupancy never exceeds capacity and matches the resident blocks;
+* an access is a hit iff the block was resident, and a miss always ends
+  with the block resident;
+* live links only ever connect resident blocks;
+* overheads are monotone non-decreasing over a run.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import AdaptiveUnitPolicy
+from repro.core.links import LinkManager
+from repro.core.lru import LruPolicy
+from repro.core.placement import LinkAwarePlacementPolicy
+from repro.core.policies import (
+    FineGrainedFifoPolicy,
+    FlushPolicy,
+    GenerationalPolicy,
+    UnitFifoPolicy,
+)
+from repro.core.superblock import Superblock, SuperblockSet
+
+# Factories take the superblock population (most ignore it; the
+# link-aware placer needs the link graph up front).
+_POLICY_FACTORIES = [
+    lambda population: FlushPolicy(),
+    lambda population: UnitFifoPolicy(2),
+    lambda population: UnitFifoPolicy(7),
+    lambda population: FineGrainedFifoPolicy(),
+    lambda population: GenerationalPolicy(),
+    lambda population: LruPolicy(),
+    lambda population: LruPolicy(compact=True),
+    lambda population: AdaptiveUnitPolicy(epoch_accesses=40),
+    lambda population: LinkAwarePlacementPolicy(population, unit_count=3),
+]
+
+
+@st.composite
+def _workload(draw):
+    count = draw(st.integers(4, 24))
+    sizes = [draw(st.integers(16, 256)) for _ in range(count)]
+    blocks = []
+    for sid in range(count):
+        degree = draw(st.integers(0, 3))
+        links = tuple(
+            dict.fromkeys(
+                draw(st.integers(0, count - 1)) for _ in range(degree)
+            )
+        )
+        blocks.append(Superblock(sid, sizes[sid], links=links))
+    population = SuperblockSet(blocks)
+    trace = draw(
+        st.lists(st.integers(0, count - 1), min_size=1, max_size=300)
+    )
+    policy_index = draw(st.integers(0, len(_POLICY_FACTORIES) - 1))
+    capacity = draw(st.integers(600, 3000))
+    return population, trace, policy_index, capacity
+
+
+@given(_workload())
+@settings(max_examples=120, deadline=None)
+def test_cache_invariants_hold_under_random_traces(workload):
+    population, trace, policy_index, capacity = workload
+    policy = _POLICY_FACTORIES[policy_index](population)
+    policy.configure(capacity, population.max_block_bytes)
+    links = LinkManager(population, policy)
+
+    resident: dict[int, int] = {}
+    misses = 0
+    hits = 0
+    for sid in trace:
+        for event in policy.on_access(sid, policy.contains(sid)):
+            for victim in event.blocks:
+                resident.pop(victim)
+            links.on_evict(event.blocks)
+        was_resident = policy.contains(sid)
+        assert was_resident == (sid in resident)
+        if was_resident:
+            hits += 1
+            continue
+        misses += 1
+        size = population.size_of(sid)
+        for event in policy.insert(sid, size):
+            assert event.bytes_evicted == sum(
+                resident.pop(victim) for victim in event.blocks
+            )
+            links.on_evict(event.blocks)
+        resident[sid] = size
+        links.on_insert(sid)
+
+        # Occupancy invariants.
+        assert sum(resident.values()) <= capacity
+        assert policy.resident_ids() == set(resident)
+
+        # Links only connect resident blocks (self loops included).
+        for source, target in links.live_links():
+            assert source in resident
+            assert target in resident
+
+        # The back-pointer table is consistent with the live links.
+        live = links.live_links()
+        for source, target in live:
+            assert source in links.incoming_of(target)
+
+    assert hits + misses == len(trace)
+    # Link counters never go negative.
+    assert links.live_link_count >= 0
+    assert links.live_intra_count >= 0
+    assert links.live_inter_count >= 0
+    assert links.live_intra_count + links.live_inter_count == (
+        links.live_link_count
+    )
+
+
+@given(_workload())
+@settings(max_examples=60, deadline=None)
+def test_unit_keys_are_stable_while_resident(workload):
+    population, trace, policy_index, capacity = workload
+    policy = _POLICY_FACTORIES[policy_index](population)
+    policy.configure(capacity, population.max_block_bytes)
+    unit_keys: dict[int, int] = {}
+    for sid in trace:
+        for event in policy.on_access(sid, policy.contains(sid)):
+            for victim in event.blocks:
+                unit_keys.pop(victim, None)
+        if policy.contains(sid):
+            # A resident block must keep its eviction-unit key: link
+            # classification relies on it.
+            assert policy.unit_of(sid) == unit_keys[sid]
+            continue
+        for event in policy.insert(sid, population.size_of(sid)):
+            for victim in event.blocks:
+                unit_keys.pop(victim, None)
+        unit_keys[sid] = policy.unit_of(sid)

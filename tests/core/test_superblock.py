@@ -1,0 +1,117 @@
+"""Unit tests for superblocks and superblock sets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.superblock import Superblock, SuperblockSet
+
+
+class TestSuperblock:
+    def test_basic_construction(self):
+        block = Superblock(3, 128, links=(1, 3), source_address=0x40)
+        assert block.sid == 3
+        assert block.size_bytes == 128
+        assert block.has_self_loop
+        assert block.out_degree == 2
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Superblock(-1, 10)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ValueError):
+            Superblock(0, 0)
+        with pytest.raises(ValueError):
+            Superblock(0, -5)
+
+    def test_no_self_loop(self):
+        assert not Superblock(1, 10, links=(2,)).has_self_loop
+
+
+def _sample_set():
+    return SuperblockSet([
+        Superblock(0, 100, links=(1, 0)),
+        Superblock(1, 200, links=(2,)),
+        Superblock(2, 50, links=()),
+    ])
+
+
+class TestSuperblockSet:
+    def test_lookup(self):
+        blocks = _sample_set()
+        assert blocks[1].size_bytes == 200
+        assert 2 in blocks
+        assert 9 not in blocks
+        assert len(blocks) == 3
+
+    def test_total_and_max_bytes(self):
+        blocks = _sample_set()
+        assert blocks.total_bytes == 350
+        assert blocks.max_block_bytes == 200
+
+    def test_incoming_reverses_outgoing(self):
+        blocks = _sample_set()
+        assert blocks.incoming(1) == {0}
+        assert blocks.incoming(0) == {0}
+        assert blocks.incoming(2) == {1}
+
+    def test_outgoing(self):
+        assert _sample_set().outgoing(0) == (1, 0)
+
+    def test_mean_out_degree(self):
+        assert _sample_set().mean_out_degree == pytest.approx(1.0)
+
+    def test_sizes_map(self):
+        assert _sample_set().sizes() == {0: 100, 1: 200, 2: 50}
+
+    def test_sids(self):
+        assert set(_sample_set().sids) == {0, 1, 2}
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            SuperblockSet([Superblock(0, 10), Superblock(0, 20)])
+
+    def test_dangling_link_rejected(self):
+        with pytest.raises(ValueError):
+            SuperblockSet([Superblock(0, 10, links=(5,))])
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            SuperblockSet([])
+
+    def test_iteration_yields_blocks(self):
+        assert {b.sid for b in _sample_set()} == {0, 1, 2}
+
+
+@st.composite
+def _linked_population(draw):
+    count = draw(st.integers(2, 20))
+    blocks = []
+    for sid in range(count):
+        degree = draw(st.integers(0, 4))
+        links = tuple(
+            draw(st.integers(0, count - 1)) for _ in range(degree)
+        )
+        # Deduplicate (Superblock allows repeats but the set semantics
+        # we test here are simpler without them).
+        links = tuple(dict.fromkeys(links))
+        blocks.append(Superblock(sid, draw(st.integers(1, 4096)), links=links))
+    return SuperblockSet(blocks)
+
+
+class TestSetProperties:
+    @given(_linked_population())
+    @settings(max_examples=50, deadline=None)
+    def test_incoming_is_exact_reverse_of_outgoing(self, blocks):
+        for block in blocks:
+            for target in block.links:
+                assert block.sid in blocks.incoming(target)
+        for block in blocks:
+            for source in blocks.incoming(block.sid):
+                assert block.sid in blocks.outgoing(source)
+
+    @given(_linked_population())
+    @settings(max_examples=50, deadline=None)
+    def test_total_bytes_is_sum(self, blocks):
+        assert blocks.total_bytes == sum(b.size_bytes for b in blocks)

@@ -1,0 +1,69 @@
+"""Unit tests for cache units."""
+
+import pytest
+
+from repro.core.units import CacheUnit, UnitOverflowError, make_units
+
+
+class TestCacheUnit:
+    def test_place_and_accounting(self):
+        unit = CacheUnit(0, 100)
+        unit.place(7, 40)
+        unit.place(8, 30)
+        assert unit.used_bytes == 70
+        assert unit.free_bytes == 30
+        assert unit.blocks == [7, 8]
+        assert not unit.is_empty
+
+    def test_fits(self):
+        unit = CacheUnit(0, 100)
+        unit.place(1, 80)
+        assert unit.fits(20)
+        assert not unit.fits(21)
+
+    def test_overflow_rejected(self):
+        unit = CacheUnit(0, 50)
+        unit.place(1, 40)
+        with pytest.raises(UnitOverflowError):
+            unit.place(2, 11)
+
+    def test_clear_returns_insertion_order(self):
+        unit = CacheUnit(0, 100)
+        unit.place(3, 10)
+        unit.place(1, 10)
+        unit.place(2, 10)
+        assert unit.clear() == (3, 1, 2)
+        assert unit.is_empty
+        assert unit.used_bytes == 0
+
+    def test_clear_empty_unit(self):
+        assert CacheUnit(0, 10).clear() == ()
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CacheUnit(0, 0)
+
+
+class TestMakeUnits:
+    def test_equal_partition(self):
+        units = make_units(1000, 4)
+        assert len(units) == 4
+        assert all(unit.capacity_bytes == 250 for unit in units)
+        assert [unit.index for unit in units] == [0, 1, 2, 3]
+
+    def test_remainder_is_dropped(self):
+        units = make_units(1001, 4)
+        assert all(unit.capacity_bytes == 250 for unit in units)
+
+    def test_single_unit(self):
+        units = make_units(500, 1)
+        assert len(units) == 1
+        assert units[0].capacity_bytes == 500
+
+    def test_zero_units_rejected(self):
+        with pytest.raises(ValueError):
+            make_units(100, 0)
+
+    def test_more_units_than_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            make_units(3, 10)

@@ -1,0 +1,117 @@
+"""Unit tests for the basic-block cache (DynamoRIO's first level)."""
+
+import pytest
+
+from repro.dbt.bbcache import BB_TRANSLATION, BasicBlockCache
+from repro.dbt.costs import DEFAULT_COSTS, WorkMeter
+from repro.dbt.runtime import DBTRuntime
+from repro.isa.assembler import assemble
+from repro.isa.cfg import build_cfg
+
+
+def _blocks():
+    program = assemble("""
+    loop:
+        add r1, r1, 1
+        bne r1, r2, loop
+        halt
+    """)
+    return list(build_cfg(program).blocks.values())
+
+
+class TestBasicBlockCache:
+    def test_translate_and_lookup(self):
+        meter = WorkMeter()
+        cache = BasicBlockCache(DEFAULT_COSTS, meter)
+        block = _blocks()[0]
+        cached = cache.translate(block)
+        assert block.start in cache
+        assert len(cache) == 1
+        assert cached.guest_instructions == len(block)
+        assert cached.size_bytes > block.size_bytes  # expansion + stub
+        assert meter.total(BB_TRANSLATION) == pytest.approx(
+            DEFAULT_COSTS.bb_translate_fixed
+            + DEFAULT_COSTS.bb_translate_per_instruction * len(block)
+        )
+
+    def test_duplicate_translation_rejected(self):
+        cache = BasicBlockCache(DEFAULT_COSTS, WorkMeter())
+        block = _blocks()[0]
+        cache.translate(block)
+        with pytest.raises(ValueError):
+            cache.translate(block)
+
+    def test_execution_charging(self):
+        meter = WorkMeter()
+        cache = BasicBlockCache(DEFAULT_COSTS, meter)
+        cache.charge_execution(10)
+        assert cache.executions == 1
+        assert meter.total("bb_native") == pytest.approx(
+            DEFAULT_COSTS.bb_dispatch_cost
+            + 10 * DEFAULT_COSTS.bb_native_per_instruction
+        )
+
+    def test_total_bytes(self):
+        cache = BasicBlockCache(DEFAULT_COSTS, WorkMeter())
+        total = 0
+        for block in _blocks():
+            total += cache.translate(block).size_bytes
+        assert cache.total_bytes == total
+
+
+class TestRuntimeIntegration:
+    def _warm_loop_program(self):
+        # 40 iterations: below the hot threshold of 50, so the loop stays
+        # cold forever — the block cache is what saves it.
+        return assemble("""
+        start:
+            movi r1, 40
+        loop:
+            add r2, r2, 1
+            xor r3, r2, 5
+            sub r1, r1, 1
+            bne r1, r0, loop
+            halt
+        """, entry="start")
+
+    def test_cold_loops_run_from_the_block_cache(self):
+        program = self._warm_loop_program()
+        result = DBTRuntime(program, bb_cache=True).run(100_000)
+        assert result.superblocks_formed == 0
+        # Only the first execution of each block interprets.
+        assert result.interpreted_blocks == result.bb_blocks
+        assert result.bb_instructions > result.interpreted_instructions
+
+    def test_block_cache_beats_interpretation_on_cold_loops(self):
+        program = self._warm_loop_program()
+        with_bb = DBTRuntime(program, bb_cache=True).run(100_000)
+        without = DBTRuntime(program, bb_cache=False).run(100_000)
+        assert with_bb.guest_instructions == without.guest_instructions
+        assert with_bb.total_work < without.total_work
+
+    def test_bb_cache_footprint_reported(self):
+        program = self._warm_loop_program()
+        result = DBTRuntime(program, bb_cache=True).run(100_000)
+        assert result.bb_blocks > 0
+        assert result.bb_cache_bytes > 0
+
+    def test_disabled_cache_reports_zero(self):
+        program = self._warm_loop_program()
+        result = DBTRuntime(program, bb_cache=False).run(100_000)
+        assert result.bb_blocks == 0
+        assert result.bb_cache_bytes == 0
+        assert result.bb_instructions == 0
+
+    def test_hot_code_still_reaches_the_superblock_cache(self):
+        program = assemble("""
+        start:
+            movi r1, 200
+        loop:
+            add r2, r2, 1
+            sub r1, r1, 1
+            bne r1, r0, loop
+            halt
+        """, entry="start")
+        result = DBTRuntime(program, bb_cache=True).run(100_000)
+        assert result.superblocks_formed >= 1
+        assert result.native_instructions > result.bb_instructions

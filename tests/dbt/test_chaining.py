@@ -1,0 +1,132 @@
+"""Unit tests for the runtime chaining manager."""
+
+import pytest
+
+from repro.dbt.chaining import LINKING, UNLINKING, ChainingManager
+from repro.dbt.costs import DEFAULT_COSTS, WorkMeter
+from repro.dbt.dispatch import DispatchTable
+from repro.dbt.translator import TranslatedSuperblock
+
+
+def _superblock(sid, head_pc, exits=()):
+    return TranslatedSuperblock(
+        sid=sid,
+        head_pc=head_pc,
+        block_starts=(head_pc,),
+        size_bytes=128,
+        exit_targets=tuple(exits),
+        guest_instructions=10,
+    )
+
+
+def _env(enabled=True):
+    meter = WorkMeter()
+    dispatch = DispatchTable()
+    chaining = ChainingManager(DEFAULT_COSTS, meter, enabled=enabled)
+    return meter, dispatch, chaining
+
+
+def _install(chaining, dispatch, block):
+    dispatch.add(block.head_pc, block.sid)
+    return chaining.on_insert(block, dispatch)
+
+
+class TestPatching:
+    def test_outgoing_patch_when_target_resident(self):
+        meter, dispatch, chaining = _env()
+        _install(chaining, dispatch, _superblock(0, 0x100))
+        patched = _install(chaining, dispatch,
+                           _superblock(1, 0x200, exits=[0x100]))
+        assert (1, 0) in patched
+        assert chaining.has_link(1, 0)
+        assert meter.total(LINKING) > 0
+
+    def test_incoming_patch_when_target_arrives_later(self):
+        _, dispatch, chaining = _env()
+        _install(chaining, dispatch, _superblock(0, 0x100, exits=[0x200]))
+        assert not chaining.has_link(0, 1)
+        patched = _install(chaining, dispatch, _superblock(1, 0x200))
+        assert (0, 1) in patched
+        assert chaining.has_link(0, 1)
+
+    def test_self_link(self):
+        _, dispatch, chaining = _env()
+        patched = _install(chaining, dispatch,
+                           _superblock(0, 0x100, exits=[0x100]))
+        assert (0, 0) in patched
+        assert chaining.has_link(0, 0)
+
+    def test_disabled_chaining_never_patches(self):
+        meter, dispatch, chaining = _env(enabled=False)
+        _install(chaining, dispatch, _superblock(0, 0x100, exits=[0x200]))
+        _install(chaining, dispatch, _superblock(1, 0x200, exits=[0x100]))
+        assert not chaining.has_link(0, 1)
+        assert not chaining.has_link(1, 0)
+        assert chaining.live_link_count == 0
+        assert meter.total(LINKING) == 0
+
+    def test_duplicate_patch_is_idempotent(self):
+        _, dispatch, chaining = _env()
+        block = _superblock(0, 0x100, exits=[0x100, 0x100])
+        _install(chaining, dispatch, block)
+        assert chaining.live_link_count == 1
+
+
+class TestUnlinking:
+    def test_unlink_charges_equation_4(self):
+        meter, dispatch, chaining = _env()
+        _install(chaining, dispatch, _superblock(0, 0x100))
+        _install(chaining, dispatch, _superblock(1, 0x200, exits=[0x100]))
+        _install(chaining, dispatch, _superblock(2, 0x300, exits=[0x100]))
+        work = chaining.on_evict((0,))
+        assert len(work) == 1
+        assert work[0].links_removed == 2
+        assert meter.total(UNLINKING) == pytest.approx(
+            DEFAULT_COSTS.unlink_work(2)
+        )
+        assert not chaining.has_link(1, 0)
+        assert not chaining.has_link(2, 0)
+
+    def test_survivor_exits_can_be_repatched(self):
+        _, dispatch, chaining = _env()
+        _install(chaining, dispatch, _superblock(0, 0x100))
+        _install(chaining, dispatch, _superblock(1, 0x200, exits=[0x100]))
+        chaining.on_evict((0,))
+        dispatch.remove([0])
+        # The same head pc becomes a new superblock after regeneration.
+        _install(chaining, dispatch, _superblock(5, 0x100))
+        assert chaining.has_link(1, 5)
+
+    def test_co_evicted_blocks_unlink_for_free(self):
+        meter, dispatch, chaining = _env()
+        _install(chaining, dispatch, _superblock(0, 0x100, exits=[0x200]))
+        _install(chaining, dispatch, _superblock(1, 0x200))
+        assert chaining.has_link(0, 1)
+        work = chaining.on_evict((0, 1))
+        assert work == []
+        assert meter.total(UNLINKING) == 0
+        assert chaining.live_link_count == 0
+
+    def test_evicted_source_stops_wanting(self):
+        _, dispatch, chaining = _env()
+        _install(chaining, dispatch, _superblock(0, 0x100, exits=[0x999]))
+        chaining.on_evict((0,))
+        dispatch.remove([0])
+        # A new block at the once-wanted pc gains no stale links.
+        patched = _install(chaining, dispatch, _superblock(1, 0x999))
+        assert patched == []
+
+    def test_counters(self):
+        _, dispatch, chaining = _env()
+        _install(chaining, dispatch, _superblock(0, 0x100))
+        _install(chaining, dispatch, _superblock(1, 0x200, exits=[0x100]))
+        assert chaining.links_patched == 1
+        chaining.on_evict((0,))
+        assert chaining.links_unpatched == 1
+
+    def test_incoming_of(self):
+        _, dispatch, chaining = _env()
+        _install(chaining, dispatch, _superblock(0, 0x100))
+        _install(chaining, dispatch, _superblock(1, 0x200, exits=[0x100]))
+        assert chaining.incoming_of(0) == {1}
+        assert chaining.incoming_of(1) == frozenset()

@@ -1,0 +1,88 @@
+"""Unit tests for the cost model and work meter."""
+
+import pytest
+
+from repro.dbt.costs import DEFAULT_COSTS, CostModel, WorkMeter
+
+
+class TestCostModel:
+    def test_derived_totals(self):
+        costs = DEFAULT_COSTS
+        assert costs.translate_per_instruction == pytest.approx(
+            costs.translate_decode_per_instruction
+            + costs.translate_analyze_per_instruction
+            + costs.translate_encode_per_instruction
+        )
+        assert costs.evict_fixed == pytest.approx(3050.0)
+        assert costs.unlink_per_link == pytest.approx(296.5)
+
+    def test_unchained_exit_cost(self):
+        costs = CostModel(dispatch_cost=50, memory_protection_toggle=600)
+        assert costs.unchained_exit_cost == 1250.0
+
+    def test_regeneration_work_is_linear(self):
+        costs = DEFAULT_COSTS
+        base = costs.regeneration_work(0)
+        assert base == pytest.approx(costs.translate_fixed)
+        delta = costs.regeneration_work(10) - base
+        assert delta == pytest.approx(10 * costs.translate_per_instruction)
+
+    def test_regeneration_work_charges_stubs(self):
+        costs = DEFAULT_COSTS
+        with_stubs = costs.regeneration_work(10, exit_count=3)
+        without = costs.regeneration_work(10)
+        assert with_stubs - without == pytest.approx(
+            3 * costs.translate_stub_per_exit
+        )
+
+    def test_eviction_work_components(self):
+        costs = DEFAULT_COSTS
+        work = costs.eviction_work(block_count=4, bytes_evicted=1000)
+        expected = (
+            costs.evict_fixed
+            + 4 * costs.evict_hash_removal_per_block
+            + 1000 * costs.evict_invalidate_per_byte
+        )
+        assert work == pytest.approx(expected)
+
+    def test_unlink_work_matches_equation_4_shape(self):
+        costs = DEFAULT_COSTS
+        assert costs.unlink_work(0) == pytest.approx(95.7)
+        assert costs.unlink_work(3) == pytest.approx(95.7 + 3 * 296.5)
+
+    def test_paper_alignment_of_defaults(self):
+        # The itemized defaults must stay near the published equations.
+        costs = DEFAULT_COSTS
+        assert costs.evict_fixed == pytest.approx(3055, rel=0.05)
+        assert costs.unlink_per_link == pytest.approx(296.5, rel=0.01)
+        assert costs.translate_fixed == pytest.approx(1922, rel=0.05)
+
+
+class TestWorkMeter:
+    def test_charges_accumulate_by_category(self):
+        meter = WorkMeter()
+        meter.charge("a", 10)
+        meter.charge("a", 5)
+        meter.charge("b", 1)
+        assert meter.total("a") == 15
+        assert meter.total("b") == 1
+        assert meter.total() == 16
+        assert meter.breakdown() == {"a": 15, "b": 1}
+
+    def test_unknown_category_reads_zero(self):
+        assert WorkMeter().total("nothing") == 0.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            WorkMeter().charge("a", -1)
+
+    def test_breakdown_is_a_copy(self):
+        meter = WorkMeter()
+        meter.charge("a", 1)
+        meter.breakdown()["a"] = 100
+        assert meter.total("a") == 1
+
+    def test_repr(self):
+        meter = WorkMeter()
+        meter.charge("a", 3)
+        assert "total=3" in repr(meter)

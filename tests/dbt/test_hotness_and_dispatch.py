@@ -1,0 +1,92 @@
+"""Unit tests for hotness profiling and hash-table dispatch."""
+
+import pytest
+
+from repro.dbt.dispatch import DispatchTable
+from repro.dbt.hotness import DEFAULT_HOT_THRESHOLD, HotnessProfile
+
+
+class TestHotnessProfile:
+    def test_default_threshold_is_fifty(self):
+        # "a superblock is considered hot when it has been executed 50
+        # times" — Section 4.1.
+        assert DEFAULT_HOT_THRESHOLD == 50
+
+    def test_record_returns_true_exactly_at_threshold(self):
+        profile = HotnessProfile(threshold=3)
+        assert not profile.record(100)
+        assert not profile.record(100)
+        assert profile.record(100)
+        assert not profile.record(100)  # only once
+
+    def test_is_hot_and_count(self):
+        profile = HotnessProfile(threshold=2)
+        profile.record(5)
+        assert not profile.is_hot(5)
+        profile.record(5)
+        assert profile.is_hot(5)
+        assert profile.count(5) == 2
+        assert profile.count(999) == 0
+
+    def test_hottest_ranking(self):
+        profile = HotnessProfile(threshold=100)
+        for _ in range(3):
+            profile.record(10)
+        profile.record(20)
+        assert profile.hottest(1) == [(10, 3)]
+        assert len(profile.hottest()) == 2
+        assert len(profile) == 2
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            HotnessProfile(threshold=0)
+
+
+class TestDispatchTable:
+    def test_lookup_counts_hits_and_misses(self):
+        table = DispatchTable()
+        table.add(0x40, 1)
+        assert table.lookup(0x40) == 1
+        assert table.lookup(0x80) is None
+        assert table.lookups == 2
+        assert table.hits == 1
+        assert table.miss_count == 1
+
+    def test_peek_does_not_count(self):
+        table = DispatchTable()
+        table.add(0x40, 1)
+        assert table.peek(0x40) == 1
+        assert table.lookups == 0
+
+    def test_remove(self):
+        table = DispatchTable()
+        table.add(0x40, 1)
+        table.add(0x80, 2)
+        table.remove([1])
+        assert table.peek(0x40) is None
+        assert table.peek(0x80) == 2
+        assert len(table) == 1
+
+    def test_remove_is_idempotent(self):
+        table = DispatchTable()
+        table.add(0x40, 1)
+        table.remove([1])
+        table.remove([1])  # no error
+        assert len(table) == 0
+
+    def test_duplicate_pc_rejected(self):
+        table = DispatchTable()
+        table.add(0x40, 1)
+        with pytest.raises(ValueError):
+            table.add(0x40, 2)
+
+    def test_head_of(self):
+        table = DispatchTable()
+        table.add(0x40, 7)
+        assert table.head_of(7) == 0x40
+
+    def test_contains(self):
+        table = DispatchTable()
+        table.add(0x10, 3)
+        assert 0x10 in table
+        assert 0x20 not in table

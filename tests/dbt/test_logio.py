@@ -1,0 +1,95 @@
+"""Unit tests for event-log serialization."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.dbt.events import (
+    EventLog,
+    LinkPatched,
+    SuperblockEntered,
+    SuperblockEvicted,
+    SuperblockFormed,
+)
+from repro.dbt.logio import (
+    LogFormatError,
+    dump_log,
+    load_log,
+    parse_log,
+    save_log,
+)
+from repro.dbt.runtime import DBTRuntime
+from repro.workloads.generator import demo_program
+
+
+def _sample_log():
+    log = EventLog()
+    log.record_formed(SuperblockFormed(0, 0x40, 200, (0x40, 0x52)))
+    log.record_formed(SuperblockFormed(1, 0x80, 300, (0x80,)))
+    log.record_link(LinkPatched(0, 1))
+    log.record_entered(SuperblockEntered(0))
+    log.record_entered(SuperblockEntered(1))
+    log.record_evicted(SuperblockEvicted(0))
+    return log
+
+
+class TestRoundTrip:
+    def test_stream_round_trip(self):
+        log = _sample_log()
+        buffer = io.StringIO()
+        dump_log(log, buffer)
+        buffer.seek(0)
+        loaded = parse_log(buffer)
+        assert len(loaded) == len(log)
+        assert loaded.formed_count == 2
+        assert list(loaded.access_trace()) == [0, 1]
+        original = log.superblock_set()
+        restored = loaded.superblock_set()
+        assert restored.sizes() == original.sizes()
+        assert restored.outgoing(0) == original.outgoing(0)
+
+    def test_file_round_trip(self, tmp_path):
+        log = _sample_log()
+        path = tmp_path / "run.dbtlog"
+        lines = save_log(log, path)
+        assert lines == len(log)
+        loaded = load_log(path)
+        assert len(loaded) == len(log)
+
+    def test_real_run_round_trip(self, tmp_path):
+        result = DBTRuntime(demo_program()).run(500_000)
+        path = tmp_path / "demo.dbtlog"
+        save_log(result.event_log, path)
+        loaded = load_log(path)
+        assert np.array_equal(loaded.access_trace(),
+                              result.event_log.access_trace())
+        assert loaded.formed_count == result.superblocks_formed
+
+
+class TestParsing:
+    def test_blank_lines_and_comments_skipped(self):
+        text = "#repro-dbt-log v1\n\n# a comment\nF 0 64 100 64\nE 0\n"
+        log = parse_log(io.StringIO(text))
+        assert len(log) == 2
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(LogFormatError) as excinfo:
+            parse_log(io.StringIO("not a log\n"))
+        assert excinfo.value.line_number == 1
+
+    def test_unknown_record_rejected(self):
+        text = "#repro-dbt-log v1\nX 1 2 3\n"
+        with pytest.raises(LogFormatError) as excinfo:
+            parse_log(io.StringIO(text))
+        assert excinfo.value.line_number == 2
+
+    def test_malformed_fields_rejected(self):
+        text = "#repro-dbt-log v1\nE notanumber\n"
+        with pytest.raises(LogFormatError):
+            parse_log(io.StringIO(text))
+
+    def test_formed_without_starts_rejected(self):
+        text = "#repro-dbt-log v1\nF 0 64 100\n"
+        with pytest.raises(LogFormatError):
+            parse_log(io.StringIO(text))

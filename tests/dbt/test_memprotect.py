@@ -1,0 +1,31 @@
+"""Unit tests for the memory-protection cost model."""
+
+import pytest
+
+from repro.dbt.costs import DEFAULT_COSTS, WorkMeter
+from repro.dbt.memprotect import MEMORY_PROTECTION, MemoryProtection
+
+
+class TestMemoryProtection:
+    def test_exit_charges_two_toggles(self):
+        meter = WorkMeter()
+        protection = MemoryProtection(DEFAULT_COSTS, meter, enabled=True)
+        protection.on_cache_exit()
+        assert protection.toggle_count == 2
+        assert meter.total(MEMORY_PROTECTION) == pytest.approx(
+            2 * DEFAULT_COSTS.memory_protection_toggle
+        )
+
+    def test_charges_accumulate(self):
+        meter = WorkMeter()
+        protection = MemoryProtection(DEFAULT_COSTS, meter)
+        for _ in range(5):
+            protection.on_cache_exit()
+        assert protection.toggle_count == 10
+
+    def test_disabled_protection_is_free(self):
+        meter = WorkMeter()
+        protection = MemoryProtection(DEFAULT_COSTS, meter, enabled=False)
+        protection.on_cache_exit()
+        assert protection.toggle_count == 0
+        assert meter.total(MEMORY_PROTECTION) == 0.0

@@ -1,0 +1,81 @@
+"""Internal-consistency checks of the runtime's cache bookkeeping.
+
+The dispatcher, the eviction policy, the chaining manager and the
+runtime's own block map must agree at all times about which superblocks
+exist — under every policy and cache size.
+"""
+
+import pytest
+
+from repro.core.policies import (
+    FineGrainedFifoPolicy,
+    GenerationalPolicy,
+    UnitFifoPolicy,
+)
+from repro.dbt.runtime import DBTRuntime
+from repro.workloads.generator import GuestProgramSpec, generate_program
+
+
+def _churny_program(seed=21):
+    return generate_program(GuestProgramSpec(
+        "churny", functions=8, body_blocks=3, instructions_per_block=9,
+        inner_iterations=70, outer_iterations=12, side_exit_mask=3,
+        seed=seed,
+    ))
+
+
+@pytest.mark.parametrize("policy_factory, capacity", [
+    (lambda: UnitFifoPolicy(4), 4096),
+    (lambda: UnitFifoPolicy(2), 3072),
+    (FineGrainedFifoPolicy, 4096),
+    (GenerationalPolicy, 8192),
+])
+def test_bookkeeping_agrees_across_components(policy_factory, capacity):
+    program = _churny_program()
+    policy = policy_factory()
+    runtime = DBTRuntime(
+        program, policy=policy, cache_capacity=capacity,
+        max_trace_blocks=8, max_trace_bytes=512, record_entries=False,
+    )
+    result = runtime.run(max_guest_instructions=700_000)
+    assert result.eviction_invocations > 0  # the cache was stressed
+
+    resident = policy.resident_ids()
+    # The dispatch table maps exactly the resident superblocks.
+    assert len(runtime.dispatch) == len(resident)
+    for sid in resident:
+        head = runtime.dispatch.head_of(sid)
+        assert runtime.dispatch.peek(head) == sid
+    # The runtime's block map matches residency.
+    assert set(runtime._blocks_by_sid) == resident
+    # Chaining only links resident superblocks.
+    for sid in resident:
+        for source in runtime.chaining.incoming_of(sid):
+            assert source in resident
+
+
+def test_formations_equal_evictions_plus_residents():
+    program = _churny_program(seed=22)
+    policy = UnitFifoPolicy(4)
+    runtime = DBTRuntime(program, policy=policy, cache_capacity=4096,
+                         max_trace_blocks=8, max_trace_bytes=512,
+                         record_entries=False)
+    result = runtime.run(max_guest_instructions=700_000)
+    assert result.superblocks_formed == (
+        result.evicted_blocks + len(policy.resident_ids())
+    )
+
+
+def test_event_log_evictions_match_counters():
+    from repro.dbt.events import SuperblockEvicted
+
+    program = _churny_program(seed=23)
+    runtime = DBTRuntime(program, policy=UnitFifoPolicy(4),
+                         cache_capacity=4096, max_trace_blocks=8,
+                         max_trace_bytes=512)
+    result = runtime.run(max_guest_instructions=500_000)
+    logged_evictions = sum(
+        1 for event in result.event_log.events
+        if isinstance(event, SuperblockEvicted)
+    )
+    assert logged_evictions == result.evicted_blocks

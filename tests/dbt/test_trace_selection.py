@@ -1,0 +1,135 @@
+"""Unit tests for NET-style superblock selection."""
+
+import pytest
+
+from repro.dbt.hotness import HotnessProfile
+from repro.dbt.trace_selection import SelectedTrace, select_superblock
+from repro.isa.assembler import assemble
+from repro.isa.cfg import build_cfg
+
+
+def _loop_cfg():
+    """A loop whose body has a rarely-taken side arm."""
+    program = assemble("""
+    start:
+        movi r1, 100
+    loop:
+        and r3, r1, 1
+        beq r3, r0, side
+        add r2, r2, 1
+        jmp join
+    side:
+        sub r2, r2, 1
+    join:
+        sub r1, r1, 1
+        bne r1, r0, loop
+        halt
+    """, entry="start")
+    return program, build_cfg(program)
+
+
+def _profile_path(cfg, addresses, count=60):
+    profile = HotnessProfile()
+    for address in addresses:
+        for _ in range(count):
+            profile.record(address)
+    return profile
+
+
+class TestSelection:
+    def test_follows_the_hottest_path(self):
+        program, cfg = _loop_cfg()
+        loop = program.resolve("loop")
+        hot_arm = cfg.block_at(loop).successors
+        # Make the fall-through (add) arm hot, the side arm cold.
+        fall_through = [s for s in hot_arm if s != program.resolve("side")][0]
+        profile = _profile_path(
+            cfg, [loop, fall_through, program.resolve("join")]
+        )
+        profile.record(program.resolve("side"))  # barely warm
+        trace = select_superblock(cfg, loop, profile)
+        assert program.resolve("side") not in trace.block_starts
+        assert fall_through in trace.block_starts
+        assert program.resolve("join") in trace.block_starts
+
+    def test_stops_when_loop_closes(self):
+        program, cfg = _loop_cfg()
+        loop = program.resolve("loop")
+        profile = _profile_path(cfg, [loop, program.resolve("join")])
+        trace = select_superblock(cfg, loop, profile)
+        # The join block branches back to the head: selection must stop
+        # rather than unroll.
+        assert trace.block_starts.count(loop) == 1
+
+    def test_max_blocks_limit(self):
+        program, cfg = _loop_cfg()
+        loop = program.resolve("loop")
+        profile = _profile_path(cfg, list(cfg.blocks))
+        trace = select_superblock(cfg, loop, profile, max_blocks=2)
+        assert len(trace.blocks) == 2
+
+    def test_max_bytes_limit(self):
+        program, cfg = _loop_cfg()
+        loop = program.resolve("loop")
+        profile = _profile_path(cfg, list(cfg.blocks))
+        head_size = cfg.block_at(loop).size_bytes
+        trace = select_superblock(cfg, loop, profile,
+                                  max_bytes=head_size + 1)
+        assert len(trace.blocks) == 1
+
+    def test_head_block_always_included_even_if_over_budget(self):
+        program, cfg = _loop_cfg()
+        loop = program.resolve("loop")
+        profile = HotnessProfile()
+        trace = select_superblock(cfg, loop, profile, max_bytes=1)
+        assert trace.block_starts == (loop,)
+
+    def test_invalid_limits(self):
+        program, cfg = _loop_cfg()
+        with pytest.raises(ValueError):
+            select_superblock(cfg, program.resolve("loop"),
+                              HotnessProfile(), max_blocks=0)
+
+    def test_cold_successors_fall_back_to_first(self):
+        program, cfg = _loop_cfg()
+        loop = program.resolve("loop")
+        trace = select_superblock(cfg, loop, HotnessProfile())
+        # With no profile data the selector still grows a trace.
+        assert len(trace.blocks) >= 2
+
+
+class TestSelectedTrace:
+    def test_byte_and_instruction_totals(self):
+        program, cfg = _loop_cfg()
+        loop = program.resolve("loop")
+        profile = _profile_path(cfg, [loop, program.resolve("join")])
+        trace = select_superblock(cfg, loop, profile)
+        assert trace.guest_bytes == sum(b.size_bytes for b in trace.blocks)
+        assert trace.guest_instructions == sum(len(b) for b in trace.blocks)
+
+    def test_exit_targets_include_side_arm_and_head(self):
+        program, cfg = _loop_cfg()
+        loop = program.resolve("loop")
+        fall = [s for s in cfg.block_at(loop).successors
+                if s != program.resolve("side")][0]
+        profile = _profile_path(cfg, [loop, fall, program.resolve("join")])
+        trace = select_superblock(cfg, loop, profile)
+        exits = trace.exit_targets()
+        assert program.resolve("side") in exits
+        assert loop in exits  # the loop-back exit (self-link target)
+
+    def test_exit_targets_exclude_straight_line_continuations(self):
+        program, cfg = _loop_cfg()
+        loop = program.resolve("loop")
+        fall = [s for s in cfg.block_at(loop).successors
+                if s != program.resolve("side")][0]
+        profile = _profile_path(cfg, [loop, fall, program.resolve("join")])
+        trace = select_superblock(cfg, loop, profile)
+        for i, start in enumerate(trace.block_starts[:-1]):
+            next_start = trace.block_starts[i + 1]
+            # Fall-through continuations are internal, not exits...
+            block = cfg.block_at(start)
+            if next_start in block.successors:
+                assert next_start not in trace.exit_targets() or (
+                    next_start == trace.head
+                )

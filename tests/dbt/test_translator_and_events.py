@@ -1,0 +1,110 @@
+"""Unit tests for superblock translation and the event log."""
+
+import pytest
+
+from repro.dbt.costs import DEFAULT_COSTS, WorkMeter
+from repro.dbt.events import (
+    EventLog,
+    LinkPatched,
+    SuperblockEntered,
+    SuperblockEvicted,
+    SuperblockFormed,
+)
+from repro.dbt.hotness import HotnessProfile
+from repro.dbt.trace_selection import select_superblock
+from repro.dbt.translator import (
+    CODE_EXPANSION,
+    EXIT_STUB_BYTES,
+    REGENERATION,
+    TranslatedSuperblock,
+    translate,
+    translated_size,
+)
+from repro.isa.assembler import assemble
+from repro.isa.cfg import build_cfg
+
+
+def _selected_trace():
+    program = assemble("""
+    loop:
+        add r1, r1, 1
+        bne r1, r2, loop
+        halt
+    """)
+    cfg = build_cfg(program)
+    profile = HotnessProfile()
+    for _ in range(60):
+        profile.record(0)
+    return select_superblock(cfg, 0, profile)
+
+
+class TestTranslatedSize:
+    def test_expansion_and_stub_material(self):
+        assert translated_size(100, 2) == round(100 * CODE_EXPANSION) + (
+            2 * EXIT_STUB_BYTES
+        )
+
+    def test_zero_exits(self):
+        assert translated_size(100, 0) == round(100 * CODE_EXPANSION)
+
+
+class TestTranslate:
+    def test_produces_consistent_superblock(self):
+        trace = _selected_trace()
+        meter = WorkMeter()
+        translated = translate(trace, sid=7, costs=DEFAULT_COSTS, meter=meter)
+        assert translated.sid == 7
+        assert translated.head_pc == trace.head
+        assert translated.block_starts == trace.block_starts
+        assert translated.size_bytes == translated_size(
+            trace.guest_bytes, len(trace.exit_targets())
+        )
+        assert translated.guest_instructions == trace.guest_instructions
+
+    def test_charges_regeneration_work(self):
+        trace = _selected_trace()
+        meter = WorkMeter()
+        translate(trace, sid=0, costs=DEFAULT_COSTS, meter=meter)
+        expected = DEFAULT_COSTS.regeneration_work(
+            trace.guest_instructions, len(trace.exit_targets())
+        )
+        assert meter.total(REGENERATION) == pytest.approx(expected)
+
+    def test_superblock_validation(self):
+        with pytest.raises(ValueError):
+            TranslatedSuperblock(sid=0, head_pc=0, block_starts=(),
+                                 size_bytes=10, exit_targets=(),
+                                 guest_instructions=1)
+        with pytest.raises(ValueError):
+            TranslatedSuperblock(sid=0, head_pc=0, block_starts=(4,),
+                                 size_bytes=10, exit_targets=(),
+                                 guest_instructions=1)
+
+
+class TestEventLog:
+    def test_records_and_exports(self):
+        log = EventLog()
+        log.record_formed(SuperblockFormed(0, 0x40, 200, (0x40,)))
+        log.record_formed(SuperblockFormed(1, 0x80, 300, (0x80,)))
+        log.record_link(LinkPatched(0, 1))
+        log.record_entered(SuperblockEntered(0))
+        log.record_entered(SuperblockEntered(1))
+        log.record_entered(SuperblockEntered(0))
+        log.record_evicted(SuperblockEvicted(0))
+        assert len(log) == 7
+        assert log.formed_count == 2
+
+        population = log.superblock_set()
+        assert population[0].size_bytes == 200
+        assert population[0].links == (1,)
+        assert population[1].links == ()
+
+        trace = log.access_trace()
+        assert list(trace) == [0, 1, 0]
+
+    def test_empty_log_cannot_export_population(self):
+        with pytest.raises(ValueError):
+            EventLog().superblock_set()
+
+    def test_access_trace_of_empty_log(self):
+        assert len(EventLog().access_trace()) == 0

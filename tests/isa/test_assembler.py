@@ -1,0 +1,110 @@
+"""Unit tests for the text assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import Opcode
+
+
+class TestBasicAssembly:
+    def test_single_instruction(self):
+        program = assemble("halt")
+        assert len(program) == 1
+        assert program.instructions[0].opcode is Opcode.HALT
+
+    def test_operands_parse(self):
+        program = assemble("add r1, r2, 5\nhalt")
+        assert program.instructions[0].operands == ("r1", "r2", 5)
+
+    def test_hex_and_negative_immediates(self):
+        program = assemble("movi r1, 0x10\nmovi r2, -3\nhalt")
+        assert program.instructions[0].operands == ("r1", 16)
+        assert program.instructions[1].operands == ("r2", -3)
+
+    def test_case_insensitive_mnemonics(self):
+        program = assemble("ADD r1, r2, r3\nHalt")
+        assert program.instructions[0].opcode is Opcode.ADD
+
+    def test_comments_and_blank_lines(self):
+        source = """
+        ; leading comment
+        movi r1, 1   ; trailing comment
+        # hash comment
+        halt
+        """
+        assert len(assemble(source)) == 2
+
+
+class TestLabels:
+    def test_label_on_own_line(self):
+        program = assemble("start:\n  movi r1, 1\n  jmp start")
+        assert program.resolve("start") == 0
+
+    def test_label_with_instruction(self):
+        program = assemble("start: movi r1, 1\njmp start")
+        assert program.resolve("start") == 0
+
+    def test_multiple_labels_same_instruction(self):
+        program = assemble("a: b:\n  halt")
+        assert program.resolve("a") == program.resolve("b") == 0
+
+    def test_entry_label(self):
+        program = assemble("a: nop\nb: halt", entry="b")
+        assert program.entry_address == 1
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x: nop\nx: halt")
+
+    def test_trailing_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("nop\nend:")
+
+
+class TestErrors:
+    def test_unknown_opcode_reports_line(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("nop\nfrobnicate r1\nhalt")
+        assert excinfo.value.line_number == 2
+
+    def test_bad_operands_report_line(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("add r1, r2")
+        assert excinfo.value.line_number == 1
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("; nothing here")
+
+    def test_bad_label_name_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("two words: halt")
+
+
+class TestRoundTrip:
+    def test_rendered_instructions_reassemble(self):
+        source = """
+        start:
+            movi r1, 10
+        loop:
+            sub r1, r1, 1
+            store r1, r2, 8
+            bne r1, r0, loop
+            call fn
+            halt
+        fn:
+            mov r3, r1
+            ret
+        """
+        program = assemble(source, entry="start")
+        rendered = []
+        label_by_address = {addr: name for name, addr in program.labels.items()}
+        for address, instruction in program.iter_addressed():
+            if address in label_by_address:
+                rendered.append(f"{label_by_address[address]}:")
+            rendered.append(str(instruction))
+        reassembled = assemble("\n".join(rendered), entry="start")
+        assert [i.opcode for i in reassembled.instructions] == [
+            i.opcode for i in program.instructions
+        ]
+        assert reassembled.size_bytes == program.size_bytes

@@ -1,0 +1,155 @@
+"""Unit tests for basic-block extraction and the CFG."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.cfg import build_cfg
+from repro.isa.instructions import Opcode
+
+
+def _cfg(source, entry=None):
+    return build_cfg(assemble(source, entry=entry))
+
+
+class TestBlockExtraction:
+    def test_straight_line_is_one_block(self):
+        cfg = _cfg("movi r1, 1\nadd r1, r1, 1\nhalt")
+        assert len(cfg) == 1
+        assert len(cfg.entry) == 3
+
+    def test_branch_splits_blocks(self):
+        cfg = _cfg("""
+        loop:
+            add r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """)
+        assert len(cfg) == 2
+
+    def test_branch_target_becomes_leader(self):
+        cfg = _cfg("""
+            movi r1, 0
+            jmp skip
+            nop
+        skip:
+            halt
+        """)
+        program = cfg.program
+        assert program.resolve("skip") in cfg.blocks
+
+    def test_blocks_partition_the_program(self):
+        cfg = _cfg("""
+        start:
+            movi r1, 10
+        loop:
+            sub r1, r1, 1
+            bne r1, r0, loop
+            call fn
+            halt
+        fn:
+            ret
+        """)
+        total = sum(block.size_bytes for block in cfg.blocks.values())
+        assert total == cfg.program.size_bytes
+
+    def test_every_block_ends_at_control_or_leader(self):
+        cfg = _cfg("""
+            movi r1, 5
+        target:
+            add r1, r1, 1
+            bne r1, r0, target
+            halt
+        """)
+        for block in cfg.blocks.values():
+            terminator_is_control = block.terminator.is_control
+            next_is_leader = block.end in cfg.blocks or (
+                block.end == cfg.program.size_bytes
+            )
+            assert terminator_is_control or next_is_leader
+
+
+class TestSuccessors:
+    def test_conditional_branch_has_two_successors(self):
+        cfg = _cfg("""
+        loop:
+            sub r1, r1, 1
+            bne r1, r0, loop
+            halt
+        """)
+        loop_block = cfg.block_at(cfg.program.resolve("loop"))
+        assert set(loop_block.successors) == {
+            cfg.program.resolve("loop"),
+            loop_block.end,
+        }
+
+    def test_jmp_has_single_successor(self):
+        cfg = _cfg("jmp end\nnop\nend: halt")
+        entry = cfg.entry
+        assert entry.successors == (cfg.program.resolve("end"),)
+
+    def test_halt_has_no_successors(self):
+        cfg = _cfg("halt")
+        assert cfg.entry.successors == ()
+
+    def test_ret_has_no_static_successors(self):
+        cfg = _cfg("call fn\nhalt\nfn: ret")
+        ret_block = cfg.block_at(cfg.program.resolve("fn"))
+        assert ret_block.successors == ()
+
+    def test_call_flows_to_callee(self):
+        cfg = _cfg("call fn\nhalt\nfn: ret")
+        assert cfg.entry.successors == (cfg.program.resolve("fn"),)
+
+    def test_fall_through_after_split(self):
+        cfg = _cfg("""
+            movi r1, 1
+        mid:
+            add r1, r1, 1
+            halt
+        """)
+        entry = cfg.entry
+        assert entry.successors == (cfg.program.resolve("mid"),)
+
+
+class TestGraphQueries:
+    def test_predecessors(self):
+        cfg = _cfg("""
+        loop:
+            sub r1, r1, 1
+            bne r1, r0, loop
+            halt
+        """)
+        loop_start = cfg.program.resolve("loop")
+        assert loop_start in cfg.predecessors(loop_start)
+
+    def test_block_containing(self):
+        cfg = _cfg("movi r1, 1\nadd r1, r1, 1\nhalt")
+        block = cfg.block_containing(5)  # inside the only block
+        assert block.start == 0
+
+    def test_block_containing_unknown_address(self):
+        cfg = _cfg("halt")
+        with pytest.raises(KeyError):
+            cfg.block_containing(500)
+
+    def test_as_networkx_is_a_copy(self):
+        cfg = _cfg("loop: bne r1, r0, loop\nhalt")
+        graph = cfg.as_networkx()
+        graph.remove_nodes_from(list(graph.nodes))
+        assert len(cfg) == 2
+
+    def test_iteration_is_sorted(self):
+        cfg = _cfg("""
+        a:
+            jmp c
+        b:
+            halt
+        c:
+            jmp b
+        """)
+        starts = list(cfg)
+        assert starts == sorted(starts)
+
+    def test_terminator_property(self):
+        cfg = _cfg("movi r1, 1\nhalt")
+        assert cfg.entry.terminator.opcode is Opcode.HALT

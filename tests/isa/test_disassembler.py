@@ -1,0 +1,59 @@
+"""Unit tests for the disassembler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.workloads.generator import GuestProgramSpec, generate_program
+
+_SOURCE = """
+start:
+    movi r1, 10
+loop:
+    sub r1, r1, 1
+    store r1, r2, 8
+    bne r1, r0, loop
+    call fn
+    halt
+fn:
+    mov r3, r1
+    ret
+"""
+
+
+class TestDisassemble:
+    def test_round_trip(self):
+        program = assemble(_SOURCE, entry="start")
+        text = disassemble(program)
+        rebuilt = assemble(text, entry="start")
+        assert [str(i) for i in rebuilt.instructions] == [
+            str(i) for i in program.instructions
+        ]
+        assert rebuilt.labels == program.labels
+        assert rebuilt.size_bytes == program.size_bytes
+
+    def test_labels_are_emitted(self):
+        program = assemble(_SOURCE)
+        text = disassemble(program)
+        assert "loop:" in text
+        assert "fn:" in text
+
+    def test_address_prefixes(self):
+        program = assemble("nop\nhalt")
+        text = disassemble(program, addresses=True)
+        lines = text.strip().splitlines()
+        assert lines[0].strip().startswith("0")
+        assert "halt" in lines[1]
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_generated_programs_round_trip(self, seed):
+        spec = GuestProgramSpec("rt", functions=2, body_blocks=2,
+                                instructions_per_block=4, seed=seed)
+        program = generate_program(spec)
+        rebuilt = assemble(disassemble(program), entry="main")
+        assert rebuilt.size_bytes == program.size_bytes
+        assert [str(i) for i in rebuilt.instructions] == [
+            str(i) for i in program.instructions
+        ]

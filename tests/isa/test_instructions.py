@@ -1,0 +1,136 @@
+"""Unit tests for the guest instruction set."""
+
+import pytest
+
+from repro.isa.instructions import (
+    ALU_OPCODES,
+    BRANCH_OPCODES,
+    CONTROL_OPCODES,
+    Instruction,
+    Opcode,
+    instruction_size,
+    is_register,
+    register_index,
+)
+
+
+class TestRegisterParsing:
+    def test_valid_registers(self):
+        assert is_register("r0")
+        assert is_register("r31")
+        assert is_register("r15")
+
+    def test_invalid_registers(self):
+        assert not is_register("r32")
+        assert not is_register("r-1")
+        assert not is_register("x5")
+        assert not is_register("r")
+        assert not is_register(7)
+        assert not is_register("r1x")
+
+    def test_register_index(self):
+        assert register_index("r0") == 0
+        assert register_index("r31") == 31
+
+    def test_register_index_rejects_non_register(self):
+        with pytest.raises(ValueError):
+            register_index("r99")
+
+
+class TestInstructionSizes:
+    def test_every_opcode_has_a_size(self):
+        for opcode in Opcode:
+            assert instruction_size(opcode) >= 1
+
+    def test_sizes_vary_by_class(self):
+        # Variable-length encodings are a load-bearing property: they
+        # produce the superblock size variety of Figure 3.
+        assert instruction_size(Opcode.MOV) < instruction_size(Opcode.MOVI)
+        assert instruction_size(Opcode.ADD) < instruction_size(Opcode.LOAD)
+        assert instruction_size(Opcode.RET) == 1
+
+    def test_instruction_size_property(self):
+        instr = Instruction(Opcode.ADD, ("r1", "r2", "r3"))
+        assert instr.size == instruction_size(Opcode.ADD)
+
+
+class TestOperandValidation:
+    def test_alu_accepts_register_and_immediate(self):
+        Instruction(Opcode.ADD, ("r1", "r2", "r3"))
+        Instruction(Opcode.ADD, ("r1", "r2", 42))
+
+    def test_alu_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, ("r1", "r2"))
+
+    def test_alu_rejects_immediate_destination(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, (5, "r2", "r3"))
+
+    def test_branch_requires_registers_and_label(self):
+        Instruction(Opcode.BEQ, ("r1", "r2", "loop"))
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BEQ, ("r1", 5, "loop"))
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BEQ, ("r1", "r2", 12))
+
+    def test_jmp_requires_label_not_register(self):
+        Instruction(Opcode.JMP, ("target",))
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JMP, ("r5",))
+
+    def test_jmpr_requires_register(self):
+        Instruction(Opcode.JMPR, ("r5",))
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JMPR, ("label",))
+
+    def test_movi_requires_immediate(self):
+        Instruction(Opcode.MOVI, ("r1", -7))
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MOVI, ("r1", "r2"))
+
+    def test_mov_requires_registers(self):
+        Instruction(Opcode.MOV, ("r1", "r2"))
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MOV, ("r1", 3))
+
+    def test_memory_operand_shapes(self):
+        Instruction(Opcode.LOAD, ("r1", "r2", 8))
+        Instruction(Opcode.STORE, ("r1", "r2", -8))
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LOAD, ("r1", 4, 8))
+        with pytest.raises(ValueError):
+            Instruction(Opcode.STORE, ("r1", "r2", "r3"))
+
+    def test_nullary_opcodes(self):
+        for opcode in (Opcode.RET, Opcode.NOP, Opcode.HALT):
+            Instruction(opcode)
+            with pytest.raises(ValueError):
+                Instruction(opcode, ("r1",))
+
+
+class TestInstructionProperties:
+    def test_control_classification(self):
+        assert Instruction(Opcode.JMP, ("x",)).is_control
+        assert Instruction(Opcode.BEQ, ("r1", "r2", "x")).is_control
+        assert Instruction(Opcode.RET).is_control
+        assert not Instruction(Opcode.ADD, ("r1", "r2", "r3")).is_control
+
+    def test_conditional_branch_classification(self):
+        assert Instruction(Opcode.BNE, ("r1", "r2", "x")).is_conditional_branch
+        assert not Instruction(Opcode.JMP, ("x",)).is_conditional_branch
+
+    def test_label_target(self):
+        assert Instruction(Opcode.JMP, ("foo",)).label_target == "foo"
+        assert Instruction(Opcode.CALL, ("bar",)).label_target == "bar"
+        assert Instruction(Opcode.BLT, ("r1", "r2", "baz")).label_target == "baz"
+        assert Instruction(Opcode.RET).label_target is None
+        assert Instruction(Opcode.ADD, ("r1", "r2", 1)).label_target is None
+
+    def test_str_rendering(self):
+        assert str(Instruction(Opcode.ADD, ("r1", "r2", 3))) == "add r1, r2, 3"
+        assert str(Instruction(Opcode.HALT)) == "halt"
+
+    def test_opcode_class_partitions(self):
+        assert BRANCH_OPCODES <= CONTROL_OPCODES
+        assert not (ALU_OPCODES & CONTROL_OPCODES)

@@ -1,0 +1,94 @@
+"""Unit tests for program layout and label resolution."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program, ProgramError
+
+
+def _simple_program(entry=None):
+    instructions = [
+        Instruction(Opcode.MOVI, ("r1", 5)),       # 5 bytes at 0
+        Instruction(Opcode.ADD, ("r1", "r1", 1)),  # 3 bytes at 5
+        Instruction(Opcode.JMP, ("end",)),         # 5 bytes at 8
+        Instruction(Opcode.NOP),                   # 1 byte at 13
+        Instruction(Opcode.HALT),                  # 1 byte at 14
+    ]
+    labels = {"start": 0, "end": 4}
+    return Program(instructions, labels, entry=entry, name="simple")
+
+
+class TestLayout:
+    def test_addresses_accumulate_sizes(self):
+        program = _simple_program()
+        addresses = [addr for addr, _ in program.iter_addressed()]
+        assert addresses == [0, 5, 8, 13, 14]
+
+    def test_size_bytes(self):
+        assert _simple_program().size_bytes == 15
+
+    def test_fetch_by_address(self):
+        program = _simple_program()
+        assert program.fetch(8).opcode is Opcode.JMP
+
+    def test_fetch_mid_instruction_fails(self):
+        with pytest.raises(ProgramError):
+            _simple_program().fetch(2)
+
+    def test_next_address(self):
+        program = _simple_program()
+        assert program.next_address(0) == 5
+        assert program.next_address(13) == 14
+
+    def test_contains_address(self):
+        program = _simple_program()
+        assert program.contains_address(5)
+        assert not program.contains_address(6)
+
+    def test_index_address_round_trip(self):
+        program = _simple_program()
+        for index in range(len(program)):
+            address = program.address_of_index(index)
+            assert program.index_of_address(address) == index
+
+
+class TestLabels:
+    def test_resolution(self):
+        program = _simple_program()
+        assert program.resolve("start") == 0
+        assert program.resolve("end") == 14
+
+    def test_unknown_label(self):
+        with pytest.raises(ProgramError):
+            _simple_program().resolve("nowhere")
+
+    def test_entry_defaults_to_first_instruction(self):
+        assert _simple_program().entry_address == 0
+
+    def test_explicit_entry(self):
+        assert _simple_program(entry="end").entry_address == 14
+
+    def test_undefined_entry_rejected(self):
+        with pytest.raises(ProgramError):
+            _simple_program(entry="nowhere")
+
+    def test_labels_view_is_by_address(self):
+        assert _simple_program().labels == {"start": 0, "end": 14}
+
+
+class TestValidation:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            Program([])
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ProgramError):
+            Program([Instruction(Opcode.HALT)], {"x": 5})
+
+    def test_undefined_branch_target_rejected(self):
+        with pytest.raises(ProgramError):
+            Program([Instruction(Opcode.JMP, ("missing",)),
+                     Instruction(Opcode.HALT)])
+
+    def test_repr_mentions_name(self):
+        assert "simple" in repr(_simple_program())

@@ -1,0 +1,89 @@
+"""Tests for the Equation 2-4 calibration pipeline."""
+
+import pytest
+
+from repro.core.overhead import PAPER_MODEL
+from repro.papi.calibration import (
+    calibrate_eviction,
+    calibrate_regeneration,
+    calibrate_unlinking,
+    calibrated_overhead_model,
+)
+
+#: Sample counts kept modest for test speed; benches run the full 10k.
+SAMPLES = 2500
+
+
+class TestEvictionCalibration:
+    def test_recovers_equation_2(self):
+        result = calibrate_eviction(invocations=SAMPLES)
+        assert result.fit.slope == pytest.approx(2.77, rel=0.15)
+        assert result.fit.intercept == pytest.approx(3055, rel=0.10)
+        assert result.fit.r_squared > 0.97
+        assert len(result.log) >= SAMPLES
+
+    def test_log_covers_a_byte_range(self):
+        result = calibrate_eviction(invocations=SAMPLES)
+        x, _ = result.log.as_arrays()
+        assert x.min() < 512
+        assert x.max() > 4096  # unit flushes extend the range
+
+    def test_deterministic_by_seed(self):
+        a = calibrate_eviction(invocations=500, seed=9)
+        b = calibrate_eviction(invocations=500, seed=9)
+        assert a.fit.slope == b.fit.slope
+
+
+class TestRegenerationCalibration:
+    def test_recovers_equation_3(self):
+        result = calibrate_regeneration(samples=SAMPLES)
+        assert result.fit.slope == pytest.approx(75.4, rel=0.10)
+        assert result.fit.intercept == pytest.approx(1922, rel=0.25)
+        assert result.fit.r_squared > 0.97
+
+    def test_miss_slope_dwarfs_eviction_slope(self):
+        # The paper's key contrast between Equations 2 and 3.
+        eviction = calibrate_eviction(invocations=SAMPLES)
+        regeneration = calibrate_regeneration(samples=SAMPLES)
+        assert regeneration.fit.slope > 20 * eviction.fit.slope
+
+
+class TestUnlinkingCalibration:
+    def test_recovers_equation_4_exactly(self):
+        result = calibrate_unlinking(samples=1500)
+        assert result.fit.slope == pytest.approx(296.5, rel=0.01)
+        assert result.fit.intercept == pytest.approx(95.7, rel=0.05)
+
+    def test_quantities_are_link_counts(self):
+        result = calibrate_unlinking(samples=500)
+        x, _ = result.log.as_arrays()
+        assert x.min() >= 1
+        assert x.max() <= 6
+
+
+class TestCalibratedModel:
+    def test_model_is_close_to_paper_model(self):
+        model = calibrated_overhead_model(samples=SAMPLES)
+        for size in (64, 230, 1024):
+            assert model.miss_cost(size) == pytest.approx(
+                PAPER_MODEL.miss_cost(size), rel=0.12
+            )
+            assert model.eviction_cost(size) == pytest.approx(
+                PAPER_MODEL.eviction_cost(size), rel=0.12
+            )
+        for links in (1, 3):
+            assert model.unlink_cost(links) == pytest.approx(
+                PAPER_MODEL.unlink_cost(links), rel=0.05
+            )
+
+    def test_calibrated_model_is_simulator_pluggable(self):
+        from repro.core.policies import UnitFifoPolicy
+        from repro.core.simulator import simulate
+        from repro.core.superblock import Superblock, SuperblockSet
+
+        model = calibrated_overhead_model(samples=800)
+        blocks = SuperblockSet([Superblock(i, 100) for i in range(6)])
+        stats = simulate(blocks, UnitFifoPolicy(2), 300,
+                         [0, 1, 2, 3, 4, 5], overhead_model=model)
+        assert stats.miss_overhead > 0
+        assert stats.eviction_overhead > 0

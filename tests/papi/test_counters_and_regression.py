@@ -1,0 +1,120 @@
+"""Unit tests for the PAPI-style probes and the regression fitter."""
+
+import numpy as np
+import pytest
+
+from repro.dbt.costs import WorkMeter
+from repro.papi.counters import SampleLog, probe
+from repro.papi.regression import fit_linear, fit_samples
+
+
+class TestProbe:
+    def test_measures_delta(self):
+        meter = WorkMeter()
+        meter.charge("x", 100)
+        with probe(meter) as reading:
+            meter.charge("x", 42)
+        assert reading.instructions == 42
+
+    def test_category_filter(self):
+        meter = WorkMeter()
+        with probe(meter, "wanted") as reading:
+            meter.charge("wanted", 10)
+            meter.charge("other", 99)
+        assert reading.instructions == 10
+
+    def test_nested_probes(self):
+        meter = WorkMeter()
+        with probe(meter) as outer:
+            meter.charge("a", 5)
+            with probe(meter) as inner:
+                meter.charge("a", 7)
+        assert inner.instructions == 7
+        assert outer.instructions == 12
+
+    def test_reading_set_even_on_exception(self):
+        meter = WorkMeter()
+        with pytest.raises(RuntimeError):
+            with probe(meter) as reading:
+                meter.charge("a", 3)
+                raise RuntimeError("boom")
+        assert reading.instructions == 3
+
+
+class TestSampleLog:
+    def test_accumulation(self):
+        log = SampleLog()
+        log.add(10, 100)
+        log.add(20, 200)
+        assert len(log) == 2
+        assert log.mean_quantity == 15
+        assert log.mean_instructions == 150
+        x, y = log.as_arrays()
+        assert list(x) == [10, 20]
+        assert list(y) == [100, 200]
+
+    def test_negative_samples_rejected(self):
+        log = SampleLog()
+        with pytest.raises(ValueError):
+            log.add(-1, 5)
+        with pytest.raises(ValueError):
+            log.add(1, -5)
+
+    def test_empty_log_statistics_rejected(self):
+        log = SampleLog()
+        with pytest.raises(ValueError):
+            _ = log.mean_quantity
+        with pytest.raises(ValueError):
+            _ = log.mean_instructions
+
+
+class TestFitLinear:
+    def test_recovers_exact_line(self):
+        x = np.linspace(0, 100, 50)
+        y = 2.77 * x + 3055
+        fit = fit_linear(x, y)
+        assert fit.slope == pytest.approx(2.77)
+        assert fit.intercept == pytest.approx(3055)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.sample_count == 50
+
+    def test_noisy_fit(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1000, 2000)
+        y = 75.4 * x + 1922 + rng.normal(0, 500, 2000)
+        fit = fit_linear(x, y)
+        assert fit.slope == pytest.approx(75.4, rel=0.02)
+        assert fit.intercept == pytest.approx(1922, rel=0.15)
+        assert fit.r_squared > 0.99
+
+    def test_predict(self):
+        fit = fit_linear(np.array([0.0, 1.0]), np.array([1.0, 3.0]))
+        assert fit.predict(2) == pytest.approx(5.0)
+
+    def test_as_cost(self):
+        fit = fit_linear(np.array([0.0, 1.0]), np.array([1.0, 3.0]))
+        cost = fit.as_cost()
+        assert cost(10) == pytest.approx(21.0)
+
+    def test_constant_y_has_unit_r_squared(self):
+        fit = fit_linear(np.array([1.0, 2.0, 3.0]), np.array([5.0, 5.0, 5.0]))
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.slope == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_linear(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_linear(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_fit_samples_wrapper(self):
+        log = SampleLog()
+        for i in range(10):
+            log.add(i, 3 * i + 7)
+        fit = fit_samples(log)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(7.0)
+
+    def test_str_rendering(self):
+        fit = fit_linear(np.array([0.0, 1.0]), np.array([0.0, 2.0]))
+        assert "R^2" in str(fit)

@@ -1,0 +1,67 @@
+"""Tests for live-run calibration via runtime observer hooks."""
+
+import pytest
+
+from repro.papi.calibration import calibrate_from_run
+from repro.workloads.generator import GuestProgramSpec, generate_program
+
+
+@pytest.fixture(scope="module")
+def live_results():
+    spec = GuestProgramSpec(
+        "live-cal", functions=10, body_blocks=3,
+        instructions_per_block=8, inner_iterations=80,
+        outer_iterations=30, side_exit_mask=3, seed=5,
+    )
+    program = generate_program(spec)
+    return calibrate_from_run(program, cache_capacity=4096,
+                              max_guest_instructions=1_200_000)
+
+
+class TestLiveCalibration:
+    def test_all_three_equations_sampled(self, live_results):
+        assert set(live_results) == {
+            "eviction", "regeneration", "unlinking"
+        }
+        for result in live_results.values():
+            assert len(result.log) >= 2
+
+    def test_eviction_fit_near_equation_2(self, live_results):
+        fit = live_results["eviction"].fit
+        assert fit.slope == pytest.approx(2.77, rel=0.25)
+        assert fit.intercept == pytest.approx(3055, rel=0.15)
+        assert fit.r_squared > 0.95
+
+    def test_regeneration_fit_near_equation_3(self, live_results):
+        # Live superblocks are shaped by one program rather than by the
+        # full population distribution, so the fit is looser than the
+        # synthetic driver's — but the slope must stay in Equation 3's
+        # neighbourhood.
+        fit = live_results["regeneration"].fit
+        assert fit.slope == pytest.approx(75.4, rel=0.30)
+        assert fit.r_squared > 0.75
+
+    def test_unlinking_fit_exact(self, live_results):
+        fit = live_results["unlinking"].fit
+        assert fit.slope == pytest.approx(296.5, rel=0.01)
+        assert fit.intercept == pytest.approx(95.7, abs=1.0)
+
+    def test_live_and_synthetic_calibrations_agree(self, live_results):
+        from repro.papi.calibration import calibrate_eviction
+        synthetic = calibrate_eviction(invocations=1500)
+        live = live_results["eviction"]
+        for size in (256, 1024, 4096):
+            assert live.fit.predict(size) == pytest.approx(
+                synthetic.fit.predict(size), rel=0.15
+            )
+
+    def test_unbounded_run_yields_no_eviction_samples(self):
+        spec = GuestProgramSpec(
+            "quiet", functions=2, body_blocks=2,
+            instructions_per_block=6, inner_iterations=80,
+            outer_iterations=3, seed=9,
+        )
+        program = generate_program(spec)
+        results = calibrate_from_run(program, cache_capacity=1 << 20,
+                                     max_guest_instructions=200_000)
+        assert "eviction" not in results

@@ -1,0 +1,83 @@
+"""Unit tests for superblock size distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import (
+    FIGURE3_BIN_EDGES,
+    LogNormalSizeDistribution,
+    median_of,
+    size_histogram,
+)
+
+
+class TestLogNormalSizeDistribution:
+    def test_sample_median_tracks_configured_median(self):
+        dist = LogNormalSizeDistribution(median_bytes=230, sigma=1.0)
+        sizes = dist.sample(20_000, np.random.default_rng(1))
+        assert median_of(sizes) == pytest.approx(230, rel=0.06)
+
+    def test_samples_respect_clip_bounds(self):
+        dist = LogNormalSizeDistribution(median_bytes=230, sigma=2.5,
+                                         min_bytes=64, max_bytes=2048)
+        sizes = dist.sample(5000, np.random.default_rng(2))
+        assert sizes.min() >= 64
+        assert sizes.max() <= 2048
+
+    def test_right_skew(self):
+        dist = LogNormalSizeDistribution(median_bytes=230, sigma=1.3)
+        sizes = dist.sample(20_000, np.random.default_rng(3))
+        assert sizes.mean() > np.median(sizes)
+
+    def test_heavier_sigma_means_heavier_tail(self):
+        rng = np.random.default_rng(4)
+        light = LogNormalSizeDistribution(230, sigma=0.8).sample(20_000, rng)
+        heavy = LogNormalSizeDistribution(230, sigma=2.0).sample(20_000, rng)
+        assert heavy.mean() > light.mean()
+
+    def test_theoretical_mean(self):
+        dist = LogNormalSizeDistribution(median_bytes=244, sigma=1.3)
+        assert dist.theoretical_mean == pytest.approx(244 * np.exp(1.3**2 / 2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogNormalSizeDistribution(0, 1.0)
+        with pytest.raises(ValueError):
+            LogNormalSizeDistribution(100, 0)
+        with pytest.raises(ValueError):
+            LogNormalSizeDistribution(100, 1.0, min_bytes=200, max_bytes=100)
+        with pytest.raises(ValueError):
+            LogNormalSizeDistribution(10, 1.0, min_bytes=32)
+        with pytest.raises(ValueError):
+            LogNormalSizeDistribution(100, 1.0).sample(
+                0, np.random.default_rng(0)
+            )
+
+
+class TestHistogram:
+    def test_fractions_sum_to_one(self):
+        sizes = np.array([50, 100, 150, 500, 3000])
+        rows = size_histogram(sizes)
+        assert sum(fraction for _, fraction in rows) == pytest.approx(1.0)
+
+    def test_bin_labels(self):
+        rows = size_histogram(np.array([10, 100]))
+        labels = [label for label, _ in rows]
+        assert labels[0] == "0-64"
+        assert labels[-1].startswith(">")
+
+    def test_binning_is_correct(self):
+        sizes = np.array([10, 10, 100])
+        rows = dict(size_histogram(sizes))
+        assert rows["0-64"] == pytest.approx(2 / 3)
+        assert rows["64-128"] == pytest.approx(1 / 3)
+
+    def test_edges_cover_the_figure3_range(self):
+        assert FIGURE3_BIN_EDGES[0] == 0
+        assert FIGURE3_BIN_EDGES[-1] >= 2**20
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            size_histogram(np.array([]))
+        with pytest.raises(ValueError):
+            median_of(np.array([]))

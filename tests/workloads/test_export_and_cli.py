@@ -1,0 +1,80 @@
+"""Tests for workload export and the ``python -m repro.workloads`` CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import UnitFifoPolicy
+from repro.core.simulator import simulate
+from repro.dbt.logio import load_log
+from repro.workloads.__main__ import main as workloads_main
+from repro.workloads.export import export_workload, workload_to_event_log
+from repro.workloads.registry import build_workload, get_benchmark
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(get_benchmark("gzip"), scale=0.3,
+                          trace_accesses=3000)
+
+
+class TestWorkloadToEventLog:
+    def test_population_round_trips(self, workload):
+        log = workload_to_event_log(workload)
+        restored = log.superblock_set()
+        original = workload.superblocks
+        assert len(restored) == len(original)
+        assert restored.sizes() == original.sizes()
+        for block in original:
+            assert set(restored.outgoing(block.sid)) == set(block.links)
+
+    def test_trace_round_trips(self, workload):
+        log = workload_to_event_log(workload)
+        assert np.array_equal(log.access_trace(), workload.trace)
+
+    def test_simulation_agrees_between_sources(self, workload):
+        log = workload_to_event_log(workload)
+        capacity = workload.superblocks.total_bytes // 4
+        direct = simulate(workload.superblocks, UnitFifoPolicy(4),
+                          capacity, workload.trace)
+        replayed = simulate(log.superblock_set(), UnitFifoPolicy(4),
+                            capacity, log.access_trace())
+        assert direct.misses == replayed.misses
+        assert direct.eviction_invocations == replayed.eviction_invocations
+        assert direct.links_removed == replayed.links_removed
+
+    def test_export_to_file(self, workload, tmp_path):
+        path = tmp_path / "workload.dbtlog"
+        records = export_workload(workload, path)
+        log = load_log(path)
+        assert len(log) == records
+        assert log.formed_count == len(workload.superblocks)
+
+
+class TestWorkloadsCli:
+    def test_list(self, capsys):
+        assert workloads_main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "gzip" in output
+        assert "18043" in output
+
+    def test_describe(self, capsys):
+        assert workloads_main([
+            "describe", "mcf", "--scale", "0.5",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "superblocks" in output
+        assert "Size bin" in output
+
+    def test_export_command(self, tmp_path, capsys):
+        out = tmp_path / "vpr.dbtlog"
+        assert workloads_main([
+            "export", "vpr", "--out", str(out),
+            "--scale", "0.2", "--trace-accesses", "1000",
+        ]) == 0
+        assert out.exists()
+        log = load_log(out)
+        assert len(log.access_trace()) == 1000
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            workloads_main(["describe", "quake3"])

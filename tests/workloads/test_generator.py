@@ -1,0 +1,109 @@
+"""Unit tests for the guest-program generator."""
+
+import pytest
+
+from repro.dbt.runtime import DBTRuntime
+from repro.isa.cfg import build_cfg
+from repro.isa.interpreter import Interpreter
+from repro.workloads.generator import (
+    TABLE2_SPECS,
+    GuestProgramSpec,
+    demo_program,
+    generate_program,
+    table2_program,
+)
+
+
+class TestGeneratedPrograms:
+    def test_demo_program_assembles_and_halts(self):
+        program = demo_program()
+        interpreter = Interpreter(program)
+        interpreter.run(5_000_000)
+        assert interpreter.state.halted
+
+    def test_structure_scales_with_spec(self):
+        small = generate_program(GuestProgramSpec("s", functions=1,
+                                                  body_blocks=1,
+                                                  instructions_per_block=2))
+        large = generate_program(GuestProgramSpec("l", functions=6,
+                                                  body_blocks=4,
+                                                  instructions_per_block=20))
+        assert large.size_bytes > 4 * small.size_bytes
+
+    def test_cfg_is_well_formed(self):
+        cfg = build_cfg(demo_program())
+        assert len(cfg) > 5
+        total = sum(block.size_bytes for block in cfg.blocks.values())
+        assert total == cfg.program.size_bytes
+
+    def test_deterministic_by_seed(self):
+        a = generate_program(GuestProgramSpec("x", seed=3))
+        b = generate_program(GuestProgramSpec("x", seed=3))
+        assert [str(i) for i in a.instructions] == [
+            str(i) for i in b.instructions
+        ]
+
+    def test_never_taken_side_arms(self):
+        spec = GuestProgramSpec("nt", functions=1, body_blocks=1,
+                                instructions_per_block=3,
+                                inner_iterations=10, outer_iterations=1,
+                                side_exit_mask=None)
+        program = generate_program(spec)
+        interpreter = Interpreter(program)
+        interpreter.run(1_000_000)
+        # r2 increments once per body block per iteration; the side arm
+        # would have decremented it if ever taken.
+        assert interpreter.state.read_register("r2") == 10
+
+    def test_parity_side_arms_are_taken(self):
+        spec = GuestProgramSpec("pa", functions=1, body_blocks=1,
+                                instructions_per_block=1,
+                                inner_iterations=10, outer_iterations=1,
+                                side_exit_mask=1, memory_ops=False,
+                                seed=5)
+        program = generate_program(spec)
+        runtime = DBTRuntime(program, hot_threshold=3)
+        result = runtime.run(1_000_000)
+        assert result.halted
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            GuestProgramSpec("x", functions=0)
+        with pytest.raises(ValueError):
+            GuestProgramSpec("x", instructions_per_block=0)
+        with pytest.raises(ValueError):
+            GuestProgramSpec("x", inner_iterations=0)
+        with pytest.raises(ValueError):
+            GuestProgramSpec("x", side_exit_mask=0)
+
+
+class TestTable2Programs:
+    def test_all_eleven_benchmarks_present(self):
+        # Table 2 covers the SPEC benchmarks minus eon.
+        names = {spec.name for spec in TABLE2_SPECS}
+        assert len(names) == 11
+        assert "eon" not in names
+        assert {"gzip", "mcf", "twolf"} <= names
+
+    def test_lookup(self):
+        program = table2_program("gzip")
+        assert program.name == "gzip"
+        with pytest.raises(KeyError):
+            table2_program("eon")
+
+    def test_loop_bodies_order_matches_slowdown_order(self):
+        # gzip (worst slowdown) must have the shortest loop body; mcf
+        # (mildest) the longest.
+        def body_length(name):
+            spec = next(s for s in TABLE2_SPECS if s.name == name)
+            return spec.body_blocks * spec.instructions_per_block
+
+        assert body_length("gzip") < body_length("gcc")
+        assert body_length("gcc") < body_length("vpr")
+        assert body_length("vpr") < body_length("mcf")
+
+    def test_table2_programs_run_under_the_dbt(self):
+        program = table2_program("bzip2")
+        result = DBTRuntime(program, record_entries=False).run(150_000)
+        assert result.superblocks_formed >= 1
+        assert result.chained_transitions > 0

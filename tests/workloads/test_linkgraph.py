@@ -1,0 +1,99 @@
+"""Unit tests for the synthetic link-graph generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.linkgraph import (
+    generate_links,
+    mean_out_degree,
+    self_loop_fraction,
+)
+
+
+class TestGenerateLinks:
+    def test_mean_out_degree_near_target(self):
+        links = generate_links(5000, np.random.default_rng(1),
+                               mean_out_degree=1.7)
+        # Deduplication and edge reflection shave a little off the target.
+        assert mean_out_degree(links) == pytest.approx(1.7, abs=0.15)
+
+    def test_self_loop_fraction_near_target(self):
+        links = generate_links(5000, np.random.default_rng(2),
+                               self_loop_prob=0.3)
+        assert self_loop_fraction(links) == pytest.approx(0.3, abs=0.03)
+
+    def test_targets_in_range(self):
+        links = generate_links(100, np.random.default_rng(3))
+        for targets in links:
+            for target in targets:
+                assert 0 <= target < 100
+
+    def test_no_duplicate_targets(self):
+        links = generate_links(500, np.random.default_rng(4))
+        for targets in links:
+            assert len(targets) == len(set(targets))
+
+    def test_locality(self):
+        links = generate_links(2000, np.random.default_rng(5),
+                               locality_scale=5.0)
+        distances = [
+            abs(target - sid)
+            for sid, targets in enumerate(links)
+            for target in targets
+            if target != sid
+        ]
+        assert np.mean(distances) < 20
+
+    def test_larger_scale_spreads_links(self):
+        rng1 = np.random.default_rng(6)
+        rng2 = np.random.default_rng(6)
+        near = generate_links(2000, rng1, locality_scale=4.0)
+        far = generate_links(2000, rng2, locality_scale=100.0)
+
+        def mean_distance(links):
+            distances = [
+                abs(t - s)
+                for s, targets in enumerate(links)
+                for t in targets if t != s
+            ]
+            return np.mean(distances)
+
+        assert mean_distance(far) > mean_distance(near)
+
+    def test_single_block_graph(self):
+        links = generate_links(1, np.random.default_rng(7),
+                               mean_out_degree=1.0, self_loop_prob=1.0)
+        assert links[0] == (0,)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            generate_links(0, rng)
+        with pytest.raises(ValueError):
+            generate_links(10, rng, self_loop_prob=1.5)
+        with pytest.raises(ValueError):
+            generate_links(10, rng, mean_out_degree=0.1, self_loop_prob=0.5)
+        with pytest.raises(ValueError):
+            generate_links(10, rng, locality_scale=0)
+        with pytest.raises(ValueError):
+            mean_out_degree([])
+        with pytest.raises(ValueError):
+            self_loop_fraction([])
+
+    @given(
+        count=st.integers(1, 300),
+        degree=st.floats(0.5, 3.0),
+        self_prob=st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_generated_graphs_are_always_wellformed(self, count, degree,
+                                                    self_prob):
+        links = generate_links(count, np.random.default_rng(11),
+                               mean_out_degree=degree,
+                               self_loop_prob=self_prob)
+        assert len(links) == count
+        for sid, targets in enumerate(links):
+            assert len(set(targets)) == len(targets)
+            assert all(0 <= t < count for t in targets)

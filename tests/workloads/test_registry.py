@@ -1,0 +1,127 @@
+"""Unit tests for the Table 1 benchmark registry."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.registry import (
+    BenchmarkSpec,
+    all_benchmarks,
+    build_suite,
+    build_workload,
+    default_trace_accesses,
+    get_benchmark,
+    spec_benchmarks,
+    windows_benchmarks,
+)
+
+#: Table 1 of the paper, verbatim.
+TABLE1 = {
+    "gzip": 301, "vpr": 449, "gcc": 8751, "mcf": 158, "crafty": 1488,
+    "parser": 2418, "eon": 448, "perlbmk": 2144, "gap": 667,
+    "vortex": 1985, "bzip2": 224, "twolf": 574,
+    "iexplore": 14846, "outlook": 13233, "photoshop": 9434,
+    "pinball": 1086, "powerpoint": 14475, "visualstudio": 7063,
+    "winzip": 3198, "word": 18043,
+}
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name, count", sorted(TABLE1.items()))
+    def test_table1_counts_verbatim(self, name, count):
+        assert get_benchmark(name).superblock_count == count
+
+    def test_twenty_benchmarks(self):
+        assert len(all_benchmarks()) == 20
+        assert len(spec_benchmarks()) == 12
+        assert len(windows_benchmarks()) == 8
+
+    def test_spec_comes_first_in_paper_order(self):
+        names = [spec.name for spec in all_benchmarks()]
+        assert names[0] == "gzip"
+        assert names[11] == "twolf"
+        assert names[-1] == "word"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_benchmark("quake")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", "mac", 10, "d", 200.0)
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", "spec", 0, "d", 200.0)
+
+    def test_suite_trace_profiles_differ(self):
+        spec_profile = get_benchmark("gzip").trace_profile
+        windows_profile = get_benchmark("word").trace_profile
+        assert windows_profile.phase_count > spec_profile.phase_count
+
+
+class TestBuildWorkload:
+    def test_population_matches_count(self):
+        workload = build_workload(get_benchmark("gzip"))
+        assert len(workload.superblocks) == 301
+        assert workload.name == "gzip"
+
+    def test_scale_shrinks_population(self):
+        workload = build_workload(get_benchmark("gcc"), scale=0.1)
+        assert len(workload.superblocks) == round(8751 * 0.1)
+
+    def test_scale_floor(self):
+        workload = build_workload(get_benchmark("mcf"), scale=0.001)
+        assert len(workload.superblocks) == 16
+
+    def test_deterministic_by_default(self):
+        a = build_workload(get_benchmark("vpr"))
+        b = build_workload(get_benchmark("vpr"))
+        assert np.array_equal(a.trace, b.trace)
+        assert a.superblocks.sizes() == b.superblocks.sizes()
+
+    def test_seed_override_changes_content(self):
+        a = build_workload(get_benchmark("vpr"))
+        b = build_workload(get_benchmark("vpr"), seed=999)
+        assert not np.array_equal(a.trace, b.trace)
+
+    def test_trace_access_override(self):
+        workload = build_workload(get_benchmark("gzip"),
+                                  trace_accesses=1234)
+        assert len(workload.trace) == 1234
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            build_workload(get_benchmark("gzip"), scale=0)
+
+    def test_gzip_max_cache_near_paper(self):
+        # Paper: maxCache for gzip is ~171 KB.  Size clipping trades a
+        # little footprint, so accept a generous band.
+        workload = build_workload(get_benchmark("gzip"))
+        assert 100 * 1024 < workload.max_cache_bytes < 220 * 1024
+
+    def test_word_is_the_biggest_workload(self):
+        word = build_workload(get_benchmark("word"), scale=0.2)
+        gzip = build_workload(get_benchmark("gzip"), scale=0.2)
+        assert word.max_cache_bytes > 10 * gzip.max_cache_bytes
+
+    def test_mean_out_degree_near_figure12(self):
+        degrees = [
+            build_workload(spec, scale=0.3).superblocks.mean_out_degree
+            for spec in all_benchmarks()
+        ]
+        assert np.mean(degrees) == pytest.approx(1.7, abs=0.2)
+
+
+class TestBuildSuite:
+    def test_full_suite(self):
+        suite = build_suite(scale=0.02)
+        assert len(suite) == 20
+
+    def test_subset(self):
+        suite = build_suite(spec_benchmarks()[:3], scale=0.1)
+        assert [w.name for w in suite] == ["gzip", "vpr", "gcc"]
+
+
+class TestDefaultTraceAccesses:
+    def test_clamping(self):
+        assert default_trace_accesses(10) == 20_000
+        assert default_trace_accesses(1000) == 50_000
+        assert default_trace_accesses(100_000) == 250_000

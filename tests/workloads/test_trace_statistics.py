@@ -1,0 +1,118 @@
+"""Statistical checks on the trace generator's component mix.
+
+The figure-level results rest on the trace model delivering what its
+parameters promise: the right share of global-hot-set accesses, sweeps
+that actually cover the working set, Zipf skew that responds to the
+exponent, and phase windows of the configured size.  These tests verify
+those properties directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.traces import TraceConfig, generate_trace
+
+
+def _config(**overrides):
+    defaults = dict(accesses=60_000, phase_count=1, working_fraction=0.5,
+                    zipf_exponent=1.2, overlap=0.0, sweep_fraction=0.3,
+                    global_fraction=0.1, global_set_fraction=0.02)
+    defaults.update(overrides)
+    return TraceConfig(**defaults)
+
+
+class TestComponentShares:
+    def test_global_set_receives_its_share(self):
+        # With a single phase whose window is the first half of the id
+        # space, accesses outside it can only come from the global set.
+        config = _config(working_fraction=0.5, global_fraction=0.2)
+        rng = np.random.default_rng(1)
+        trace = generate_trace(2000, config, rng)
+        outside = np.sum(trace >= 1000) / len(trace)
+        # About half the global set sits outside the window, but the
+        # Zipf skew within it makes the realized share noisy; it must be
+        # clearly nonzero and clearly below global_fraction.
+        assert 0.01 < outside < 0.2
+
+    def test_zero_global_fraction_stays_in_window(self):
+        config = _config(global_fraction=0.0, working_fraction=0.25)
+        trace = generate_trace(4000, config, np.random.default_rng(2))
+        assert trace.max() < 1000  # window = first quarter
+
+    def test_sweep_visits_blocks_uniformly(self):
+        # With a dominant sweep component, per-block access counts in the
+        # window are nearly equal.
+        config = _config(working_fraction=0.2, sweep_fraction=0.7,
+                         global_fraction=0.0, zipf_exponent=3.0)
+        trace = generate_trace(1000, config, np.random.default_rng(3))
+        counts = np.bincount(trace, minlength=200)[:200]
+        # Sweep share: 0.7 * 60k = 42k over 200 blocks = 210 each.
+        sweep_floor = 0.7 * len(trace) / 200 * 0.9
+        assert np.sum(counts >= sweep_floor) > 190
+
+    def test_higher_exponent_concentrates_accesses(self):
+        flat = _config(zipf_exponent=1.01, sweep_fraction=0.0,
+                       global_fraction=0.0)
+        skewed = _config(zipf_exponent=2.0, sweep_fraction=0.0,
+                         global_fraction=0.0)
+        rng1, rng2 = np.random.default_rng(4), np.random.default_rng(4)
+        trace_flat = generate_trace(1000, flat, rng1)
+        trace_skewed = generate_trace(1000, skewed, rng2)
+
+        def top10_share(trace):
+            counts = np.sort(np.bincount(trace, minlength=1000))[::-1]
+            return counts[:10].sum() / counts.sum()
+
+        assert top10_share(trace_skewed) > 1.5 * top10_share(trace_flat)
+
+
+class TestPhaseGeometry:
+    def test_window_size_matches_working_fraction(self):
+        config = _config(working_fraction=0.1, global_fraction=0.0,
+                         sweep_fraction=0.5)
+        trace = generate_trace(5000, config, np.random.default_rng(5))
+        touched = len(set(trace.tolist()))
+        assert touched == 500  # sweep guarantees full window coverage
+
+    def test_stride_respects_overlap(self):
+        # Two phases, 50% overlap, window 1000 of 4000: the union of
+        # touched ids spans ~1500 ids.
+        config = _config(accesses=80_000, phase_count=2,
+                         working_fraction=0.25, overlap=0.5,
+                         sweep_fraction=0.5, global_fraction=0.0)
+        trace = generate_trace(4000, config, np.random.default_rng(6))
+        touched = set(trace.tolist())
+        assert 1400 <= len(touched) <= 1600
+
+    def test_zero_overlap_doubles_coverage(self):
+        config = _config(accesses=80_000, phase_count=2,
+                         working_fraction=0.25, overlap=0.0,
+                         sweep_fraction=0.5, global_fraction=0.0)
+        trace = generate_trace(4000, config, np.random.default_rng(7))
+        touched = set(trace.tolist())
+        assert 1900 <= len(touched) <= 2100
+
+
+class TestSuiteProfiles:
+    def test_windows_profile_touches_more_code_than_spec(self):
+        from repro.workloads.registry import get_benchmark
+
+        spec_profile = get_benchmark("gzip").trace_profile
+        windows_profile = get_benchmark("word").trace_profile
+        count = 4000
+        rng1, rng2 = np.random.default_rng(8), np.random.default_rng(8)
+        from dataclasses import replace
+        spec_trace = generate_trace(
+            count, replace(spec_profile, accesses=40_000), rng1
+        )
+        windows_trace = generate_trace(
+            count, replace(windows_profile, accesses=40_000), rng2
+        )
+        # More phases with less overlap -> broader coverage: the paper's
+        # reason to include interactive applications.
+        assert (len(set(windows_trace.tolist()))
+                > len(set(spec_trace.tolist())))
+
+    def test_profiles_reject_invalid_mixes(self):
+        with pytest.raises(ValueError):
+            _config(sweep_fraction=0.7, global_fraction=0.4)

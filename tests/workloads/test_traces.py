@@ -1,0 +1,114 @@
+"""Unit tests for the access-trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.traces import (
+    TraceConfig,
+    generate_trace,
+    loop_trace,
+    scan_trace,
+)
+
+
+def _config(**overrides):
+    defaults = dict(accesses=20_000, phase_count=4, working_fraction=0.3,
+                    zipf_exponent=1.2, overlap=0.4, sweep_fraction=0.3,
+                    global_fraction=0.1, global_set_fraction=0.02)
+    defaults.update(overrides)
+    return TraceConfig(**defaults)
+
+
+class TestGenerateTrace:
+    def test_length_and_bounds(self):
+        trace = generate_trace(500, _config(), np.random.default_rng(1))
+        assert len(trace) == 20_000
+        assert trace.min() >= 0
+        assert trace.max() < 500
+
+    def test_deterministic_for_a_seed(self):
+        a = generate_trace(300, _config(), np.random.default_rng(7))
+        b = generate_trace(300, _config(), np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(300, _config(), np.random.default_rng(1))
+        b = generate_trace(300, _config(), np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+    def test_temporal_locality_exists(self):
+        # The hottest block should take far more than a uniform share.
+        trace = generate_trace(1000, _config(), np.random.default_rng(3))
+        _, counts = np.unique(trace, return_counts=True)
+        assert counts.max() > 20 * (len(trace) / 1000)
+
+    def test_phases_shift_the_working_set(self):
+        config = _config(accesses=40_000, phase_count=8, overlap=0.0,
+                         working_fraction=0.1, global_fraction=0.0)
+        trace = generate_trace(4000, config, np.random.default_rng(4))
+        first = set(trace[:5000].tolist())
+        last = set(trace[-5000:].tolist())
+        shared = len(first & last) / max(1, len(first))
+        assert shared < 0.5  # working sets migrated
+
+    def test_single_phase_stays_in_window(self):
+        config = _config(accesses=5000, phase_count=1,
+                         working_fraction=0.1, global_fraction=0.0)
+        trace = generate_trace(1000, config, np.random.default_rng(5))
+        assert len(set(trace.tolist())) <= 100
+
+    def test_sweep_component_covers_the_window(self):
+        config = _config(accesses=30_000, phase_count=1,
+                         working_fraction=0.2, sweep_fraction=0.5,
+                         zipf_exponent=2.5, global_fraction=0.0)
+        trace = generate_trace(1000, config, np.random.default_rng(6))
+        # With heavy Zipf skew, broad coverage can only come from the
+        # sweep: all 200 window blocks must appear.
+        assert len(set(trace.tolist())) == 200
+
+    def test_more_blocks_than_accesses(self):
+        config = _config(accesses=100, phase_count=2)
+        trace = generate_trace(10_000, config, np.random.default_rng(8))
+        assert len(trace) == 100
+
+    def test_tiny_population(self):
+        trace = generate_trace(1, _config(accesses=50),
+                               np.random.default_rng(9))
+        assert set(trace.tolist()) == {0}
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("overrides", [
+        dict(accesses=0),
+        dict(phase_count=0),
+        dict(working_fraction=0.0),
+        dict(working_fraction=1.5),
+        dict(zipf_exponent=0.0),
+        dict(overlap=1.0),
+        dict(overlap=-0.1),
+        dict(sweep_fraction=1.0),
+        dict(global_fraction=-0.1),
+        dict(sweep_fraction=0.6, global_fraction=0.5),
+        dict(global_set_fraction=0.0),
+    ])
+    def test_bad_configs_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            _config(**overrides)
+
+
+class TestSimpleTraces:
+    def test_loop_trace(self):
+        trace = loop_trace([3, 1, 2], 4)
+        assert list(trace) == [3, 1, 2] * 4
+
+    def test_scan_trace(self):
+        trace = scan_trace(4, 3)
+        assert list(trace) == [0, 1, 2, 3] * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            loop_trace([], 3)
+        with pytest.raises(ValueError):
+            loop_trace([1], 0)
+        with pytest.raises(ValueError):
+            scan_trace(0, 1)
