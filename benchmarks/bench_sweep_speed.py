@@ -1,0 +1,118 @@
+"""Sweep-engine speed bench: serial vs process-parallel wall clock.
+
+Runs the full 20-benchmark grid at a small fixed scale through both
+engines, verifies they produce identical statistics, and records the
+wall-clock numbers in ``BENCH_sweep.json`` at the repo root so the
+performance trajectory is tracked across PRs.
+
+Run directly (``python benchmarks/bench_sweep_speed.py``) or through
+pytest (``pytest benchmarks/bench_sweep_speed.py``).  The speedup
+assertion only applies when the machine actually has enough cores for
+the parallel engine to win; the JSON is written either way.
+
+Knobs: ``REPRO_BENCH_JOBS`` (default 4) and ``REPRO_BENCH_REPEATS``
+(default 1; best-of-N timing).
+"""
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.sweep import (
+    ladder_policy_factories,
+    run_sweep,
+    run_sweep_parallel,
+)
+from repro.workloads.registry import all_benchmarks, build_suite
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+#: Reduced-scale grid: big enough that simulation dominates process
+#: startup, small enough for CI.
+SCALE = 0.08
+TRACE_ACCESSES = 12_000
+UNIT_COUNTS = (1, 8, 64)
+PRESSURES = (2, 10)
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "1"))
+
+
+def _grids_identical(serial, parallel) -> bool:
+    if set(serial.stats) != set(parallel.stats):
+        return False
+    return all(
+        dataclasses.asdict(parallel.stats[point])
+        == dataclasses.asdict(record)
+        for point, record in serial.stats.items()
+    )
+
+
+def run_bench() -> dict:
+    specs = all_benchmarks()
+
+    def serial_once():
+        workloads = build_suite(specs, scale=SCALE,
+                                trace_accesses=TRACE_ACCESSES)
+        started = time.perf_counter()
+        result = run_sweep(workloads, ladder_policy_factories(UNIT_COUNTS),
+                           pressures=PRESSURES)
+        return time.perf_counter() - started, result
+
+    def parallel_once():
+        started = time.perf_counter()
+        result = run_sweep_parallel(specs, scale=SCALE,
+                                    trace_accesses=TRACE_ACCESSES,
+                                    pressures=PRESSURES,
+                                    unit_counts=UNIT_COUNTS, jobs=JOBS)
+        return time.perf_counter() - started, result
+
+    serial_seconds, serial_result = min(
+        (serial_once() for _ in range(REPEATS)), key=lambda pair: pair[0]
+    )
+    parallel_seconds, parallel_result = min(
+        (parallel_once() for _ in range(REPEATS)), key=lambda pair: pair[0]
+    )
+    # The parallel engine pays workload construction inside the timed
+    # region too (workers rebuild from specs), so the comparison gives
+    # the serial engine its build time for symmetry.
+    total_accesses = sum(
+        record.accesses for record in serial_result.stats.values()
+    )
+    report = {
+        "bench": "sweep_speed",
+        "scale": SCALE,
+        "trace_accesses": TRACE_ACCESSES,
+        "unit_counts": list(UNIT_COUNTS),
+        "pressures": list(PRESSURES),
+        "benchmarks": len(serial_result.benchmark_names),
+        "grid_points": len(serial_result.stats),
+        "total_accesses": total_accesses,
+        "jobs": JOBS,
+        "cpus": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 3),
+        "accesses_per_second_serial": round(total_accesses / serial_seconds),
+        "accesses_per_second_parallel": round(
+            total_accesses / parallel_seconds
+        ),
+        "grids_identical": _grids_identical(serial_result, parallel_result),
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_sweep_speed():
+    report = run_bench()
+    assert report["grids_identical"]
+    assert report["serial_seconds"] > 0 and report["parallel_seconds"] > 0
+    # The parallel engine can only win where there are cores to win on;
+    # single-core CI boxes still record their numbers above.
+    if (os.cpu_count() or 1) >= 4:
+        assert report["speedup"] >= 2.0, report
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2))

@@ -7,9 +7,15 @@ prints the rendered result.  Examples::
     python -m repro.analysis table1 figure12
     python -m repro.analysis figure6 --scale 0.25 --pressures 2 10
     python -m repro.analysis all --scale 0.1 --trace-accesses 5000
+    python -m repro.analysis figure7 --jobs 0        # sweep on all cores
+    python -m repro.analysis figure7 --no-cache      # force re-simulation
+    python -m repro.analysis cache-stats             # inspect the disk cache
+    python -m repro.analysis cache-clear             # drop cached sweeps
 
 Simulation figures share one sweep per invocation, so asking for
-several of them costs little more than asking for one.
+several of them costs little more than asking for one; the sweep is
+also persisted on disk (see :mod:`repro.analysis.sweepcache`), so later
+invocations skip simulation entirely unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
@@ -17,14 +23,19 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
+import time
 
-from repro.analysis import experiments
+from repro.analysis import experiments, sweep, sweepcache
 
 _DRIVERS = {fn.__name__: fn for fn in experiments.ALL_EXPERIMENTS}
 _ALIASES = {
     "section51": "section51_backpointer_memory",
     "section53": "section53_execution_time",
 }
+
+#: Maintenance commands for the persistent sweep cache, usable anywhere
+#: an artifact name is (``python -m repro.analysis cache-stats``).
+_CACHE_COMMANDS = ("cache-stats", "cache-clear")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,6 +63,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="guest instructions per Table 2 run")
     parser.add_argument("--precision", type=int, default=4,
                         help="decimal places in rendered tables")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="sweep worker processes (0 = all cores; "
+                             "default: REPRO_SWEEP_JOBS or serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk sweep cache "
+                             "(REPRO_SWEEP_CACHE_DIR) for this run")
     return parser
 
 
@@ -72,6 +89,44 @@ def _call_driver(name: str, args: argparse.Namespace):
     return driver(**kwargs)
 
 
+def _cache_stats_text() -> str:
+    """Render the persistent sweep cache's contents and hit counters."""
+    rows = sweepcache.entries()
+    counts = sweepcache.counters()
+    total_bytes = sum(entry.data_bytes for entry in rows)
+    lines = [
+        f"sweep cache: {sweepcache.cache_dir()}",
+        f"  entries: {len(rows)}   total: {total_bytes / 1024:.1f} KiB",
+        f"  this process: {counts['hits']} hit(s), "
+        f"{counts['misses']} miss(es), {counts['stores']} store(s)",
+    ]
+    for entry in rows:
+        created = (
+            time.strftime("%Y-%m-%d %H:%M:%S",
+                          time.localtime(entry.created))
+            if entry.created else "?"
+        )
+        saved = (f"{entry.elapsed_seconds:.1f}s simulated"
+                 if entry.elapsed_seconds is not None else "?")
+        lines.append(
+            f"  {entry.key[:16]}  {created}  "
+            f"{entry.benchmarks} benchmarks x {entry.policies} policies "
+            f"x {entry.pressures} pressures  "
+            f"{entry.data_bytes / 1024:.1f} KiB  {saved}  "
+            f"hits={entry.hits}"
+        )
+    return "\n".join(lines)
+
+
+def _run_cache_command(name: str) -> None:
+    if name == "cache-stats":
+        print(_cache_stats_text())
+    else:  # cache-clear
+        removed = sweepcache.clear()
+        print(f"removed {removed} cached sweep(s) from "
+              f"{sweepcache.cache_dir()}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -79,14 +134,21 @@ def main(argv: list[str] | None = None) -> int:
         print("Available artifacts:")
         for name in _DRIVERS:
             print(f"  {name}")
+        for name in _CACHE_COMMANDS:
+            print(f"  {name}")
         return 0
+    if args.jobs is not None and args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    sweep.configure(jobs=args.jobs,
+                    use_cache=False if args.no_cache else None)
     requested = []
     for raw in args.artifacts:
         name = _ALIASES.get(raw, raw)
         if raw == "all":
-            requested = list(_DRIVERS)
+            requested = [n for n in requested if n in _CACHE_COMMANDS]
+            requested += list(_DRIVERS)
             break
-        if name not in _DRIVERS:
+        if name not in _DRIVERS and name not in _CACHE_COMMANDS:
             parser.error(
                 f"unknown artifact {raw!r}; use --list to see choices"
             )
@@ -94,6 +156,9 @@ def main(argv: list[str] | None = None) -> int:
     for index, name in enumerate(requested):
         if index:
             print()
+        if name in _CACHE_COMMANDS:
+            _run_cache_command(name)
+            continue
         result = _call_driver(name, args)
         print(result.render(precision=args.precision))
     return 0

@@ -1,0 +1,105 @@
+"""Process-parallel execution of the sweep grid.
+
+The (benchmark, policy, pressure) grid is embarrassingly parallel: every
+grid point is an independent simulation.  The unit of fan-out here is
+one benchmark's whole (policy x pressure) slab, because the dominant
+shared cost per benchmark is materializing the workload — and because
+workload construction is fully seeded, a worker can rebuild it from the
+registry spec alone.  A :class:`SweepTask` therefore carries a few
+hundred bytes (spec + grid parameters) across the process boundary
+instead of a pickled multi-megabyte trace, and the rebuilt workload is
+bit-identical to one built in the parent, making the parallel grid
+field-for-field equal to the serial engine's.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.metrics import SimulationStats
+from repro.core.overhead import PAPER_MODEL, OverheadModel
+from repro.core.policies import STANDARD_UNIT_COUNTS, granularity_ladder
+from repro.core.pressure import STANDARD_PRESSURE_FACTORS, pressured_capacity
+from repro.core.simulator import CodeCacheSimulator
+from repro.workloads.registry import BenchmarkSpec, build_workload
+
+#: One simulated grid point: (benchmark, policy, pressure, stats).
+GridRecord = tuple[str, str, float, SimulationStats]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One worker's unit: a benchmark's full (policy x pressure) slab."""
+
+    spec: BenchmarkSpec
+    scale: float = 1.0
+    trace_accesses: int | None = None
+    pressures: tuple[float, ...] = STANDARD_PRESSURE_FACTORS
+    unit_counts: tuple[int, ...] = STANDARD_UNIT_COUNTS
+    include_fine: bool = True
+    overhead_model: OverheadModel = PAPER_MODEL
+    track_links: bool = True
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` / ``REPRO_SWEEP_JOBS`` value.
+
+    ``None`` and ``1`` mean serial (in-process), ``0`` means one worker
+    per core, any other positive value is taken literally.
+    """
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def simulate_task(task: SweepTask) -> list[GridRecord]:
+    """Rebuild the task's workload and simulate its whole grid slab.
+
+    Runs inside a worker process (or inline for the serial path); the
+    loop order matches the serial engine's per-workload order exactly.
+    """
+    workload = build_workload(task.spec, scale=task.scale,
+                              trace_accesses=task.trace_accesses)
+    records: list[GridRecord] = []
+    for pressure in task.pressures:
+        capacity = pressured_capacity(workload.superblocks, pressure)
+        # A fresh ladder per pressure: policies are stateful once
+        # configured.  granularity_ladder names its rungs identically to
+        # sweep.ladder_policy_factories (FLUSH, "N-unit", FIFO).
+        for policy in granularity_ladder(include_fine=task.include_fine,
+                                         unit_counts=task.unit_counts):
+            name = policy.name
+            simulator = CodeCacheSimulator(
+                workload.superblocks,
+                policy,
+                capacity,
+                overhead_model=task.overhead_model,
+                track_links=task.track_links,
+            )
+            record = simulator.process(workload.trace,
+                                       benchmark=workload.name)
+            record.policy_name = name
+            records.append((workload.name, name, pressure, record))
+    return records
+
+
+def imap_tasks(tasks: Sequence[SweepTask],
+               jobs: int | None = 0) -> Iterator[list[GridRecord]]:
+    """Yield one record batch per task, in task order.
+
+    With an effective worker count of one (or a single task) everything
+    runs inline; otherwise tasks fan out over a process pool.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        yield from map(simulate_task, tasks)
+        return
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        yield from pool.map(simulate_task, tasks)

@@ -5,16 +5,25 @@ and keeps the full per-run statistics; all of the paper's simulation
 figures are different projections of that grid (miss rates for
 Figures 6-7, eviction counts for Figure 8, overheads without link costs
 for Figures 10-11, link fractions for Figure 13, overheads with link
-costs for Figures 14-15).  Because the grid is expensive, a module-level
-cache shares it between figure functions within a process.
+costs for Figures 14-15).  Because the grid is expensive, results are
+reused aggressively: a module-level cache shares one grid between figure
+functions within a process, and :func:`full_sweep` additionally round-
+trips through the persistent on-disk cache
+(:mod:`repro.analysis.sweepcache`) so fresh processes and CI runs skip
+re-simulation entirely.  The grid itself can be computed serially or
+fanned out across worker processes (:mod:`repro.analysis.parallel`);
+both engines produce field-for-field identical statistics.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
+from repro.analysis import sweepcache
+from repro.analysis.parallel import SweepTask, imap_tasks, resolve_jobs
 from repro.core.metrics import SimulationStats, unified_miss_rate
 from repro.core.overhead import PAPER_MODEL, OverheadModel
 from repro.core.policies import (
@@ -26,7 +35,12 @@ from repro.core.policies import (
 )
 from repro.core.pressure import STANDARD_PRESSURE_FACTORS, pressured_capacity
 from repro.core.simulator import CodeCacheSimulator
-from repro.workloads.registry import Workload, build_suite
+from repro.workloads.registry import (
+    BenchmarkSpec,
+    Workload,
+    all_benchmarks,
+    build_suite,
+)
 
 PolicyFactory = Callable[[], EvictionPolicy]
 
@@ -170,9 +184,97 @@ def run_sweep(
     )
 
 
+def run_sweep_parallel(
+    specs: Sequence[BenchmarkSpec],
+    scale: float = 1.0,
+    trace_accesses: int | None = None,
+    pressures: Iterable[float] = STANDARD_PRESSURE_FACTORS,
+    unit_counts: Sequence[int] = STANDARD_UNIT_COUNTS,
+    include_fine: bool = True,
+    overhead_model: OverheadModel = PAPER_MODEL,
+    track_links: bool = True,
+    jobs: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Parallel counterpart of :func:`run_sweep`, over registry *specs*.
+
+    The grid is sharded one benchmark per task across a process pool
+    (``jobs=0`` means one worker per core, ``jobs<=1`` runs inline).
+    Workers rebuild their workload from the spec's seed rather than
+    receiving a pickled trace, so the resulting grid is field-for-field
+    identical to the serial engine's on the same specs.
+    """
+    pressures = tuple(pressures)
+    unit_counts = tuple(unit_counts)
+    started = time.perf_counter()
+    tasks = [
+        SweepTask(
+            spec=spec,
+            scale=scale,
+            trace_accesses=trace_accesses,
+            pressures=pressures,
+            unit_counts=unit_counts,
+            include_fine=include_fine,
+            overhead_model=overhead_model,
+            track_links=track_links,
+        )
+        for spec in specs
+    ]
+    stats: dict[tuple[str, str, float], SimulationStats] = {}
+    for task, batch in zip(tasks, imap_tasks(tasks, jobs)):
+        for benchmark, policy, pressure, record in batch:
+            stats[(benchmark, policy, pressure)] = record
+        if progress is not None:
+            progress(f"swept {task.spec.name}")
+    return SweepResult(
+        policy_names=tuple(
+            name for name, _ in ladder_policy_factories(unit_counts,
+                                                        include_fine)
+        ),
+        pressures=pressures,
+        benchmark_names=tuple(task.spec.name for task in tasks),
+        stats=stats,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
 # -- Shared, memoized full-suite sweep ---------------------------------------
 
 _SWEEP_CACHE: dict[tuple, SweepResult] = {}
+
+#: Process-wide defaults for full_sweep's engine knobs, set by the CLI
+#: (``--jobs`` / ``--no-cache``) or the bench conftest.  ``None`` defers
+#: to the environment (REPRO_SWEEP_JOBS / REPRO_SWEEP_CACHE).
+_DEFAULTS: dict[str, int | bool | None] = {"jobs": None, "use_cache": None}
+
+
+def configure(jobs: int | None = None, use_cache: bool | None = None) -> None:
+    """Set process-wide defaults for :func:`full_sweep`.
+
+    ``jobs=None`` / ``use_cache=None`` restore environment-driven
+    resolution for that knob.
+    """
+    _DEFAULTS["jobs"] = jobs
+    _DEFAULTS["use_cache"] = use_cache
+
+
+def _default_jobs(jobs: int | None) -> int | None:
+    if jobs is not None:
+        return jobs
+    if _DEFAULTS["jobs"] is not None:
+        return _DEFAULTS["jobs"]
+    env = os.environ.get("REPRO_SWEEP_JOBS", "").strip()
+    if env:
+        return int(env)
+    return None  # serial
+
+
+def _default_use_cache(use_cache: bool | None) -> bool:
+    if use_cache is not None:
+        return use_cache
+    if _DEFAULTS["use_cache"] is not None:
+        return bool(_DEFAULTS["use_cache"])
+    return sweepcache.cache_enabled_by_env()
 
 
 def full_sweep(
@@ -180,26 +282,75 @@ def full_sweep(
     pressures: tuple[float, ...] = STANDARD_PRESSURE_FACTORS,
     trace_accesses: int | None = None,
     unit_counts: tuple[int, ...] = STANDARD_UNIT_COUNTS,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
 ) -> SweepResult:
     """The all-benchmarks, all-policies grid, cached per configuration.
 
     Every simulation figure of the paper is a projection of this grid,
     so figure functions share one run (links are tracked; the dynamics
     are identical with or without link accounting, only the overhead
-    attribution differs).
+    attribution differs).  Lookups go memory -> disk -> simulate: the
+    in-process memo makes repeated figure functions free, and the
+    persistent cache (see :mod:`repro.analysis.sweepcache`) makes a
+    second cold process nearly free too.  ``jobs`` picks the engine
+    (``None``/1 serial, 0 all cores, N workers; defaults to
+    ``REPRO_SWEEP_JOBS`` or serial) and ``use_cache`` overrides the
+    disk-cache default (``REPRO_SWEEP_CACHE``, on unless set to 0).
     """
+    pressures = tuple(pressures)
+    unit_counts = tuple(unit_counts)
     key = (scale, pressures, trace_accesses, unit_counts)
-    if key not in _SWEEP_CACHE:
-        workloads = build_suite(scale=scale, trace_accesses=trace_accesses)
-        _SWEEP_CACHE[key] = run_sweep(
+    if key in _SWEEP_CACHE:
+        return _SWEEP_CACHE[key]
+    specs = all_benchmarks()
+    disk_key = None
+    if _default_use_cache(use_cache):
+        disk_key = sweepcache.sweep_key(
+            specs,
+            scale=scale,
+            trace_accesses=trace_accesses,
+            unit_counts=unit_counts,
+            include_fine=True,
+            pressures=pressures,
+            overhead_model=PAPER_MODEL,
+            track_links=True,
+        )
+        cached = sweepcache.load(disk_key)
+        if cached is not None:
+            _SWEEP_CACHE[key] = cached
+            return cached
+    effective_jobs = resolve_jobs(_default_jobs(jobs))
+    if effective_jobs > 1:
+        result = run_sweep_parallel(
+            specs,
+            scale=scale,
+            trace_accesses=trace_accesses,
+            pressures=pressures,
+            unit_counts=unit_counts,
+            jobs=effective_jobs,
+        )
+    else:
+        workloads = build_suite(specs, scale=scale,
+                                trace_accesses=trace_accesses)
+        result = run_sweep(
             workloads,
             ladder_policy_factories(unit_counts),
             pressures=pressures,
             track_links=True,
         )
-    return _SWEEP_CACHE[key]
+    if disk_key is not None:
+        sweepcache.store(disk_key, result, extra_meta={
+            "scale": scale,
+            "trace_accesses": trace_accesses,
+            "jobs": effective_jobs,
+        })
+    _SWEEP_CACHE[key] = result
+    return result
 
 
 def clear_sweep_cache() -> None:
-    """Drop memoized sweeps (tests use this to keep runs independent)."""
+    """Drop in-process memoized sweeps (tests use this to keep runs
+    independent; the on-disk cache is managed by
+    :mod:`repro.analysis.sweepcache` and the CLI's ``cache-clear``)."""
     _SWEEP_CACHE.clear()

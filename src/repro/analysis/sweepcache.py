@@ -1,0 +1,254 @@
+"""Persistent on-disk cache for sweep results.
+
+A full granularity x pressure sweep is minutes of CPU at scale 1.0 and
+is recomputed from nothing but seeds, so its results are a pure function
+of (workload specs, policy ladder, pressures, overhead model, simulator
+version).  This module content-addresses that function: the key is a
+SHA-256 over a canonical JSON encoding of every input, entries are
+pickled :class:`~repro.analysis.sweep.SweepResult` grids written
+atomically (temp file + ``os.replace``), and a JSON sidecar per entry
+records provenance and a best-effort hit counter for the CLI's
+``cache-stats`` command.
+
+The cache lives in ``~/.cache/repro-sweeps/`` unless
+``REPRO_SWEEP_CACHE_DIR`` points elsewhere; ``REPRO_SWEEP_CACHE=0``
+disables it entirely (the tests do this to stay hermetic).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.overhead import OverheadModel
+from repro.workloads.registry import BenchmarkSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.sweep import SweepResult
+
+#: Simulator/workload semantics version.  Bump whenever a code change
+#: alters what a sweep produces for the same inputs; old entries then
+#: miss instead of silently serving stale numbers.
+CACHE_VERSION = "1"
+
+ENV_CACHE_DIR = "REPRO_SWEEP_CACHE_DIR"
+ENV_CACHE = "REPRO_SWEEP_CACHE"
+
+_COUNTERS = {"hits": 0, "misses": 0, "stores": 0}
+
+
+def cache_dir() -> Path:
+    """The cache directory (not created until the first store)."""
+    override = os.environ.get(ENV_CACHE_DIR, "").strip()
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro-sweeps"
+
+
+def cache_enabled_by_env() -> bool:
+    """Whether ``REPRO_SWEEP_CACHE`` permits disk caching (default yes)."""
+    flag = os.environ.get(ENV_CACHE, "1").strip().lower()
+    return flag not in ("0", "false", "no", "off")
+
+
+def _model_token(model: OverheadModel) -> list[float]:
+    return [
+        model.miss.slope, model.miss.intercept,
+        model.eviction.slope, model.eviction.intercept,
+        model.unlink.slope, model.unlink.intercept,
+    ]
+
+
+def sweep_key(
+    specs: Sequence[BenchmarkSpec],
+    scale: float,
+    trace_accesses: int | None,
+    unit_counts: Sequence[int],
+    include_fine: bool,
+    pressures: Sequence[float],
+    overhead_model: OverheadModel,
+    track_links: bool,
+) -> str:
+    """Content hash of everything that determines a sweep's output."""
+    payload = {
+        "version": CACHE_VERSION,
+        "workloads": [list(spec.cache_token()) for spec in specs],
+        "scale": float(scale),
+        "trace_accesses": trace_accesses,
+        "unit_counts": [int(count) for count in unit_counts],
+        "include_fine": bool(include_fine),
+        "pressures": [float(pressure) for pressure in pressures],
+        "overhead_model": _model_token(overhead_model),
+        "track_links": bool(track_links),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _data_path(key: str) -> Path:
+    return cache_dir() / f"{key}.pkl"
+
+
+def _meta_path(key: str) -> Path:
+    return cache_dir() / f"{key}.json"
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    """Write *payload* so readers never observe a partial file."""
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                               prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load(key: str) -> "SweepResult | None":
+    """Return the cached grid for *key*, or None on a miss.
+
+    Unreadable entries (corrupt file, incompatible pickle from an older
+    code state) are deleted and treated as misses.
+    """
+    path = _data_path(key)
+    try:
+        with open(path, "rb") as handle:
+            result = pickle.load(handle)
+    except FileNotFoundError:
+        _COUNTERS["misses"] += 1
+        return None
+    except Exception:
+        _COUNTERS["misses"] += 1
+        for stale in (path, _meta_path(key)):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        return None
+    _COUNTERS["hits"] += 1
+    _bump_meta_hits(key)
+    return result
+
+
+def store(key: str, result: "SweepResult",
+          extra_meta: dict | None = None) -> Path:
+    """Persist *result* under *key*; returns the data path."""
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = _data_path(key)
+    _atomic_write(path, pickle.dumps(result,
+                                     protocol=pickle.HIGHEST_PROTOCOL))
+    meta = {
+        "key": key,
+        "version": CACHE_VERSION,
+        "created": time.time(),
+        "benchmarks": list(result.benchmark_names),
+        "policies": list(result.policy_names),
+        "pressures": list(result.pressures),
+        "grid_points": len(result.stats),
+        "elapsed_seconds": result.elapsed_seconds,
+        "hits": 0,
+    }
+    if extra_meta:
+        meta.update(extra_meta)
+    _atomic_write(_meta_path(key), json.dumps(meta, indent=2).encode("utf-8"))
+    _COUNTERS["stores"] += 1
+    return path
+
+
+def _bump_meta_hits(key: str) -> None:
+    """Best-effort persistent hit counter (never fails a lookup)."""
+    path = _meta_path(key)
+    try:
+        meta = json.loads(path.read_text())
+        meta["hits"] = int(meta.get("hits", 0)) + 1
+        _atomic_write(path, json.dumps(meta, indent=2).encode("utf-8"))
+    except Exception:
+        pass
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored sweep, as shown by ``cache-stats``."""
+
+    key: str
+    data_bytes: int
+    created: float | None
+    hits: int
+    benchmarks: int
+    policies: int
+    pressures: int
+    elapsed_seconds: float | None
+
+
+def entries() -> list[CacheEntry]:
+    """All readable entries, newest first."""
+    directory = cache_dir()
+    if not directory.is_dir():
+        return []
+    found = []
+    for path in sorted(directory.glob("*.pkl")):
+        key = path.stem
+        try:
+            size = path.stat().st_size
+        except OSError:
+            continue
+        meta: dict = {}
+        try:
+            meta = json.loads(_meta_path(key).read_text())
+        except Exception:
+            pass
+        found.append(CacheEntry(
+            key=key,
+            data_bytes=size,
+            created=meta.get("created"),
+            hits=int(meta.get("hits", 0)),
+            benchmarks=len(meta.get("benchmarks", ())),
+            policies=len(meta.get("policies", ())),
+            pressures=len(meta.get("pressures", ())),
+            elapsed_seconds=meta.get("elapsed_seconds"),
+        ))
+    found.sort(key=lambda entry: entry.created or 0.0, reverse=True)
+    return found
+
+
+def clear() -> int:
+    """Delete every entry; returns the number of sweeps removed."""
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for path in directory.glob("*.pkl"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            continue
+        try:
+            _meta_path(path.stem).unlink()
+        except OSError:
+            pass
+    return removed
+
+
+def counters() -> dict[str, int]:
+    """This process's hit/miss/store counts (a copy)."""
+    return dict(_COUNTERS)
+
+
+def reset_counters() -> None:
+    """Zero the process-level counters (tests use this)."""
+    for name in _COUNTERS:
+        _COUNTERS[name] = 0

@@ -18,6 +18,7 @@ back-pointer table at all (FLUSH does not — Section 5 of the paper).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import Counter
 
 from repro.core.cache import (
     CircularBlockBuffer,
@@ -304,7 +305,7 @@ class GenerationalPolicy(EvictionPolicy):
         self.promote_after = promote_after
         self._nursery: UnitCache | None = None
         self._persistent: UnitCache | None = None
-        self._evict_counts: dict[int, int] = {}
+        self._evict_counts: Counter[int] = Counter()
         self.promotions = 0
 
     def configure(self, capacity_bytes: int, max_block_bytes: int) -> None:
@@ -322,7 +323,7 @@ class GenerationalPolicy(EvictionPolicy):
         self._nursery = UnitCache(nursery_bytes, nursery_units, max_block_bytes)
         self._persistent = UnitCache(persistent_bytes, persistent_units,
                                      max_block_bytes)
-        self._evict_counts = {}
+        self._evict_counts = Counter()
         self.promotions = 0
         self._configured = True
 
@@ -331,14 +332,13 @@ class GenerationalPolicy(EvictionPolicy):
 
     def insert(self, sid: int, size_bytes: int) -> list[EvictionEvent]:
         self._require_configured()
-        born_again = self._evict_counts.get(sid, 0) >= self.promote_after
+        born_again = self._evict_counts[sid] >= self.promote_after
         region = self._persistent if born_again else self._nursery
         if born_again:
             self.promotions += 1
         events = region.insert(sid, size_bytes)
         for event in events:
-            for victim in event.blocks:
-                self._evict_counts[victim] = self._evict_counts.get(victim, 0) + 1
+            self._evict_counts.update(event.blocks)
         return events
 
     def unit_of(self, sid: int) -> int:

@@ -70,39 +70,47 @@ class CodeCacheSimulator:
             trace = trace.tolist()
         policy = self.policy
         links = self.links
-        model = self.overhead_model
         sizes = self.superblocks.sizes()
         contains = policy.contains
-        insert = policy.insert
-        miss_cost = model.miss_cost
-        eviction_cost = model.eviction_cost
-        unlink_cost = model.unlink_cost
         # Policies that don't watch accesses skip the hook entirely; this
         # keeps the hot loop at two calls per hit.
         watches_accesses = (
             type(policy).on_access is not EvictionPolicy.on_access
         )
 
-        for sid in trace:
-            stats.accesses += 1
-            if watches_accesses:
-                hinted = contains(sid)
-                preemptive = policy.on_access(sid, hinted)
-                if preemptive:
-                    stats.preemptive_flushes += len(preemptive)
-                    self._account_evictions(preemptive, stats)
-            if contains(sid):
-                stats.hits += 1
-                continue
-            stats.misses += 1
-            size = sizes[sid]
-            stats.inserted_bytes += size
-            stats.miss_overhead += miss_cost(size)
-            events = insert(sid, size)
-            if events:
-                self._account_evictions(events, stats)
-            if links is not None:
-                links.on_insert(sid)
+        if not watches_accesses and links is None:
+            self._process_batched(trace, stats)
+        else:
+            insert = policy.insert
+            miss_cost = self.overhead_model.miss_cost
+            for sid in trace:
+                stats.accesses += 1
+                if watches_accesses:
+                    hinted = contains(sid)
+                    preemptive = policy.on_access(sid, hinted)
+                    if preemptive:
+                        stats.preemptive_flushes += len(preemptive)
+                        self._account_evictions(preemptive, stats)
+                        # The hook evicted blocks (e.g. a preemptive
+                        # flush), so the pre-hook residency probe is
+                        # stale for this access only.
+                        hit = contains(sid)
+                    else:
+                        hit = hinted
+                else:
+                    hit = contains(sid)
+                if hit:
+                    stats.hits += 1
+                    continue
+                stats.misses += 1
+                size = sizes[sid]
+                stats.inserted_bytes += size
+                stats.miss_overhead += miss_cost(size)
+                events = insert(sid, size)
+                if events:
+                    self._account_evictions(events, stats)
+                if links is not None:
+                    links.on_insert(sid)
 
         if links is not None:
             stats.links_established_intra = links.established_intra
@@ -110,22 +118,77 @@ class CodeCacheSimulator:
             stats.peak_backpointer_bytes = links.peak_backpointer_bytes
         return stats
 
+    def _process_batched(self, trace, stats: SimulationStats) -> None:
+        """Fast path for the common no-links, non-watching-policy case.
+
+        Accumulates into locals and writes the stats record once at the
+        end, keeping the hot loop to two method calls per hit and free
+        of attribute stores.
+        """
+        policy = self.policy
+        sizes = self.superblocks.sizes()
+        contains = policy.contains
+        insert = policy.insert
+        model = self.overhead_model
+        miss_cost = model.miss_cost
+        eviction_cost = model.eviction_cost
+        accesses = hits = misses = 0
+        inserted_bytes = 0
+        miss_overhead = 0.0
+        invocations = evicted_blocks = evicted_bytes = 0
+        eviction_overhead = 0.0
+        for sid in trace:
+            accesses += 1
+            if contains(sid):
+                hits += 1
+                continue
+            misses += 1
+            size = sizes[sid]
+            inserted_bytes += size
+            miss_overhead += miss_cost(size)
+            for event in insert(sid, size):
+                invocations += 1
+                evicted_blocks += len(event.blocks)
+                evicted_bytes += event.bytes_evicted
+                eviction_overhead += eviction_cost(event.bytes_evicted)
+        stats.accesses += accesses
+        stats.hits += hits
+        stats.misses += misses
+        stats.inserted_bytes += inserted_bytes
+        stats.miss_overhead += miss_overhead
+        stats.eviction_invocations += invocations
+        stats.evicted_blocks += evicted_blocks
+        stats.evicted_bytes += evicted_bytes
+        stats.eviction_overhead += eviction_overhead
+
     def _account_evictions(self, events, stats: SimulationStats) -> None:
         """Charge eviction and unlinking costs for a batch of events."""
         model = self.overhead_model
         links = self.links
+        eviction_cost = model.eviction_cost
+        unlink_cost = model.unlink_cost
+        invocations = blocks = evicted_bytes = 0
+        eviction_overhead = 0.0
+        unlink_operations = links_removed = 0
+        unlink_overhead = 0.0
         for event in events:
-            stats.eviction_invocations += 1
-            stats.evicted_blocks += event.block_count
-            stats.evicted_bytes += event.bytes_evicted
-            stats.eviction_overhead += model.eviction_cost(event.bytes_evicted)
+            invocations += 1
+            blocks += len(event.blocks)
+            evicted_bytes += event.bytes_evicted
+            eviction_overhead += eviction_cost(event.bytes_evicted)
             if links is not None:
                 for record in links.on_evict(event.blocks):
-                    stats.unlink_operations += 1
-                    stats.links_removed += record.links_removed
-                    stats.unlink_overhead += model.unlink_cost(
-                        record.links_removed
-                    )
+                    unlink_operations += 1
+                    links_removed += record.links_removed
+                    unlink_overhead += unlink_cost(record.links_removed)
+        stats.eviction_invocations += invocations
+        stats.evicted_blocks += blocks
+        stats.evicted_bytes += evicted_bytes
+        stats.eviction_overhead += eviction_overhead
+        if links is not None:
+            stats.unlink_operations += unlink_operations
+            stats.links_removed += links_removed
+            stats.unlink_overhead += unlink_overhead
 
 
 def simulate(

@@ -53,6 +53,24 @@ class BenchmarkSpec:
         if self.superblock_count < 1:
             raise ValueError("superblock_count must be positive")
 
+    def cache_token(self) -> tuple:
+        """Stable identity tuple for content-addressed sweep caching.
+
+        Covers every field that affects the materialized workload (the
+        suite selects the sigma default, the clipping bound and the trace
+        profile), so any registry change invalidates cached sweep
+        results.  ``description`` is presentation-only and excluded.
+        """
+        return (
+            self.name,
+            self.suite,
+            self.superblock_count,
+            self.median_bytes,
+            self.mean_out_degree,
+            self.sigma,
+            self.seed,
+        )
+
     @property
     def size_distribution(self) -> LogNormalSizeDistribution:
         sigma = self.sigma

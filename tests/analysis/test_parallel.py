@@ -1,0 +1,110 @@
+"""Parallel sweep engine: exact equivalence with the serial engine."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.parallel import (
+    SweepTask,
+    imap_tasks,
+    resolve_jobs,
+    simulate_task,
+)
+from repro.analysis.sweep import (
+    ladder_policy_factories,
+    run_sweep,
+    run_sweep_parallel,
+)
+from repro.workloads.registry import build_suite, spec_benchmarks
+
+SPECS = spec_benchmarks()[:3]
+UNIT_COUNTS = (1, 4)
+PRESSURES = (2, 6)
+BUILD_KWARGS = dict(scale=0.15, trace_accesses=2500)
+
+
+def _serial_reference():
+    workloads = build_suite(SPECS, **BUILD_KWARGS)
+    return run_sweep(workloads, ladder_policy_factories(UNIT_COUNTS),
+                     pressures=PRESSURES)
+
+
+def _assert_grids_identical(serial, parallel):
+    assert parallel.policy_names == serial.policy_names
+    assert parallel.benchmark_names == serial.benchmark_names
+    assert parallel.pressures == serial.pressures
+    assert set(parallel.stats) == set(serial.stats)
+    for point, record in serial.stats.items():
+        # Field-for-field: every counter and float accumulator must
+        # match exactly, not approximately.
+        assert (dataclasses.asdict(parallel.stats[point])
+                == dataclasses.asdict(record)), point
+
+
+class TestResolveJobs:
+    def test_none_and_one_mean_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(7) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestSimulateTask:
+    def test_task_payload_has_no_materialized_trace(self):
+        task = SweepTask(spec=SPECS[0], pressures=PRESSURES,
+                         unit_counts=UNIT_COUNTS, **BUILD_KWARGS)
+        field_names = {f.name for f in dataclasses.fields(task)}
+        assert "trace" not in field_names
+        assert "superblocks" not in field_names
+
+    def test_slab_matches_serial_grid_points(self):
+        serial = _serial_reference()
+        task = SweepTask(spec=SPECS[0], pressures=PRESSURES,
+                         unit_counts=UNIT_COUNTS, **BUILD_KWARGS)
+        records = simulate_task(task)
+        assert len(records) == len(PRESSURES) * 3  # FLUSH, 4-unit, FIFO
+        for benchmark, policy, pressure, record in records:
+            expected = serial.stats[(benchmark, policy, pressure)]
+            assert (dataclasses.asdict(record)
+                    == dataclasses.asdict(expected))
+
+
+class TestParallelEquivalence:
+    def test_process_pool_grid_is_identical(self):
+        serial = _serial_reference()
+        parallel = run_sweep_parallel(SPECS, pressures=PRESSURES,
+                                      unit_counts=UNIT_COUNTS, jobs=2,
+                                      **BUILD_KWARGS)
+        _assert_grids_identical(serial, parallel)
+
+    def test_inline_engine_is_identical(self):
+        serial = _serial_reference()
+        inline = run_sweep_parallel(SPECS, pressures=PRESSURES,
+                                    unit_counts=UNIT_COUNTS, jobs=1,
+                                    **BUILD_KWARGS)
+        _assert_grids_identical(serial, inline)
+
+    def test_progress_callback_fires_per_benchmark(self):
+        lines = []
+        run_sweep_parallel(SPECS, pressures=(2,), unit_counts=(1,),
+                           include_fine=False, jobs=2,
+                           progress=lines.append, **BUILD_KWARGS)
+        assert lines == [f"swept {spec.name}" for spec in SPECS]
+
+    def test_imap_preserves_task_order(self):
+        tasks = [
+            SweepTask(spec=spec, pressures=(2,), unit_counts=(1,),
+                      include_fine=False, **BUILD_KWARGS)
+            for spec in SPECS
+        ]
+        batches = list(imap_tasks(tasks, jobs=2))
+        names = [batch[0][0] for batch in batches]
+        assert names == [spec.name for spec in SPECS]

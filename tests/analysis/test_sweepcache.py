@@ -1,0 +1,181 @@
+"""Persistent on-disk sweep cache: round-trip, keying, invalidation."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import sweepcache
+from repro.analysis.sweep import (
+    clear_sweep_cache,
+    full_sweep,
+    ladder_policy_factories,
+    run_sweep,
+)
+from repro.core.overhead import FREE_MODEL, PAPER_MODEL
+from repro.workloads.registry import build_suite, spec_benchmarks
+
+SPECS = spec_benchmarks()[:2]
+UNIT_COUNTS = (1, 4)
+PRESSURES = (2, 6)
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(sweepcache.ENV_CACHE_DIR, str(tmp_path))
+    sweepcache.reset_counters()
+    return tmp_path
+
+
+def _small_sweep():
+    workloads = build_suite(SPECS, scale=0.1, trace_accesses=1500)
+    return run_sweep(workloads, ladder_policy_factories(UNIT_COUNTS),
+                     pressures=PRESSURES)
+
+
+def _key(**overrides):
+    kwargs = dict(
+        scale=0.1,
+        trace_accesses=1500,
+        unit_counts=UNIT_COUNTS,
+        include_fine=True,
+        pressures=PRESSURES,
+        overhead_model=PAPER_MODEL,
+        track_links=True,
+    )
+    kwargs.update(overrides)
+    return sweepcache.sweep_key(SPECS, **kwargs)
+
+
+class TestKeying:
+    def test_key_is_deterministic(self):
+        assert _key() == _key()
+
+    def test_changed_pressures_change_the_key(self):
+        assert _key() != _key(pressures=(2, 4))
+
+    def test_every_input_is_keyed(self):
+        base = _key()
+        assert base != _key(scale=0.2)
+        assert base != _key(trace_accesses=2000)
+        assert base != _key(unit_counts=(1, 8))
+        assert base != _key(include_fine=False)
+        assert base != _key(overhead_model=FREE_MODEL)
+        assert base != _key(track_links=False)
+        assert base != sweepcache.sweep_key(
+            SPECS[:1], scale=0.1, trace_accesses=1500,
+            unit_counts=UNIT_COUNTS, include_fine=True,
+            pressures=PRESSURES, overhead_model=PAPER_MODEL,
+            track_links=True,
+        )
+
+
+class TestRoundTrip:
+    def test_store_then_load_in_fresh_lookup(self, cache_dir):
+        result = _small_sweep()
+        key = _key()
+        sweepcache.store(key, result)
+        # A fresh keyed lookup (recomputed key, new load) must return an
+        # equal grid.
+        reloaded = sweepcache.load(_key())
+        assert reloaded is not None
+        assert reloaded.policy_names == result.policy_names
+        assert reloaded.benchmark_names == result.benchmark_names
+        assert reloaded.pressures == result.pressures
+        for point, record in result.stats.items():
+            assert (dataclasses.asdict(reloaded.stats[point])
+                    == dataclasses.asdict(record))
+        counts = sweepcache.counters()
+        assert counts["stores"] == 1
+        assert counts["hits"] == 1
+
+    def test_changed_pressure_tuple_misses(self, cache_dir):
+        sweepcache.store(_key(), _small_sweep())
+        assert sweepcache.load(_key(pressures=(2, 4))) is None
+        assert sweepcache.counters()["misses"] == 1
+
+    def test_no_temp_files_left_behind(self, cache_dir):
+        sweepcache.store(_key(), _small_sweep())
+        assert not list(cache_dir.glob("*.tmp"))
+        data_files = list(cache_dir.glob("*.pkl"))
+        meta_files = list(cache_dir.glob("*.json"))
+        assert len(data_files) == 1
+        assert len(meta_files) == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, cache_dir):
+        key = _key()
+        sweepcache.store(key, _small_sweep())
+        (cache_dir / f"{key}.pkl").write_bytes(b"not a pickle")
+        assert sweepcache.load(key) is None
+        assert not (cache_dir / f"{key}.pkl").exists()
+
+    def test_hit_counter_persists_in_meta(self, cache_dir):
+        key = _key()
+        sweepcache.store(key, _small_sweep())
+        sweepcache.load(key)
+        sweepcache.load(key)
+        (entry,) = sweepcache.entries()
+        assert entry.hits == 2
+        assert entry.benchmarks == len(SPECS)
+
+
+class TestMaintenance:
+    def test_entries_and_clear(self, cache_dir):
+        sweepcache.store(_key(), _small_sweep())
+        sweepcache.store(_key(pressures=(2,)), _small_sweep())
+        assert len(sweepcache.entries()) == 2
+        assert sweepcache.clear() == 2
+        assert sweepcache.entries() == []
+        assert sweepcache.clear() == 0
+
+    def test_cache_dir_env_override(self, cache_dir):
+        assert sweepcache.cache_dir() == cache_dir
+
+    def test_cache_enabled_flag(self, monkeypatch):
+        monkeypatch.setenv(sweepcache.ENV_CACHE, "0")
+        assert not sweepcache.cache_enabled_by_env()
+        monkeypatch.setenv(sweepcache.ENV_CACHE, "1")
+        assert sweepcache.cache_enabled_by_env()
+
+
+class TestFullSweepIntegration:
+    FULL_KWARGS = dict(scale=0.02, pressures=(2,), trace_accesses=500,
+                       unit_counts=(1, 2))
+
+    def test_cold_process_equivalent_hits_disk(self, cache_dir):
+        clear_sweep_cache()
+        try:
+            first = full_sweep(use_cache=True, **self.FULL_KWARGS)
+            # Dropping the in-process memo simulates a fresh process:
+            # the second call must come back from disk, not simulation.
+            clear_sweep_cache()
+            second = full_sweep(use_cache=True, **self.FULL_KWARGS)
+            assert second is not first
+            counts = sweepcache.counters()
+            assert counts["stores"] == 1
+            assert counts["hits"] == 1
+            for point, record in first.stats.items():
+                assert (dataclasses.asdict(second.stats[point])
+                        == dataclasses.asdict(record))
+        finally:
+            clear_sweep_cache()
+
+    def test_use_cache_false_bypasses_disk(self, cache_dir):
+        clear_sweep_cache()
+        try:
+            full_sweep(use_cache=False, **self.FULL_KWARGS)
+            assert sweepcache.entries() == []
+            assert sweepcache.counters()["stores"] == 0
+        finally:
+            clear_sweep_cache()
+
+    def test_parallel_full_sweep_round_trips(self, cache_dir):
+        clear_sweep_cache()
+        try:
+            first = full_sweep(use_cache=True, jobs=2, **self.FULL_KWARGS)
+            clear_sweep_cache()
+            serial = full_sweep(use_cache=False, **self.FULL_KWARGS)
+            for point, record in serial.stats.items():
+                assert (dataclasses.asdict(first.stats[point])
+                        == dataclasses.asdict(record))
+        finally:
+            clear_sweep_cache()

@@ -1,0 +1,12 @@
+"""Shared unit-test configuration.
+
+The persistent sweep cache (``repro.analysis.sweepcache``) is disabled
+for the unit-test run: tests must exercise the simulators, not replay a
+previous run's results from ``~/.cache``.  Tests that cover the cache
+itself re-enable it explicitly against a temporary directory.
+"""
+
+import os
+
+os.environ["REPRO_SWEEP_CACHE"] = "0"
+os.environ.pop("REPRO_SWEEP_JOBS", None)

@@ -196,6 +196,27 @@ class TestGenerationalPolicy:
         nursery_units = policy._nursery.unit_count
         assert policy.unit_of(1) >= nursery_units
 
+    def test_promotion_triggers_after_exactly_promote_after_evictions(self):
+        policy = GenerationalPolicy(nursery_fraction=0.5, nursery_units=1,
+                                    persistent_units=1, promote_after=2)
+        policy.configure(4000, 500)
+
+        def churn_out(block):
+            sid = 1000
+            while policy.contains(block):
+                policy.insert(sid, 450)
+                sid += 1
+
+        policy.insert(1, 450)
+        churn_out(1)          # eviction count 1 < promote_after
+        policy.insert(1, 450)
+        assert policy.promotions == 0
+        churn_out(1)          # eviction count 2 == promote_after
+        policy.insert(1, 450)
+        assert policy.promotions == 1
+        # Promoted into the persistent region, past the nursery's units.
+        assert policy.unit_of(1) >= policy._nursery.unit_count
+
     def test_effective_unit_count_spans_generations(self):
         policy = GenerationalPolicy(nursery_units=2, persistent_units=2)
         policy.configure(8000, 500)
