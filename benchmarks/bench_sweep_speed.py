@@ -1,14 +1,18 @@
-"""Sweep-engine speed bench: serial vs process-parallel wall clock.
+"""Sweep-engine speed bench: serial vs parallel vs checkpointed runs.
 
-Runs the full 20-benchmark grid at a small fixed scale through both
-engines, verifies they produce identical statistics, and records the
-wall-clock numbers in ``BENCH_sweep.json`` at the repo root so the
-performance trajectory is tracked across PRs.
+Runs the full 20-benchmark grid at a small fixed scale through the
+serial engine, the process-parallel engine, the parallel engine with
+per-task checkpointing enabled (cold), and a checkpoint-warm *resumed*
+run, verifies they all produce identical statistics, and records the
+wall-clock numbers in ``BENCH_sweep.json`` at the repo root so both the
+parallel speedup and the checkpointing overhead are tracked across PRs.
 
 Run directly (``python benchmarks/bench_sweep_speed.py``) or through
 pytest (``pytest benchmarks/bench_sweep_speed.py``).  The speedup
 assertion only applies when the machine actually has enough cores for
-the parallel engine to win; the JSON is written either way.
+the parallel engine to win; the JSON is written either way.  The
+checkpoint-overhead assertion holds checkpointed runs to ~5 % over the
+plain parallel run (plus a small absolute grace for timer noise).
 
 Knobs: ``REPRO_BENCH_JOBS`` (default 4) and ``REPRO_BENCH_REPEATS``
 (default 1; best-of-N timing).
@@ -17,9 +21,11 @@ Knobs: ``REPRO_BENCH_JOBS`` (default 4) and ``REPRO_BENCH_REPEATS``
 import dataclasses
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 
+from repro.analysis.checkpoint import CheckpointStore
 from repro.analysis.sweep import (
     ladder_policy_factories,
     run_sweep,
@@ -60,13 +66,24 @@ def run_bench() -> dict:
                            pressures=PRESSURES)
         return time.perf_counter() - started, result
 
-    def parallel_once():
+    def parallel_once(checkpoints=None):
         started = time.perf_counter()
         result = run_sweep_parallel(specs, scale=SCALE,
                                     trace_accesses=TRACE_ACCESSES,
                                     pressures=PRESSURES,
-                                    unit_counts=UNIT_COUNTS, jobs=JOBS)
+                                    unit_counts=UNIT_COUNTS, jobs=JOBS,
+                                    checkpoints=checkpoints)
         return time.perf_counter() - started, result
+
+    def checkpointed_once(root):
+        """One cold run that also streams per-task checkpoints."""
+        store = CheckpointStore(root)
+        store.clear()
+        return parallel_once(checkpoints=store)
+
+    def resumed_once(root):
+        """A warm run against a fully-populated checkpoint store."""
+        return parallel_once(checkpoints=CheckpointStore(root))
 
     serial_seconds, serial_result = min(
         (serial_once() for _ in range(REPEATS)), key=lambda pair: pair[0]
@@ -74,6 +91,17 @@ def run_bench() -> dict:
     parallel_seconds, parallel_result = min(
         (parallel_once() for _ in range(REPEATS)), key=lambda pair: pair[0]
     )
+    with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as tmp:
+        checkpoint_seconds, checkpoint_result = min(
+            (checkpointed_once(tmp) for _ in range(REPEATS)),
+            key=lambda pair: pair[0]
+        )
+        # The last cold run left the store fully populated, so the
+        # resumed runs measure pure checkpoint-load time.
+        resume_seconds, resume_result = min(
+            (resumed_once(tmp) for _ in range(REPEATS)),
+            key=lambda pair: pair[0]
+        )
     # The parallel engine pays workload construction inside the timed
     # region too (workers rebuild from specs), so the comparison gives
     # the serial engine its build time for symmetry.
@@ -94,11 +122,21 @@ def run_bench() -> dict:
         "serial_seconds": round(serial_seconds, 3),
         "parallel_seconds": round(parallel_seconds, 3),
         "speedup": round(serial_seconds / parallel_seconds, 3),
+        "checkpoint_cold_seconds": round(checkpoint_seconds, 3),
+        "checkpoint_overhead": round(
+            checkpoint_seconds / parallel_seconds - 1.0, 4
+        ),
+        "resume_seconds": round(resume_seconds, 3),
+        "resumed_tasks": len(resume_result.fault_report.resumed),
         "accesses_per_second_serial": round(total_accesses / serial_seconds),
         "accesses_per_second_parallel": round(
             total_accesses / parallel_seconds
         ),
-        "grids_identical": _grids_identical(serial_result, parallel_result),
+        "grids_identical": (
+            _grids_identical(serial_result, parallel_result)
+            and _grids_identical(serial_result, checkpoint_result)
+            and _grids_identical(serial_result, resume_result)
+        ),
     }
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report
@@ -112,6 +150,15 @@ def test_sweep_speed():
     # single-core CI boxes still record their numbers above.
     if (os.cpu_count() or 1) >= 4:
         assert report["speedup"] >= 2.0, report
+    # Streaming per-task checkpoints must stay cheap: within ~5 % of
+    # the plain parallel run, plus a small absolute grace so timer
+    # noise on loaded CI boxes can't fail the build.
+    assert (report["checkpoint_cold_seconds"]
+            <= report["parallel_seconds"] * 1.05 + 0.75), report
+    # A fully-checkpointed sweep resumes every task instead of
+    # simulating, so the warm run must beat the cold one outright.
+    assert report["resumed_tasks"] == report["benchmarks"], report
+    assert report["resume_seconds"] < report["checkpoint_cold_seconds"], report
 
 
 if __name__ == "__main__":

@@ -5,6 +5,13 @@ from repro.analysis.report import (
     format_bar_chart,
     format_table,
 )
+from repro.analysis.checkpoint import CheckpointStore
+from repro.analysis.parallel import (
+    FaultTolerance,
+    SweepError,
+    SweepFailure,
+    SweepTask,
+)
 from repro.analysis.sweep import (
     FINE_NAME,
     FLUSH_NAME,
@@ -13,6 +20,7 @@ from repro.analysis.sweep import (
     full_sweep,
     ladder_policy_factories,
     run_sweep,
+    run_sweep_parallel,
 )
 from repro.analysis.connectivity import (
     ConnectivitySummary,
@@ -45,6 +53,11 @@ __all__ = [
     "ExperimentResult",
     "format_bar_chart",
     "format_table",
+    "CheckpointStore",
+    "FaultTolerance",
+    "SweepError",
+    "SweepFailure",
+    "SweepTask",
     "FINE_NAME",
     "FLUSH_NAME",
     "SweepResult",
@@ -52,6 +65,7 @@ __all__ = [
     "full_sweep",
     "ladder_policy_factories",
     "run_sweep",
+    "run_sweep_parallel",
     "experiments",
     "ConnectivitySummary",
     "PlacementHeadroom",

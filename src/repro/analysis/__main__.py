@@ -9,6 +9,9 @@ prints the rendered result.  Examples::
     python -m repro.analysis all --scale 0.1 --trace-accesses 5000
     python -m repro.analysis figure7 --jobs 0        # sweep on all cores
     python -m repro.analysis figure7 --no-cache      # force re-simulation
+    python -m repro.analysis figure7 --jobs 4 --task-timeout 600 \
+        --max-retries 3                              # fault-tolerant sweep
+    python -m repro.analysis figure7 --no-resume     # skip checkpointing
     python -m repro.analysis cache-stats             # inspect the disk cache
     python -m repro.analysis cache-clear             # drop cached sweeps
 
@@ -69,6 +72,20 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk sweep cache "
                              "(REPRO_SWEEP_CACHE_DIR) for this run")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="abandon and retry a sweep task attempt "
+                             "after this many seconds (default: "
+                             "REPRO_SWEEP_TIMEOUT or no timeout)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="pool retries per sweep task before it "
+                             "degrades to in-process execution "
+                             "(default: REPRO_SWEEP_RETRIES or 2)")
+    parser.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="checkpoint completed sweep slabs and "
+                             "resume interrupted sweeps from them "
+                             "(default: REPRO_SWEEP_RESUME, on)")
     return parser
 
 
@@ -94,11 +111,16 @@ def _cache_stats_text() -> str:
     rows = sweepcache.entries()
     counts = sweepcache.counters()
     total_bytes = sum(entry.data_bytes for entry in rows)
+    quarantined = sweepcache.quarantined_entries()
     lines = [
         f"sweep cache: {sweepcache.cache_dir()}",
-        f"  entries: {len(rows)}   total: {total_bytes / 1024:.1f} KiB",
+        f"  entries: {len(rows)}   total: {total_bytes / 1024:.1f} KiB   "
+        f"quarantined: {len(quarantined)}",
         f"  this process: {counts['hits']} hit(s), "
-        f"{counts['misses']} miss(es), {counts['stores']} store(s)",
+        f"{counts['misses']} miss(es), {counts['stores']} store(s), "
+        f"{counts['store_failures']} store failure(s), "
+        f"{counts['quarantines']} quarantine(s), "
+        f"{counts['retries']} task retr{'y' if counts['retries'] == 1 else 'ies'}",
     ]
     for entry in rows:
         created = (
@@ -139,8 +161,16 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.jobs is not None and args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error(f"--task-timeout must be positive, "
+                     f"got {args.task_timeout}")
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
     sweep.configure(jobs=args.jobs,
-                    use_cache=False if args.no_cache else None)
+                    use_cache=False if args.no_cache else None,
+                    task_timeout=args.task_timeout,
+                    max_retries=args.max_retries,
+                    resume=args.resume)
     requested = []
     for raw in args.artifacts:
         name = _ALIASES.get(raw, raw)

@@ -1,4 +1,4 @@
-"""Process-parallel execution of the sweep grid.
+"""Fault-tolerant process-parallel execution of the sweep grid.
 
 The (benchmark, policy, pressure) grid is embarrassingly parallel: every
 grid point is an independent simulation.  The unit of fan-out here is
@@ -10,15 +10,38 @@ hundred bytes (spec + grid parameters) across the process boundary
 instead of a pickled multi-megabyte trace, and the rebuilt workload is
 bit-identical to one built in the parent, making the parallel grid
 field-for-field equal to the serial engine's.
+
+Long sweeps also have to survive the real world: a worker crashes (and
+takes the whole :class:`~concurrent.futures.ProcessPoolExecutor` down
+as a ``BrokenProcessPool``), a straggler hangs forever, a transient
+error fails one slab.  :func:`imap_tasks` therefore submits per-task
+futures instead of ``pool.map``: each task gets a configurable timeout,
+failed or timed-out attempts are retried with exponential backoff and
+deterministic jitter, a broken pool is rebuilt in place, and a task
+that exhausts its retries degrades to in-process serial execution (with
+a warning) rather than killing the sweep.  Everything that was retried,
+timed out, or degraded is recorded in a :class:`SweepFailure` report,
+and completed slabs can stream into a
+:class:`~repro.analysis.checkpoint.CheckpointStore` so an interrupted
+sweep resumes instead of restarting.
 """
 
 from __future__ import annotations
 
+import hashlib
+import heapq
+import json
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Iterator, Sequence
+import random
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Sequence
 
+from repro import faults
+from repro.analysis import sweepcache
 from repro.core.metrics import SimulationStats
 from repro.core.overhead import PAPER_MODEL, OverheadModel
 from repro.core.policies import STANDARD_UNIT_COUNTS, granularity_ladder
@@ -26,8 +49,15 @@ from repro.core.pressure import STANDARD_PRESSURE_FACTORS, pressured_capacity
 from repro.core.simulator import CodeCacheSimulator
 from repro.workloads.registry import BenchmarkSpec, build_workload
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.checkpoint import CheckpointStore
+
 #: One simulated grid point: (benchmark, policy, pressure, stats).
 GridRecord = tuple[str, str, float, SimulationStats]
+
+ENV_JOBS = "REPRO_SWEEP_JOBS"
+ENV_TIMEOUT = "REPRO_SWEEP_TIMEOUT"
+ENV_RETRIES = "REPRO_SWEEP_RETRIES"
 
 
 @dataclass(frozen=True)
@@ -44,19 +74,184 @@ class SweepTask:
     track_links: bool = True
 
 
-def resolve_jobs(jobs: int | None) -> int:
+def task_key(task: SweepTask) -> str:
+    """Content hash identifying one task's slab across processes/runs.
+
+    Mirrors :func:`repro.analysis.sweepcache.sweep_key` at per-task
+    granularity: every field that determines the slab's output (spec
+    identity, scale, grid parameters, overhead model, simulator cache
+    version) is hashed, so a checkpoint written by one run is only ever
+    reused by a run that would simulate the identical slab.
+    """
+    payload = {
+        "version": sweepcache.CACHE_VERSION,
+        "spec": list(task.spec.cache_token()),
+        "scale": float(task.scale),
+        "trace_accesses": task.trace_accesses,
+        "pressures": [float(pressure) for pressure in task.pressures],
+        "unit_counts": [int(count) for count in task.unit_counts],
+        "include_fine": bool(task.include_fine),
+        "overhead_model": sweepcache.model_token(task.overhead_model),
+        "track_links": bool(task.track_links),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class SweepError(RuntimeError):
+    """A task failed even after retries *and* the serial fallback.
+
+    Carries the :class:`SweepFailure` report accumulated so far, so the
+    caller can see what had already been retried or degraded before the
+    sweep gave up.
+    """
+
+    def __init__(self, message: str, failure: "SweepFailure | None" = None):
+        super().__init__(message)
+        self.failure = failure
+
+
+@dataclass
+class SweepFailure:
+    """What the fault-tolerant executor had to do to finish a sweep.
+
+    An all-empty report means every task succeeded first try (or came
+    out of a checkpoint).  ``retried`` and ``timeouts`` count recovery
+    events per benchmark, ``degraded`` lists tasks that exhausted their
+    pool retries and ran in-process instead, ``errors`` keeps the last
+    failure message per benchmark, and ``resumed``/``simulated`` split
+    the task list by whether a checkpoint satisfied it.
+    """
+
+    retried: dict[str, int] = field(default_factory=dict)
+    timeouts: dict[str, int] = field(default_factory=dict)
+    degraded: list[str] = field(default_factory=list)
+    errors: dict[str, str] = field(default_factory=dict)
+    resumed: list[str] = field(default_factory=list)
+    simulated: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no fault-recovery machinery had to engage."""
+        return not (self.retried or self.timeouts
+                    or self.degraded or self.errors)
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.simulated)} simulated",
+            f"{len(self.resumed)} resumed from checkpoint",
+        ]
+        if self.retried:
+            parts.append(f"{sum(self.retried.values())} retries")
+        if self.timeouts:
+            parts.append(f"{sum(self.timeouts.values())} timeouts")
+        if self.degraded:
+            parts.append(f"{len(self.degraded)} degraded to serial")
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class FaultTolerance:
+    """Retry/timeout policy for one sweep run.
+
+    ``task_timeout`` is wall-clock seconds one pooled attempt may take
+    before being abandoned (``None`` = never).  ``max_retries`` bounds
+    *additional* pooled attempts after the first; a task that fails
+    ``1 + max_retries`` pooled attempts degrades to one in-process
+    attempt.  Backoff before retry *n* is
+    ``min(backoff_base * 2**(n-1), backoff_cap)`` plus up to 25 %
+    deterministic jitter (seeded per task key, so schedules are
+    reproducible but tasks don't retry in lockstep).
+    """
+
+    task_timeout: float | None = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def backoff_delay(self, key: str, retry_number: int) -> float:
+        base = min(self.backoff_base * (2 ** (retry_number - 1)),
+                   self.backoff_cap)
+        jitter = random.Random(f"{key}:{retry_number}").uniform(0.0, 0.25)
+        return base * (1.0 + jitter)
+
+
+def timeout_from_env() -> float | None:
+    """``REPRO_SWEEP_TIMEOUT`` as seconds, validated (None when unset)."""
+    raw = os.environ.get(ENV_TIMEOUT, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_TIMEOUT} must be a number of seconds, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"{ENV_TIMEOUT} must be positive, got {raw!r}")
+    return value
+
+
+def retries_from_env() -> int | None:
+    """``REPRO_SWEEP_RETRIES`` as an int, validated (None when unset)."""
+    raw = os.environ.get(ENV_RETRIES, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_RETRIES} must be an integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{ENV_RETRIES} must be >= 0, got {raw!r}")
+    return value
+
+
+def jobs_from_env() -> int | None:
+    """``REPRO_SWEEP_JOBS`` as an int, or None when unset.
+
+    A non-integer value is rejected here with an error naming the
+    variable, instead of surfacing as a bare ``ValueError`` from
+    ``int()`` deep inside the sweep.
+    """
+    raw = os.environ.get(ENV_JOBS, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_JOBS} must be an integer worker count "
+            f"(0 = all cores), got {raw!r}"
+        ) from None
+
+
+def resolve_jobs(jobs: int | None, task_count: int | None = None) -> int:
     """Normalize a ``--jobs`` / ``REPRO_SWEEP_JOBS`` value.
 
     ``None`` and ``1`` mean serial (in-process), ``0`` means one worker
-    per core, any other positive value is taken literally.
+    per core, any other positive value is taken literally.  When
+    *task_count* is given the result is additionally capped at the
+    number of tasks — the single place that cap lives.
     """
     if jobs is None:
-        return 1
-    if jobs < 0:
+        resolved = 1
+    elif jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
-    if jobs == 0:
-        return os.cpu_count() or 1
-    return jobs
+    elif jobs == 0:
+        resolved = os.cpu_count() or 1
+    else:
+        resolved = jobs
+    if task_count is not None:
+        resolved = max(1, min(resolved, task_count))
+    return resolved
 
 
 def simulate_task(task: SweepTask) -> list[GridRecord]:
@@ -90,16 +285,231 @@ def simulate_task(task: SweepTask) -> list[GridRecord]:
     return records
 
 
-def imap_tasks(tasks: Sequence[SweepTask],
-               jobs: int | None = 0) -> Iterator[list[GridRecord]]:
+def _attempt_task(task: SweepTask, key: str, attempt: int) -> list[GridRecord]:
+    """One attempt at a task's slab, reporting into the fault registry.
+
+    Top-level (picklable) so it can be submitted to a process pool; the
+    1-based *attempt* index lets a :class:`~repro.faults.FaultPlan`
+    schedule failures per attempt deterministically even when retries
+    land on different worker processes.
+    """
+    faults.fire("sweep.worker", key=key, attempt=attempt)
+    return simulate_task(task)
+
+
+def imap_tasks(
+    tasks: Sequence[SweepTask],
+    jobs: int | None = 0,
+    tolerance: FaultTolerance | None = None,
+    checkpoints: "CheckpointStore | None" = None,
+    failure: SweepFailure | None = None,
+) -> Iterator[list[GridRecord]]:
     """Yield one record batch per task, in task order.
 
-    With an effective worker count of one (or a single task) everything
-    runs inline; otherwise tasks fan out over a process pool.
+    With an effective worker count of one (or a single outstanding
+    task) everything runs inline; otherwise tasks fan out as individual
+    futures over a process pool governed by *tolerance* (timeouts,
+    retries with backoff, serial degradation, pool rebuild on
+    ``BrokenProcessPool``).  When *checkpoints* is given, tasks whose
+    slab is already checkpointed are not re-simulated, and every
+    freshly simulated slab is checkpointed as soon as it completes.
+    *failure* (a :class:`SweepFailure`, created if omitted) accumulates
+    what the executor had to recover from.
     """
-    jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(tasks) <= 1:
-        yield from map(simulate_task, tasks)
-        return
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        yield from pool.map(simulate_task, tasks)
+    tolerance = tolerance if tolerance is not None else FaultTolerance()
+    report = failure if failure is not None else SweepFailure()
+    keys = [task_key(task) for task in tasks]
+    names = [task.spec.name for task in tasks]
+    results: dict[int, list[GridRecord]] = {}
+    pending: list[int] = []
+    for index, task in enumerate(tasks):
+        records = checkpoints.load(task) if checkpoints is not None else None
+        if records is not None:
+            results[index] = records
+            report.resumed.append(names[index])
+        else:
+            pending.append(index)
+            report.simulated.append(names[index])
+
+    def finish(index: int, records: list[GridRecord]) -> None:
+        if checkpoints is not None:
+            checkpoints.store(tasks[index], records)
+        results[index] = records
+
+    jobs = resolve_jobs(jobs, task_count=len(pending) or 1)
+    if jobs <= 1:
+        for index in pending:
+            finish(index, _run_inline(tasks[index], keys[index],
+                                      names[index], tolerance, report))
+    elif pending:
+        _run_pooled(tasks, pending, keys, names, jobs,
+                    tolerance, report, finish)
+    for index in range(len(tasks)):
+        yield results[index]
+
+
+def _run_inline(task: SweepTask, key: str, name: str,
+                tolerance: FaultTolerance, report: SweepFailure,
+                first_attempt: int = 1,
+                max_retries: int | None = None) -> list[GridRecord]:
+    """Run one task in-process, retrying failures up to the budget."""
+    budget = tolerance.max_retries if max_retries is None else max_retries
+    attempt = first_attempt
+    while True:
+        try:
+            return _attempt_task(task, key, attempt)
+        except Exception as exc:
+            report.errors[name] = repr(exc)
+            used = attempt - first_attempt
+            if used >= budget:
+                raise SweepError(
+                    f"sweep task {name!r} failed after "
+                    f"{used + 1} in-process attempt(s): {exc!r}",
+                    failure=report,
+                ) from exc
+            report.retried[name] = report.retried.get(name, 0) + 1
+            sweepcache.note_retry()
+            time.sleep(tolerance.backoff_delay(key, used + 1))
+            attempt += 1
+
+
+def _run_pooled(tasks, pending, keys, names, jobs,
+                tolerance: FaultTolerance, report: SweepFailure,
+                finish) -> None:
+    """Fan *pending* task indices out over a self-healing process pool."""
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    #: future -> (task index, attempt, deadline or None)
+    inflight: dict = {}
+    #: min-heap of (ready_time, task index, next attempt)
+    retry_queue: list[tuple[float, int, int]] = []
+    #: (task index, next attempt) pairs that exhausted pool retries
+    degraded: list[tuple[int, int]] = []
+    saw_timeout = False
+
+    def submit(index: int, attempt: int) -> None:
+        nonlocal pool
+        deadline = (time.monotonic() + tolerance.task_timeout
+                    if tolerance.task_timeout is not None else None)
+        try:
+            future = pool.submit(_attempt_task, tasks[index],
+                                 keys[index], attempt)
+        except (BrokenProcessPool, RuntimeError):
+            # The previous attempt's crash broke the executor; rebuild
+            # it and resubmit on the fresh pool.
+            pool.shutdown(wait=True, cancel_futures=True)
+            pool = ProcessPoolExecutor(max_workers=jobs)
+            future = pool.submit(_attempt_task, tasks[index],
+                                 keys[index], attempt)
+        inflight[future] = (index, attempt, deadline)
+
+    def retry_or_degrade(index: int, attempt: int) -> None:
+        # ``attempt`` is 1-based, so retries used so far = attempt - 1.
+        if attempt - 1 < tolerance.max_retries:
+            report.retried[names[index]] = (
+                report.retried.get(names[index], 0) + 1
+            )
+            sweepcache.note_retry()
+            delay = tolerance.backoff_delay(keys[index], attempt)
+            heapq.heappush(retry_queue,
+                           (time.monotonic() + delay, index, attempt + 1))
+        else:
+            degraded.append((index, attempt + 1))
+
+    try:
+        for index in pending:
+            submit(index, 1)
+        while inflight or retry_queue:
+            now = time.monotonic()
+            while retry_queue and retry_queue[0][0] <= now:
+                _, index, attempt = heapq.heappop(retry_queue)
+                submit(index, attempt)
+            waits = []
+            if retry_queue:
+                waits.append(retry_queue[0][0] - now)
+            deadlines = [deadline for (_, _, deadline) in inflight.values()
+                         if deadline is not None]
+            if deadlines:
+                waits.append(min(deadlines) - now)
+            if not inflight:
+                # Nothing running; sleep until the next retry is due.
+                time.sleep(max(0.0, min(waits)))
+                continue
+            timeout = max(0.01, min(waits)) if waits else None
+            done, _ = wait(set(inflight), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+            pool_broke = False
+            for future in done:
+                index, attempt, _ = inflight.pop(future)
+                try:
+                    records = future.result()
+                except BrokenProcessPool as exc:
+                    report.errors[names[index]] = repr(exc)
+                    pool_broke = True
+                    retry_or_degrade(index, attempt)
+                except Exception as exc:
+                    report.errors[names[index]] = repr(exc)
+                    retry_or_degrade(index, attempt)
+                else:
+                    finish(index, records)
+            if pool_broke:
+                # Every sibling future on the broken pool will surface
+                # its own BrokenProcessPool next iteration; replace the
+                # executor now so retries land on a healthy pool.  The
+                # broken pool's workers are already dead, so a waiting
+                # shutdown returns promptly (and keeps interpreter exit
+                # from tripping over its half-closed pipes).
+                pool.shutdown(wait=True, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=jobs)
+            now = time.monotonic()
+            for future, (index, attempt, deadline) in list(inflight.items()):
+                if deadline is None or deadline > now or future.done():
+                    continue
+                del inflight[future]
+                future.cancel()  # no-op if already running; we abandon it
+                saw_timeout = True
+                report.timeouts[names[index]] = (
+                    report.timeouts.get(names[index], 0) + 1
+                )
+                report.errors[names[index]] = (
+                    f"timed out after {tolerance.task_timeout}s "
+                    f"(attempt {attempt})"
+                )
+                retry_or_degrade(index, attempt)
+    finally:
+        if saw_timeout:
+            # Hung workers would block a waiting shutdown forever:
+            # abandon the pool and put the stragglers down.
+            pool.shutdown(wait=False, cancel_futures=True)
+            _terminate_workers(pool)
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+    for index, attempt in degraded:
+        report.degraded.append(names[index])
+        warnings.warn(
+            f"sweep task {names[index]!r} exhausted "
+            f"{tolerance.max_retries} pool retries; degrading to "
+            f"in-process serial execution",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        # Last resort: one in-process attempt, no timeout.  If this
+        # also fails the sweep legitimately cannot proceed.
+        finish(index, _run_inline(tasks[index], keys[index], names[index],
+                                  tolerance, report,
+                                  first_attempt=attempt, max_retries=0))
+
+
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Forcibly kill workers left hung past their task timeout.
+
+    An abandoned (timed-out) attempt keeps running inside its worker;
+    without this, interpreter shutdown would block joining it.  Reaches
+    into the executor's process table because the public API offers no
+    kill switch; best-effort by design.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass

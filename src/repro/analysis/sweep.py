@@ -23,7 +23,17 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.analysis import sweepcache
-from repro.analysis.parallel import SweepTask, imap_tasks, resolve_jobs
+from repro.analysis.checkpoint import CheckpointStore, resume_enabled_by_env
+from repro.analysis.parallel import (
+    FaultTolerance,
+    SweepFailure,
+    SweepTask,
+    imap_tasks,
+    jobs_from_env,
+    resolve_jobs,
+    retries_from_env,
+    timeout_from_env,
+)
 from repro.core.metrics import SimulationStats, unified_miss_rate
 from repro.core.overhead import PAPER_MODEL, OverheadModel
 from repro.core.policies import (
@@ -83,6 +93,9 @@ class SweepResult:
     benchmark_names: tuple[str, ...]
     stats: dict[tuple[str, str, float], SimulationStats]
     elapsed_seconds: float = 0.0
+    #: What the fault-tolerant executor had to recover from (parallel
+    #: engine only; None for serial runs and pre-fault-tolerance grids).
+    fault_report: SweepFailure | None = None
 
     def get(self, benchmark: str, policy: str, pressure: float) -> SimulationStats:
         return self.stats[(benchmark, policy, pressure)]
@@ -195,6 +208,9 @@ def run_sweep_parallel(
     track_links: bool = True,
     jobs: int = 0,
     progress: Callable[[str], None] | None = None,
+    task_timeout: float | None = None,
+    max_retries: int | None = None,
+    checkpoints: CheckpointStore | None = None,
 ) -> SweepResult:
     """Parallel counterpart of :func:`run_sweep`, over registry *specs*.
 
@@ -203,6 +219,15 @@ def run_sweep_parallel(
     Workers rebuild their workload from the spec's seed rather than
     receiving a pickled trace, so the resulting grid is field-for-field
     identical to the serial engine's on the same specs.
+
+    Execution is fault tolerant: attempts that fail or exceed
+    *task_timeout* seconds are retried up to *max_retries* times
+    (default :class:`~repro.analysis.parallel.FaultTolerance`'s) with
+    exponential backoff, tasks that exhaust retries degrade to
+    in-process execution, and when *checkpoints* is given completed
+    slabs are streamed to disk and already-checkpointed slabs are not
+    re-simulated.  The returned grid's ``fault_report`` records what
+    was retried, timed out, degraded, or resumed.
     """
     pressures = tuple(pressures)
     unit_counts = tuple(unit_counts)
@@ -220,8 +245,17 @@ def run_sweep_parallel(
         )
         for spec in specs
     ]
+    tolerance_kwargs = {}
+    if task_timeout is not None:
+        tolerance_kwargs["task_timeout"] = task_timeout
+    if max_retries is not None:
+        tolerance_kwargs["max_retries"] = max_retries
+    tolerance = FaultTolerance(**tolerance_kwargs)
+    failure = SweepFailure()
     stats: dict[tuple[str, str, float], SimulationStats] = {}
-    for task, batch in zip(tasks, imap_tasks(tasks, jobs)):
+    batches = imap_tasks(tasks, jobs, tolerance=tolerance,
+                         checkpoints=checkpoints, failure=failure)
+    for task, batch in zip(tasks, batches):
         for benchmark, policy, pressure, record in batch:
             stats[(benchmark, policy, pressure)] = record
         if progress is not None:
@@ -235,6 +269,7 @@ def run_sweep_parallel(
         benchmark_names=tuple(task.spec.name for task in tasks),
         stats=stats,
         elapsed_seconds=time.perf_counter() - started,
+        fault_report=failure,
     )
 
 
@@ -243,19 +278,38 @@ def run_sweep_parallel(
 _SWEEP_CACHE: dict[tuple, SweepResult] = {}
 
 #: Process-wide defaults for full_sweep's engine knobs, set by the CLI
-#: (``--jobs`` / ``--no-cache``) or the bench conftest.  ``None`` defers
-#: to the environment (REPRO_SWEEP_JOBS / REPRO_SWEEP_CACHE).
-_DEFAULTS: dict[str, int | bool | None] = {"jobs": None, "use_cache": None}
+#: (``--jobs`` / ``--no-cache`` / ``--task-timeout`` / ``--max-retries``
+#: / ``--resume``) or the bench conftest.  ``None`` defers to the
+#: environment (REPRO_SWEEP_JOBS / REPRO_SWEEP_CACHE /
+#: REPRO_SWEEP_TIMEOUT / REPRO_SWEEP_RETRIES / REPRO_SWEEP_RESUME).
+_DEFAULTS: dict[str, int | float | bool | None] = {
+    "jobs": None,
+    "use_cache": None,
+    "task_timeout": None,
+    "max_retries": None,
+    "resume": None,
+}
 
 
-def configure(jobs: int | None = None, use_cache: bool | None = None) -> None:
+def configure(
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    task_timeout: float | None = None,
+    max_retries: int | None = None,
+    resume: bool | None = None,
+) -> None:
     """Set process-wide defaults for :func:`full_sweep`.
 
-    ``jobs=None`` / ``use_cache=None`` restore environment-driven
-    resolution for that knob.
+    ``None`` for any knob restores environment-driven resolution for
+    it (``REPRO_SWEEP_JOBS``, ``REPRO_SWEEP_CACHE``,
+    ``REPRO_SWEEP_TIMEOUT``, ``REPRO_SWEEP_RETRIES``,
+    ``REPRO_SWEEP_RESUME`` respectively).
     """
     _DEFAULTS["jobs"] = jobs
     _DEFAULTS["use_cache"] = use_cache
+    _DEFAULTS["task_timeout"] = task_timeout
+    _DEFAULTS["max_retries"] = max_retries
+    _DEFAULTS["resume"] = resume
 
 
 def _default_jobs(jobs: int | None) -> int | None:
@@ -263,10 +317,7 @@ def _default_jobs(jobs: int | None) -> int | None:
         return jobs
     if _DEFAULTS["jobs"] is not None:
         return _DEFAULTS["jobs"]
-    env = os.environ.get("REPRO_SWEEP_JOBS", "").strip()
-    if env:
-        return int(env)
-    return None  # serial
+    return jobs_from_env()  # None = serial
 
 
 def _default_use_cache(use_cache: bool | None) -> bool:
@@ -277,6 +328,30 @@ def _default_use_cache(use_cache: bool | None) -> bool:
     return sweepcache.cache_enabled_by_env()
 
 
+def _default_task_timeout(task_timeout: float | None) -> float | None:
+    if task_timeout is not None:
+        return task_timeout
+    if _DEFAULTS["task_timeout"] is not None:
+        return float(_DEFAULTS["task_timeout"])
+    return timeout_from_env()
+
+
+def _default_max_retries(max_retries: int | None) -> int | None:
+    if max_retries is not None:
+        return max_retries
+    if _DEFAULTS["max_retries"] is not None:
+        return int(_DEFAULTS["max_retries"])
+    return retries_from_env()
+
+
+def _default_resume(resume: bool | None) -> bool:
+    if resume is not None:
+        return resume
+    if _DEFAULTS["resume"] is not None:
+        return bool(_DEFAULTS["resume"])
+    return resume_enabled_by_env()
+
+
 def full_sweep(
     scale: float = 1.0,
     pressures: tuple[float, ...] = STANDARD_PRESSURE_FACTORS,
@@ -284,6 +359,9 @@ def full_sweep(
     unit_counts: tuple[int, ...] = STANDARD_UNIT_COUNTS,
     jobs: int | None = None,
     use_cache: bool | None = None,
+    task_timeout: float | None = None,
+    max_retries: int | None = None,
+    resume: bool | None = None,
 ) -> SweepResult:
     """The all-benchmarks, all-policies grid, cached per configuration.
 
@@ -297,6 +375,16 @@ def full_sweep(
     (``None``/1 serial, 0 all cores, N workers; defaults to
     ``REPRO_SWEEP_JOBS`` or serial) and ``use_cache`` overrides the
     disk-cache default (``REPRO_SWEEP_CACHE``, on unless set to 0).
+
+    Parallel runs are fault tolerant and resumable: ``task_timeout``
+    and ``max_retries`` bound each task attempt (defaults from
+    ``REPRO_SWEEP_TIMEOUT`` / ``REPRO_SWEEP_RETRIES`` or
+    :class:`~repro.analysis.parallel.FaultTolerance`), and with
+    ``resume`` on (the default; ``REPRO_SWEEP_RESUME=0`` or
+    ``--no-resume`` disables) completed slabs stream into per-task
+    checkpoints under the cache directory, so an interrupted sweep
+    re-simulates only its unfinished benchmarks.  Checkpoints are
+    discarded once the full grid completes.
     """
     pressures = tuple(pressures)
     unit_counts = tuple(unit_counts)
@@ -322,6 +410,8 @@ def full_sweep(
             return cached
     effective_jobs = resolve_jobs(_default_jobs(jobs))
     if effective_jobs > 1:
+        checkpoints = (CheckpointStore.default()
+                       if _default_resume(resume) else None)
         result = run_sweep_parallel(
             specs,
             scale=scale,
@@ -329,7 +419,27 @@ def full_sweep(
             pressures=pressures,
             unit_counts=unit_counts,
             jobs=effective_jobs,
+            task_timeout=_default_task_timeout(task_timeout),
+            max_retries=_default_max_retries(max_retries),
+            checkpoints=checkpoints,
         )
+        if checkpoints is not None:
+            # The finished grid supersedes its per-task checkpoints
+            # (and is about to be stored whole in the sweep cache);
+            # drop them so the checkpoint directory stays bounded.
+            checkpoints.discard([
+                SweepTask(
+                    spec=spec,
+                    scale=scale,
+                    trace_accesses=trace_accesses,
+                    pressures=pressures,
+                    unit_counts=unit_counts,
+                    include_fine=True,
+                    overhead_model=PAPER_MODEL,
+                    track_links=True,
+                )
+                for spec in specs
+            ])
     else:
         workloads = build_suite(specs, scale=scale,
                                 trace_accesses=trace_accesses)

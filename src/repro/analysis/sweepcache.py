@@ -10,6 +10,19 @@ atomically (temp file + ``os.replace``), and a JSON sidecar per entry
 records provenance and a best-effort hit counter for the CLI's
 ``cache-stats`` command.
 
+The cache is hardened against dirty state and bad disks:
+
+* An entry that exists but will not unpickle is **quarantined** — moved
+  into a ``quarantine/`` subdirectory for inspection — and treated as a
+  miss, instead of being silently swallowed (or worse, served).
+* A store round-trips its pickle in memory before the atomic rename,
+  so a grid that would not load back is never published.
+* A store that fails for environmental reasons (disk full, permissions)
+  warns once and lets the sweep continue; caching is an optimization,
+  never a correctness dependency.
+* The process-level counters behind ``cache-stats`` track quarantines,
+  store failures, and sweep-task retries alongside hits/misses/stores.
+
 The cache lives in ``~/.cache/repro-sweeps/`` unless
 ``REPRO_SWEEP_CACHE_DIR`` points elsewhere; ``REPRO_SWEEP_CACHE=0``
 disables it entirely (the tests do this to stay hermetic).
@@ -23,10 +36,12 @@ import os
 import pickle
 import tempfile
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
+from repro import faults
 from repro.core.overhead import OverheadModel
 from repro.workloads.registry import BenchmarkSpec
 
@@ -35,13 +50,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 
 #: Simulator/workload semantics version.  Bump whenever a code change
 #: alters what a sweep produces for the same inputs; old entries then
-#: miss instead of silently serving stale numbers.
-CACHE_VERSION = "1"
+#: miss instead of silently serving stale numbers.  "2" adds the
+#: fault-tolerance report field to SweepResult.
+CACHE_VERSION = "2"
 
 ENV_CACHE_DIR = "REPRO_SWEEP_CACHE_DIR"
 ENV_CACHE = "REPRO_SWEEP_CACHE"
 
-_COUNTERS = {"hits": 0, "misses": 0, "stores": 0}
+#: Subdirectory (under the cache dir) holding quarantined entries.
+QUARANTINE_DIR = "quarantine"
+
+_COUNTERS = {
+    "hits": 0,
+    "misses": 0,
+    "stores": 0,
+    "store_failures": 0,
+    "quarantines": 0,
+    "retries": 0,
+}
 
 
 def cache_dir() -> Path:
@@ -52,13 +78,19 @@ def cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-sweeps"
 
 
+def quarantine_dir() -> Path:
+    """Where corrupt entries are moved for post-mortem inspection."""
+    return cache_dir() / QUARANTINE_DIR
+
+
 def cache_enabled_by_env() -> bool:
     """Whether ``REPRO_SWEEP_CACHE`` permits disk caching (default yes)."""
     flag = os.environ.get(ENV_CACHE, "1").strip().lower()
     return flag not in ("0", "false", "no", "off")
 
 
-def _model_token(model: OverheadModel) -> list[float]:
+def model_token(model: OverheadModel) -> list[float]:
+    """The overhead model's identity for content-addressed keys."""
     return [
         model.miss.slope, model.miss.intercept,
         model.eviction.slope, model.eviction.intercept,
@@ -85,7 +117,7 @@ def sweep_key(
         "unit_counts": [int(count) for count in unit_counts],
         "include_fine": bool(include_fine),
         "pressures": [float(pressure) for pressure in pressures],
-        "overhead_model": _model_token(overhead_model),
+        "overhead_model": model_token(overhead_model),
         "track_links": bool(track_links),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -100,7 +132,7 @@ def _meta_path(key: str) -> Path:
     return cache_dir() / f"{key}.json"
 
 
-def _atomic_write(path: Path, payload: bytes) -> None:
+def atomic_write(path: Path, payload: bytes) -> None:
     """Write *payload* so readers never observe a partial file."""
     fd, tmp = tempfile.mkstemp(dir=str(path.parent),
                                prefix=f".{path.name}.", suffix=".tmp")
@@ -116,26 +148,52 @@ def _atomic_write(path: Path, payload: bytes) -> None:
         raise
 
 
+def _quarantine_entry(key: str, reason: str) -> None:
+    """Move a corrupt entry (data + sidecar) into ``quarantine/``."""
+    destination = quarantine_dir()
+    moved = False
+    for source in (_data_path(key), _meta_path(key)):
+        try:
+            destination.mkdir(parents=True, exist_ok=True)
+            os.replace(source, destination / source.name)
+            moved = True
+        except OSError:
+            try:
+                source.unlink()
+            except OSError:
+                pass
+    _COUNTERS["quarantines"] += 1
+    if moved:
+        warnings.warn(
+            f"quarantined {reason} sweep-cache entry {key[:16]}… "
+            f"into {destination}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
 def load(key: str) -> "SweepResult | None":
     """Return the cached grid for *key*, or None on a miss.
 
     Unreadable entries (corrupt file, incompatible pickle from an older
-    code state) are deleted and treated as misses.
+    code state) are quarantined and treated as misses.
     """
     path = _data_path(key)
     try:
-        with open(path, "rb") as handle:
-            result = pickle.load(handle)
+        payload = path.read_bytes()
     except FileNotFoundError:
         _COUNTERS["misses"] += 1
         return None
+    except OSError:
+        _COUNTERS["misses"] += 1
+        _quarantine_entry(key, "unreadable")
+        return None
+    try:
+        payload = faults.fire("cache.load", key=key, data=payload)
+        result = pickle.loads(payload)
     except Exception:
         _COUNTERS["misses"] += 1
-        for stale in (path, _meta_path(key)):
-            try:
-                stale.unlink()
-            except OSError:
-                pass
+        _quarantine_entry(key, "corrupt")
         return None
     _COUNTERS["hits"] += 1
     _bump_meta_hits(key)
@@ -143,13 +201,31 @@ def load(key: str) -> "SweepResult | None":
 
 
 def store(key: str, result: "SweepResult",
-          extra_meta: dict | None = None) -> Path:
-    """Persist *result* under *key*; returns the data path."""
-    directory = cache_dir()
-    directory.mkdir(parents=True, exist_ok=True)
+          extra_meta: dict | None = None) -> Path | None:
+    """Persist *result* under *key*; returns the data path.
+
+    The pickled grid is verified to round-trip in memory before the
+    atomic rename publishes it.  Environmental failures (disk full,
+    permissions, an unpicklable grid) warn once and return None — the
+    sweep that produced *result* already has its answer, so a failed
+    store must never crash it.
+    """
     path = _data_path(key)
-    _atomic_write(path, pickle.dumps(result,
-                                     protocol=pickle.HIGHEST_PROTOCOL))
+    try:
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = faults.fire("cache.store", key=key, data=payload)
+        pickle.loads(payload)  # verify the bytes round-trip before publish
+        cache_dir().mkdir(parents=True, exist_ok=True)
+        atomic_write(path, payload)
+    except Exception as exc:
+        _COUNTERS["store_failures"] += 1
+        warnings.warn(
+            f"sweep cache store for {key[:16]}… failed ({exc!r}); "
+            "continuing without caching this sweep",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
     meta = {
         "key": key,
         "version": CACHE_VERSION,
@@ -163,9 +239,22 @@ def store(key: str, result: "SweepResult",
     }
     if extra_meta:
         meta.update(extra_meta)
-    _atomic_write(_meta_path(key), json.dumps(meta, indent=2).encode("utf-8"))
+    try:
+        atomic_write(_meta_path(key), json.dumps(meta, indent=2).encode("utf-8"))
+    except OSError:
+        pass  # the sidecar is provenance only; the entry itself is live
     _COUNTERS["stores"] += 1
     return path
+
+
+def note_retry() -> None:
+    """Record one sweep-task retry (surfaced by ``cache-stats``)."""
+    _COUNTERS["retries"] += 1
+
+
+def note_quarantine() -> None:
+    """Record a quarantine performed by a collaborator (checkpoints)."""
+    _COUNTERS["quarantines"] += 1
 
 
 def _bump_meta_hits(key: str) -> None:
@@ -174,7 +263,7 @@ def _bump_meta_hits(key: str) -> None:
     try:
         meta = json.loads(path.read_text())
         meta["hits"] = int(meta.get("hits", 0)) + 1
-        _atomic_write(path, json.dumps(meta, indent=2).encode("utf-8"))
+        atomic_write(path, json.dumps(meta, indent=2).encode("utf-8"))
     except Exception:
         pass
 
@@ -224,8 +313,16 @@ def entries() -> list[CacheEntry]:
     return found
 
 
+def quarantined_entries() -> list[Path]:
+    """Data files currently sitting in the quarantine directory."""
+    directory = quarantine_dir()
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.pkl"))
+
+
 def clear() -> int:
-    """Delete every entry; returns the number of sweeps removed."""
+    """Delete every entry (quarantined ones too); returns sweeps removed."""
     directory = cache_dir()
     if not directory.is_dir():
         return 0
@@ -240,11 +337,16 @@ def clear() -> int:
             _meta_path(path.stem).unlink()
         except OSError:
             pass
+    for path in quarantine_dir().glob("*"):
+        try:
+            path.unlink()
+        except OSError:
+            pass
     return removed
 
 
 def counters() -> dict[str, int]:
-    """This process's hit/miss/store counts (a copy)."""
+    """This process's hit/miss/store/fault counts (a copy)."""
     return dict(_COUNTERS)
 
 

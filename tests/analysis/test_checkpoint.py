@@ -1,0 +1,153 @@
+"""Per-task checkpoint store: keying, atomicity, quarantine, discard."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro import faults
+from repro.analysis import sweepcache
+from repro.analysis.checkpoint import CheckpointStore, resume_enabled_by_env
+from repro.analysis.parallel import SweepTask, simulate_task, task_key
+from repro.workloads.registry import spec_benchmarks
+
+SPECS = spec_benchmarks()[:2]
+TASK_KWARGS = dict(scale=0.1, trace_accesses=1200,
+                   pressures=(2.0,), unit_counts=(1, 4))
+
+
+def _task(index=0, **overrides):
+    kwargs = dict(TASK_KWARGS)
+    kwargs.update(overrides)
+    return SweepTask(spec=SPECS[index], **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    faults.disarm()
+
+
+@pytest.fixture
+def store(tmp_path):
+    sweepcache.reset_counters()
+    return CheckpointStore(tmp_path / "checkpoints")
+
+
+class TestTaskKey:
+    def test_key_is_deterministic(self):
+        assert task_key(_task()) == task_key(_task())
+
+    def test_every_grid_parameter_is_keyed(self):
+        base = task_key(_task())
+        assert base != task_key(_task(index=1))
+        assert base != task_key(_task(scale=0.2))
+        assert base != task_key(_task(trace_accesses=999))
+        assert base != task_key(_task(pressures=(2.0, 6.0)))
+        assert base != task_key(_task(unit_counts=(1, 8)))
+        assert base != task_key(_task(include_fine=False))
+        assert base != task_key(_task(track_links=False))
+
+
+class TestRoundTrip:
+    def test_load_missing_returns_none(self, store):
+        assert store.load(_task()) is None
+
+    def test_store_then_load_round_trips_records(self, store):
+        task = _task()
+        records = simulate_task(task)
+        assert store.store(task, records) is not None
+        reloaded = store.load(task)
+        assert reloaded is not None
+        assert len(reloaded) == len(records)
+        for (expected, actual) in zip(records, reloaded):
+            assert expected[:3] == actual[:3]
+            assert (dataclasses.asdict(expected[3])
+                    == dataclasses.asdict(actual[3]))
+        assert store.stored == 1 and store.loaded == 1
+
+    def test_checkpoints_do_not_cross_tasks(self, store):
+        task = _task()
+        store.store(task, simulate_task(task))
+        assert store.load(_task(index=1)) is None
+        assert store.load(_task(scale=0.2)) is None
+
+    def test_no_temp_files_left_behind(self, store):
+        task = _task()
+        store.store(task, simulate_task(task))
+        assert not list(store.root.glob("*.tmp"))
+        assert store.entries() == [store.path(task)]
+
+
+class TestQuarantine:
+    def test_corrupt_checkpoint_is_quarantined_and_missed(self, store):
+        task = _task()
+        store.store(task, simulate_task(task))
+        store.path(task).write_bytes(b"torn write")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.load(task) is None
+        assert not store.path(task).exists()
+        moved = store.root / "quarantine" / store.path(task).name
+        assert moved.read_bytes() == b"torn write"
+        assert store.quarantined == 1
+        assert sweepcache.counters()["quarantines"] == 1
+
+    def test_wrong_payload_type_is_quarantined(self, store):
+        task = _task()
+        store.root.mkdir(parents=True, exist_ok=True)
+        store.path(task).write_bytes(pickle.dumps({"not": "a list"}))
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.load(task) is None
+
+    def test_injected_corruption_on_load(self, store):
+        task = _task()
+        store.store(task, simulate_task(task))
+        with faults.plan(faults.FaultSpec(point="checkpoint.load",
+                                          mode="corrupt")):
+            with pytest.warns(RuntimeWarning, match="quarantined"):
+                assert store.load(task) is None
+
+    def test_injected_store_failure_warns_and_continues(self, store):
+        task = _task()
+        with faults.plan(faults.FaultSpec(point="checkpoint.store",
+                                          mode="raise")):
+            with pytest.warns(RuntimeWarning, match="continuing without"):
+                assert store.store(task, simulate_task(task)) is None
+        assert store.entries() == []
+        # Healthy store afterwards still works.
+        assert store.store(task, simulate_task(task)) is not None
+
+
+class TestMaintenance:
+    def test_discard_removes_only_named_tasks(self, store):
+        first, second = _task(), _task(index=1)
+        store.store(first, simulate_task(first))
+        store.store(second, simulate_task(second))
+        assert store.discard([first]) == 1
+        assert store.load(first) is None
+        assert store.load(second) is not None
+
+    def test_clear_removes_everything_including_quarantine(self, store):
+        task = _task()
+        store.store(task, simulate_task(task))
+        store.path(task).write_bytes(b"bad")
+        with pytest.warns(RuntimeWarning):
+            store.load(task)
+        store.store(task, simulate_task(task))
+        assert store.clear() == 2  # live entry + quarantined file
+        assert store.entries() == []
+
+    def test_default_store_lives_under_the_cache_dir(self, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv(sweepcache.ENV_CACHE_DIR, str(tmp_path))
+        assert CheckpointStore.default().root == tmp_path / "checkpoints"
+
+    def test_resume_env_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_RESUME", raising=False)
+        assert resume_enabled_by_env()
+        monkeypatch.setenv("REPRO_SWEEP_RESUME", "0")
+        assert not resume_enabled_by_env()
+        monkeypatch.setenv("REPRO_SWEEP_RESUME", "off")
+        assert not resume_enabled_by_env()
+        monkeypatch.setenv("REPRO_SWEEP_RESUME", "1")
+        assert resume_enabled_by_env()

@@ -7,8 +7,11 @@ import pytest
 from repro.analysis.parallel import (
     SweepTask,
     imap_tasks,
+    jobs_from_env,
     resolve_jobs,
+    retries_from_env,
     simulate_task,
+    timeout_from_env,
 )
 from repro.analysis.sweep import (
     ladder_policy_factories,
@@ -55,6 +58,47 @@ class TestResolveJobs:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             resolve_jobs(-2)
+
+    def test_task_count_caps_the_worker_count(self):
+        assert resolve_jobs(8, task_count=3) == 3
+        assert resolve_jobs(2, task_count=5) == 2
+        assert resolve_jobs(0, task_count=1) == 1
+        assert resolve_jobs(None, task_count=0) == 1
+
+
+class TestEnvKnobs:
+    def test_unset_env_means_none(self, monkeypatch):
+        for name in ("REPRO_SWEEP_JOBS", "REPRO_SWEEP_TIMEOUT",
+                     "REPRO_SWEEP_RETRIES"):
+            monkeypatch.delenv(name, raising=False)
+        assert jobs_from_env() is None
+        assert timeout_from_env() is None
+        assert retries_from_env() is None
+
+    def test_valid_values_parse(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "4")
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "2.5")
+        monkeypatch.setenv("REPRO_SWEEP_RETRIES", "0")
+        assert jobs_from_env() == 4
+        assert timeout_from_env() == 2.5
+        assert retries_from_env() == 0
+
+    def test_bad_jobs_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_SWEEP_JOBS"):
+            jobs_from_env()
+
+    def test_bad_timeout_and_retries_name_their_variables(self,
+                                                          monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "soon")
+        with pytest.raises(ValueError, match="REPRO_SWEEP_TIMEOUT"):
+            timeout_from_env()
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "-1")
+        with pytest.raises(ValueError, match="REPRO_SWEEP_TIMEOUT"):
+            timeout_from_env()
+        monkeypatch.setenv("REPRO_SWEEP_RETRIES", "-3")
+        with pytest.raises(ValueError, match="REPRO_SWEEP_RETRIES"):
+            retries_from_env()
 
 
 class TestSimulateTask:

@@ -4,6 +4,7 @@ import dataclasses
 
 import pytest
 
+from repro import faults
 from repro.analysis import sweepcache
 from repro.analysis.sweep import (
     clear_sweep_cache,
@@ -101,12 +102,21 @@ class TestRoundTrip:
         assert len(data_files) == 1
         assert len(meta_files) == 1
 
-    def test_corrupt_entry_is_a_miss_and_removed(self, cache_dir):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, cache_dir):
         key = _key()
         sweepcache.store(key, _small_sweep())
         (cache_dir / f"{key}.pkl").write_bytes(b"not a pickle")
-        assert sweepcache.load(key) is None
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert sweepcache.load(key) is None
+        # The bad entry is moved aside for inspection, not deleted.
         assert not (cache_dir / f"{key}.pkl").exists()
+        quarantined = sweepcache.quarantined_entries()
+        assert [path.name for path in quarantined] == [f"{key}.pkl"]
+        assert quarantined[0].read_bytes() == b"not a pickle"
+        assert sweepcache.counters()["quarantines"] == 1
+        # A later identical sweep can re-store under the same key.
+        sweepcache.store(key, _small_sweep())
+        assert sweepcache.load(key) is not None
 
     def test_hit_counter_persists_in_meta(self, cache_dir):
         key = _key()
@@ -118,6 +128,54 @@ class TestRoundTrip:
         assert entry.benchmarks == len(SPECS)
 
 
+class TestHardening:
+    """Faults around the cache must degrade it, never the sweep."""
+
+    @pytest.fixture(autouse=True)
+    def _disarm(self):
+        yield
+        faults.disarm()
+
+    def test_corrupt_bytes_on_load_are_quarantined(self, cache_dir):
+        key = _key()
+        sweepcache.store(key, _small_sweep())
+        with faults.plan(faults.FaultSpec(point="cache.load",
+                                          mode="corrupt")):
+            with pytest.warns(RuntimeWarning, match="quarantined"):
+                assert sweepcache.load(key) is None
+        assert sweepcache.counters()["quarantines"] == 1
+        # On-disk bytes were fine; only the (injected) read was dirty —
+        # but the conservative response is the same: miss + quarantine.
+        assert len(sweepcache.quarantined_entries()) == 1
+
+    def test_store_failure_warns_and_returns_none(self, cache_dir):
+        with faults.plan(faults.FaultSpec(point="cache.store",
+                                          mode="raise")):
+            with pytest.warns(RuntimeWarning, match="continuing without"):
+                assert sweepcache.store(_key(), _small_sweep()) is None
+        assert sweepcache.counters()["store_failures"] == 1
+        assert sweepcache.entries() == []
+        # The next (healthy) store succeeds.
+        assert sweepcache.store(_key(), _small_sweep()) is not None
+
+    def test_store_verifies_round_trip_before_publish(self, cache_dir):
+        # Corrupt the pickled bytes between dumps and write: the
+        # round-trip check must reject them, so no entry is published.
+        with faults.plan(faults.FaultSpec(point="cache.store",
+                                          mode="corrupt")):
+            with pytest.warns(RuntimeWarning, match="failed"):
+                assert sweepcache.store(_key(), _small_sweep()) is None
+        assert not list(cache_dir.glob("*.pkl"))
+        assert sweepcache.counters()["store_failures"] == 1
+
+    def test_retry_counter_is_exposed(self):
+        sweepcache.reset_counters()
+        sweepcache.note_retry()
+        sweepcache.note_retry()
+        assert sweepcache.counters()["retries"] == 2
+        sweepcache.reset_counters()
+
+
 class TestMaintenance:
     def test_entries_and_clear(self, cache_dir):
         sweepcache.store(_key(), _small_sweep())
@@ -126,6 +184,16 @@ class TestMaintenance:
         assert sweepcache.clear() == 2
         assert sweepcache.entries() == []
         assert sweepcache.clear() == 0
+
+    def test_clear_empties_the_quarantine_too(self, cache_dir):
+        key = _key()
+        sweepcache.store(key, _small_sweep())
+        (cache_dir / f"{key}.pkl").write_bytes(b"garbage")
+        with pytest.warns(RuntimeWarning):
+            sweepcache.load(key)
+        assert len(sweepcache.quarantined_entries()) == 1
+        sweepcache.clear()
+        assert sweepcache.quarantined_entries() == []
 
     def test_cache_dir_env_override(self, cache_dir):
         assert sweepcache.cache_dir() == cache_dir
