@@ -14,6 +14,11 @@ the parallel engine to win; the JSON is written either way.  The
 checkpoint-overhead assertion holds checkpointed runs to ~5 % over the
 plain parallel run (plus a small absolute grace for timer noise).
 
+The bench also times the invariant checker: serial sweeps at
+``--check light`` and ``--check paranoid`` are compared against the
+plain (``off``) serial run, the grids are asserted identical, and the
+light-mode overhead is held to ~10 % (plus the same absolute grace).
+
 Knobs: ``REPRO_BENCH_JOBS`` (default 4) and ``REPRO_BENCH_REPEATS``
 (default 1; best-of-N timing).
 """
@@ -58,12 +63,12 @@ def _grids_identical(serial, parallel) -> bool:
 def run_bench() -> dict:
     specs = all_benchmarks()
 
-    def serial_once():
+    def serial_once(check_level=None):
         workloads = build_suite(specs, scale=SCALE,
                                 trace_accesses=TRACE_ACCESSES)
         started = time.perf_counter()
         result = run_sweep(workloads, ladder_policy_factories(UNIT_COUNTS),
-                           pressures=PRESSURES)
+                           pressures=PRESSURES, check_level=check_level)
         return time.perf_counter() - started, result
 
     def parallel_once(checkpoints=None):
@@ -102,6 +107,14 @@ def run_bench() -> dict:
             (resumed_once(tmp) for _ in range(REPEATS)),
             key=lambda pair: pair[0]
         )
+    light_seconds, light_result = min(
+        (serial_once("light") for _ in range(REPEATS)),
+        key=lambda pair: pair[0]
+    )
+    paranoid_seconds, paranoid_result = min(
+        (serial_once("paranoid") for _ in range(REPEATS)),
+        key=lambda pair: pair[0]
+    )
     # The parallel engine pays workload construction inside the timed
     # region too (workers rebuild from specs), so the comparison gives
     # the serial engine its build time for symmetry.
@@ -128,6 +141,14 @@ def run_bench() -> dict:
         ),
         "resume_seconds": round(resume_seconds, 3),
         "resumed_tasks": len(resume_result.fault_report.resumed),
+        "check_light_seconds": round(light_seconds, 3),
+        "check_light_overhead": round(
+            light_seconds / serial_seconds - 1.0, 4
+        ),
+        "check_paranoid_seconds": round(paranoid_seconds, 3),
+        "check_paranoid_overhead": round(
+            paranoid_seconds / serial_seconds - 1.0, 4
+        ),
         "accesses_per_second_serial": round(total_accesses / serial_seconds),
         "accesses_per_second_parallel": round(
             total_accesses / parallel_seconds
@@ -136,6 +157,10 @@ def run_bench() -> dict:
             _grids_identical(serial_result, parallel_result)
             and _grids_identical(serial_result, checkpoint_result)
             and _grids_identical(serial_result, resume_result)
+        ),
+        "grids_identical_under_checking": (
+            _grids_identical(serial_result, light_result)
+            and _grids_identical(serial_result, paranoid_result)
         ),
     }
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -159,6 +184,13 @@ def test_sweep_speed():
     # simulating, so the warm run must beat the cold one outright.
     assert report["resumed_tasks"] == report["benchmarks"], report
     assert report["resume_seconds"] < report["checkpoint_cold_seconds"], report
+    # Checking must never change the science: grids at light and
+    # paranoid are byte-identical to the unchecked run.
+    assert report["grids_identical_under_checking"], report
+    # Light mode is meant to be left on: hold it to ~10 % over the
+    # unchecked serial run, with the same absolute grace as above.
+    assert (report["check_light_seconds"]
+            <= report["serial_seconds"] * 1.10 + 0.75), report
 
 
 if __name__ == "__main__":

@@ -14,6 +14,10 @@ prints the rendered result.  Examples::
     python -m repro.analysis figure7 --no-resume     # skip checkpointing
     python -m repro.analysis cache-stats             # inspect the disk cache
     python -m repro.analysis cache-clear             # drop cached sweeps
+    python -m repro.analysis figure6 --check paranoid  # sweep under the
+                                                       # invariant checker
+    python -m repro.analysis diff-check --scale 0.25 # production vs
+                                                     # reference simulator
 
 Simulation figures share one sweep per invocation, so asking for
 several of them costs little more than asking for one; the sweep is
@@ -25,10 +29,13 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 import time
 
-from repro.analysis import experiments, sweep, sweepcache
+from repro.analysis import diffcheck, experiments, sweep, sweepcache
+from repro.analysis.checkpoint import CheckpointStore
+from repro.core.invariants import CHECK_LEVELS, ENV_CHECK_LEVEL
 
 _DRIVERS = {fn.__name__: fn for fn in experiments.ALL_EXPERIMENTS}
 _ALIASES = {
@@ -39,6 +46,9 @@ _ALIASES = {
 #: Maintenance commands for the persistent sweep cache, usable anywhere
 #: an artifact name is (``python -m repro.analysis cache-stats``).
 _CACHE_COMMANDS = ("cache-stats", "cache-clear")
+
+#: Sanitizer commands (see repro.core.invariants / repro.analysis.diffcheck).
+_SANITY_COMMANDS = ("diff-check",)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,8 +68,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-accesses", type=int, default=None,
                         help="override per-benchmark trace length")
     parser.add_argument("--pressures", type=float, nargs="+",
-                        default=[2, 4, 6, 8, 10],
-                        help="cache pressure factors for sweep figures")
+                        default=None,
+                        help="cache pressure factors for sweep figures "
+                             "(default: 2 4 6 8 10; diff-check defaults "
+                             "to 2 10)")
     parser.add_argument("--samples", type=int, default=10_000,
                         help="samples for the calibration figures")
     parser.add_argument("--table2-budget", type=int, default=4_000_000,
@@ -86,6 +98,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="checkpoint completed sweep slabs and "
                              "resume interrupted sweeps from them "
                              "(default: REPRO_SWEEP_RESUME, on)")
+    parser.add_argument("--check", choices=CHECK_LEVELS, default=None,
+                        help="run simulations under the invariant "
+                             "checker at this level (default: "
+                             f"{ENV_CHECK_LEVEL} or off)")
+    parser.add_argument("--diff-benchmarks", nargs="+", metavar="NAME",
+                        default=list(diffcheck.DEFAULT_BENCHMARKS),
+                        help="benchmarks the diff-check command replays "
+                             "(default: %(default)s)")
     return parser
 
 
@@ -98,7 +118,10 @@ def _call_driver(name: str, args: argparse.Namespace):
     if "trace_accesses" in parameters:
         kwargs["trace_accesses"] = args.trace_accesses
     if "pressures" in parameters:
-        kwargs["pressures"] = tuple(args.pressures)
+        kwargs["pressures"] = tuple(
+            args.pressures if args.pressures is not None
+            else (2, 4, 6, 8, 10)
+        )
     if "samples" in parameters:
         kwargs["samples"] = args.samples
     if "max_guest_instructions" in parameters:
@@ -112,10 +135,15 @@ def _cache_stats_text() -> str:
     counts = sweepcache.counters()
     total_bytes = sum(entry.data_bytes for entry in rows)
     quarantined = sweepcache.quarantined_entries()
+    checkpoints = CheckpointStore.default()
+    slabs = checkpoints.entries()
+    slab_quarantined = checkpoints.quarantined_entries()
     lines = [
         f"sweep cache: {sweepcache.cache_dir()}",
         f"  entries: {len(rows)}   total: {total_bytes / 1024:.1f} KiB   "
         f"quarantined: {len(quarantined)}",
+        f"  checkpoints: {len(slabs)} slab(s)   "
+        f"quarantined: {len(slab_quarantined)}",
         f"  this process: {counts['hits']} hit(s), "
         f"{counts['misses']} miss(es), {counts['stores']} store(s), "
         f"{counts['store_failures']} store failure(s), "
@@ -149,6 +177,24 @@ def _run_cache_command(name: str) -> None:
               f"{sweepcache.cache_dir()}")
 
 
+def _run_diff_check(args: argparse.Namespace) -> bool:
+    """Run the differential oracle; print its report; True on pass."""
+    pressures = tuple(
+        args.pressures if args.pressures is not None
+        else diffcheck.DEFAULT_PRESSURES
+    )
+    report = diffcheck.diff_check(
+        benchmarks=tuple(args.diff_benchmarks),
+        scale=args.scale,
+        trace_accesses=args.trace_accesses,
+        pressures=pressures,
+        check_level=args.check,
+        progress=lambda line: print(f"  {line}", file=sys.stderr),
+    )
+    print(report.render(precision=args.precision))
+    return report.ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -156,9 +202,24 @@ def main(argv: list[str] | None = None) -> int:
         print("Available artifacts:")
         for name in _DRIVERS:
             print(f"  {name}")
-        for name in _CACHE_COMMANDS:
+        for name in _CACHE_COMMANDS + _SANITY_COMMANDS:
             print(f"  {name}")
         return 0
+    if args.scale <= 0:
+        parser.error(f"--scale must be positive, got {args.scale}")
+    if args.trace_accesses is not None and args.trace_accesses < 1:
+        parser.error(f"--trace-accesses must be >= 1, "
+                     f"got {args.trace_accesses}")
+    if args.pressures is not None and min(args.pressures) < 1:
+        parser.error("--pressures must all be >= 1 (a pressure factor "
+                     "divides maxCache)")
+    if args.samples < 1:
+        parser.error(f"--samples must be >= 1, got {args.samples}")
+    if args.table2_budget < 1:
+        parser.error(f"--table2-budget must be >= 1, "
+                     f"got {args.table2_budget}")
+    if args.precision < 0:
+        parser.error(f"--precision must be >= 0, got {args.precision}")
     if args.jobs is not None and args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
     if args.task_timeout is not None and args.task_timeout <= 0:
@@ -166,6 +227,10 @@ def main(argv: list[str] | None = None) -> int:
                      f"got {args.task_timeout}")
     if args.max_retries is not None and args.max_retries < 0:
         parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
+    if args.check is not None:
+        # Publish the level in the environment so both the serial engine
+        # and pool workers (which build their own simulators) observe it.
+        os.environ[ENV_CHECK_LEVEL] = args.check
     sweep.configure(jobs=args.jobs,
                     use_cache=False if args.no_cache else None,
                     task_timeout=args.task_timeout,
@@ -175,23 +240,30 @@ def main(argv: list[str] | None = None) -> int:
     for raw in args.artifacts:
         name = _ALIASES.get(raw, raw)
         if raw == "all":
-            requested = [n for n in requested if n in _CACHE_COMMANDS]
+            requested = [n for n in requested
+                         if n in _CACHE_COMMANDS + _SANITY_COMMANDS]
             requested += list(_DRIVERS)
             break
-        if name not in _DRIVERS and name not in _CACHE_COMMANDS:
+        if (name not in _DRIVERS and name not in _CACHE_COMMANDS
+                and name not in _SANITY_COMMANDS):
             parser.error(
                 f"unknown artifact {raw!r}; use --list to see choices"
             )
         requested.append(name)
+    failed = False
     for index, name in enumerate(requested):
         if index:
             print()
         if name in _CACHE_COMMANDS:
             _run_cache_command(name)
             continue
+        if name in _SANITY_COMMANDS:
+            if not _run_diff_check(args):
+                failed = True
+            continue
         result = _call_driver(name, args)
         print(result.render(precision=args.precision))
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

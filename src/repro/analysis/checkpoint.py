@@ -34,6 +34,7 @@ from pathlib import Path
 from repro import faults
 from repro.analysis import sweepcache
 from repro.analysis.parallel import GridRecord, SweepTask, task_key
+from repro.core.metrics import SimulationStats
 
 ENV_RESUME = "REPRO_SWEEP_RESUME"
 
@@ -90,11 +91,7 @@ class CheckpointStore:
             payload = faults.fire("checkpoint.load",
                                   key=task_key(task), data=payload)
             records = pickle.loads(payload)
-            if not isinstance(records, list):
-                raise TypeError(
-                    f"checkpoint holds {type(records).__name__}, "
-                    "expected list"
-                )
+            _validate_records(records)
         except Exception as exc:
             self._quarantine(path, f"corrupt ({exc})")
             return None
@@ -177,3 +174,35 @@ class CheckpointStore:
         if not self.root.is_dir():
             return []
         return sorted(self.root.glob("*.pkl"))
+
+    def quarantined_entries(self) -> list[Path]:
+        """Quarantined checkpoint files awaiting post-mortem inspection
+        (the counterpart of :func:`repro.analysis.sweepcache.
+        quarantined_entries`, surfaced by ``cache-stats``)."""
+        quarantine = self.root / QUARANTINE_DIR
+        if not quarantine.is_dir():
+            return []
+        return sorted(quarantine.glob("*.pkl"))
+
+
+def _validate_records(records) -> None:
+    """Reject structurally-wrong checkpoint payloads before they poison
+    a resumed grid.  A truncated-then-repadded or hand-edited file can
+    unpickle into *something*; presence of a readable file is only a
+    checkpoint if that something is a list of well-formed grid records.
+    """
+    if not isinstance(records, list):
+        raise TypeError(
+            f"checkpoint holds {type(records).__name__}, expected list"
+        )
+    for record in records:
+        if not (isinstance(record, tuple) and len(record) == 4):
+            raise TypeError(
+                "checkpoint record is not a "
+                "(benchmark, policy, pressure, stats) tuple"
+            )
+        benchmark, policy, pressure, stats = record
+        if not (isinstance(benchmark, str) and isinstance(policy, str)
+                and isinstance(pressure, (int, float))
+                and isinstance(stats, SimulationStats)):
+            raise TypeError("checkpoint record fields have wrong types")

@@ -1,0 +1,239 @@
+"""Differential checking: production simulator vs. the reference model.
+
+``python -m repro.analysis diff-check`` replays the same synthetic
+traces through the optimized :class:`~repro.core.simulator.
+CodeCacheSimulator` and the first-principles :class:`~repro.core.
+refmodel.ReferenceSimulator`, across the paper's whole granularity
+ladder, and diffs them at two grains:
+
+* **per access** — hit/miss verdict, the evicted-block tuples of every
+  eviction invocation, and the number of links unpatched must match
+  exactly; the first divergence is reported with its trace position.
+* **final stats** — every integer counter must match exactly; overhead
+  floats must agree to relative 1e-9 (the two sides may legally sum the
+  same per-event charges in different orders).
+
+A clean diff means the fast implementation and the obviously-correct
+one agree access for access on every rung — the strongest correctness
+statement this repo can make short of the original DynamoRIO logs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.cache import ConfigurationError
+from repro.core.metrics import SimulationStats
+from repro.core.overhead import OverheadModel, PAPER_MODEL
+from repro.core.policies import STANDARD_UNIT_COUNTS
+from repro.core.pressure import pressured_capacity
+from repro.core.refmodel import AccessOutcome, reference_ladder
+from repro.core.simulator import CodeCacheSimulator
+from repro.analysis.sweep import ladder_policy_factories
+from repro.workloads.registry import all_benchmarks, build_workload
+
+#: Benchmarks the CLI diffs by default: the three smallest SPEC
+#: populations, so the quadratic reference model stays fast.
+DEFAULT_BENCHMARKS = ("gzip", "mcf", "bzip2")
+
+#: Default trace length per benchmark.  The reference model recomputes
+#: occupancy by summation on every insertion, so diff runs use shorter
+#: traces than sweeps; pass ``trace_accesses`` to override.
+DEFAULT_TRACE_ACCESSES = 6000
+
+DEFAULT_PRESSURES = (2.0, 10.0)
+
+#: Relative tolerance for overhead floats (identical charges, possibly
+#: summed in a different order).
+FLOAT_RTOL = 1e-9
+
+_INT_FIELDS = (
+    "accesses", "hits", "misses", "inserted_bytes",
+    "eviction_invocations", "evicted_blocks", "evicted_bytes",
+    "unlink_operations", "links_removed",
+    "links_established_intra", "links_established_inter",
+    "peak_backpointer_bytes", "preemptive_flushes",
+)
+_FLOAT_FIELDS = ("miss_overhead", "eviction_overhead", "unlink_overhead")
+
+
+@dataclass(frozen=True)
+class DiffMismatch:
+    """One disagreement between the two implementations."""
+
+    benchmark: str
+    policy: str
+    pressure: float
+    kind: str  # "access" or "stats"
+    detail: str
+    access_index: int | None = None
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one differential run over a (benchmark, policy,
+    pressure) grid."""
+
+    runs: int = 0
+    accesses_compared: int = 0
+    mismatches: list[DiffMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def render(self, precision: int = 4) -> str:
+        lines = [
+            f"diff-check: {self.runs} run(s), "
+            f"{self.accesses_compared} access outcomes compared",
+        ]
+        if self.ok:
+            lines.append("  PASS: production and reference simulators "
+                         "agree access for access")
+        else:
+            lines.append(f"  FAIL: {len(self.mismatches)} mismatch(es)")
+            for m in self.mismatches:
+                where = (f" at access {m.access_index}"
+                         if m.access_index is not None else "")
+                lines.append(
+                    f"  {m.benchmark} / {m.policy} / pressure "
+                    f"{m.pressure:g} [{m.kind}]{where}: {m.detail}"
+                )
+        return "\n".join(lines)
+
+
+def _spec_by_name(name: str):
+    by_name = {spec.name: spec for spec in all_benchmarks()}
+    if name not in by_name:
+        raise ConfigurationError(
+            f"unknown benchmark {name!r}; choose from "
+            f"{', '.join(sorted(by_name))}"
+        )
+    return by_name[name]
+
+
+def _diff_outcomes(optimized: list[AccessOutcome],
+                   reference: list[AccessOutcome]) -> tuple[str, int] | None:
+    """First per-access divergence as ``(detail, index)``, or ``None``."""
+    if len(optimized) != len(reference):
+        return (
+            f"outcome counts differ: {len(optimized)} vs {len(reference)}",
+            None,
+        )
+    for opt, ref in zip(optimized, reference):
+        if opt.sid != ref.sid:
+            return f"trace desync: sid {opt.sid} vs {ref.sid}", opt.index
+        if opt.hit != ref.hit:
+            return (
+                f"sid {opt.sid}: optimized says "
+                f"{'hit' if opt.hit else 'miss'}, reference says "
+                f"{'hit' if ref.hit else 'miss'}",
+                opt.index,
+            )
+        if opt.evictions != ref.evictions:
+            return (
+                f"sid {opt.sid}: evictions differ: {opt.evictions} vs "
+                f"{ref.evictions}",
+                opt.index,
+            )
+        if opt.links_removed != ref.links_removed:
+            return (
+                f"sid {opt.sid}: links_removed {opt.links_removed} vs "
+                f"{ref.links_removed}",
+                opt.index,
+            )
+    return None
+
+
+def _diff_stats(optimized: SimulationStats,
+                reference: SimulationStats) -> list[str]:
+    problems = []
+    for name in _INT_FIELDS:
+        a, b = getattr(optimized, name), getattr(reference, name)
+        if a != b:
+            problems.append(f"{name}: {a} vs {b}")
+    for name in _FLOAT_FIELDS:
+        a, b = getattr(optimized, name), getattr(reference, name)
+        if not math.isclose(a, b, rel_tol=FLOAT_RTOL, abs_tol=1e-6):
+            problems.append(f"{name}: {a!r} vs {b!r}")
+    return problems
+
+
+def diff_check(
+    benchmarks: tuple[str, ...] = DEFAULT_BENCHMARKS,
+    scale: float = 1.0,
+    trace_accesses: int | None = None,
+    pressures: tuple[float, ...] = DEFAULT_PRESSURES,
+    unit_counts: tuple[int, ...] = STANDARD_UNIT_COUNTS,
+    include_fine: bool = True,
+    overhead_model: OverheadModel = PAPER_MODEL,
+    track_links: bool = True,
+    check_level: str | None = None,
+    progress=None,
+) -> DiffReport:
+    """Replay every (benchmark, policy, pressure) cell through both
+    simulators and report the differences.
+
+    ``check_level`` additionally runs the production side under the
+    invariant checker (``None`` defers to ``REPRO_CHECK_LEVEL``), so a
+    single command exercises both halves of the sanitizer.
+    """
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    if trace_accesses is None:
+        trace_accesses = DEFAULT_TRACE_ACCESSES
+    if trace_accesses < 1:
+        raise ConfigurationError("trace_accesses must be >= 1")
+    if not pressures or min(pressures) < 1:
+        raise ConfigurationError("pressure factors must be >= 1")
+    production = ladder_policy_factories(unit_counts, include_fine)
+    reference = reference_ladder(include_fine, tuple(unit_counts))
+    report = DiffReport()
+    for benchmark in benchmarks:
+        spec = _spec_by_name(benchmark)
+        workload = build_workload(spec, scale=scale,
+                                  trace_accesses=trace_accesses)
+        superblocks = workload.superblocks
+        trace = workload.trace.tolist()
+        for pressure in pressures:
+            capacity = pressured_capacity(superblocks, pressure)
+            for (name, factory), (ref_name, build) in zip(production,
+                                                          reference):
+                assert name == ref_name, "ladders out of step"
+                outcomes: list[AccessOutcome] = []
+
+                def observe(index, sid, hit, evictions, links_removed):
+                    outcomes.append(AccessOutcome(
+                        index, sid, hit, evictions, links_removed))
+
+                simulator = CodeCacheSimulator(
+                    superblocks, factory(), capacity,
+                    overhead_model=overhead_model,
+                    track_links=track_links,
+                    check_level=check_level,
+                    check_context={"benchmark": benchmark,
+                                   "scale": scale,
+                                   "pressure": pressure,
+                                   "seed": spec.seed},
+                )
+                opt_stats = simulator.process(trace, benchmark=benchmark,
+                                              observer=observe)
+                opt_stats.policy_name = name
+                ref_run = build(superblocks, capacity,
+                                model=overhead_model,
+                                track_links=track_links)
+                ref_result = ref_run.run(trace, benchmark=benchmark)
+                report.runs += 1
+                report.accesses_compared += len(outcomes)
+                divergence = _diff_outcomes(outcomes, ref_result.outcomes)
+                if divergence is not None:
+                    detail, index = divergence
+                    report.mismatches.append(DiffMismatch(
+                        benchmark, name, pressure, "access", detail, index))
+                for problem in _diff_stats(opt_stats, ref_result.stats):
+                    report.mismatches.append(DiffMismatch(
+                        benchmark, name, pressure, "stats", problem))
+            if progress is not None:
+                progress(f"diffed {benchmark} @ pressure {pressure:g}")
+    return report

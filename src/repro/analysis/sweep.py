@@ -162,10 +162,17 @@ def run_sweep(
     overhead_model: OverheadModel = PAPER_MODEL,
     track_links: bool = True,
     progress: Callable[[str], None] | None = None,
+    check_level: str | None = None,
 ) -> SweepResult:
     """Simulate every (workload, policy, pressure) combination.
 
     ``progress`` (if given) receives one line per completed benchmark.
+    ``check_level`` runs every simulation under the invariant checker
+    (:mod:`repro.core.invariants`); ``None`` defers to
+    ``REPRO_CHECK_LEVEL`` (default ``off``), which is also how pool
+    workers of the parallel engine pick the level up.  Results served
+    from the sweep cache were validated when first simulated, not per
+    hit.
     """
     pressures = tuple(pressures)
     started = time.perf_counter()
@@ -181,6 +188,12 @@ def run_sweep(
                     capacity,
                     overhead_model=overhead_model,
                     track_links=track_links,
+                    check_level=check_level,
+                    check_context={
+                        "benchmark": workload.name,
+                        "pressure": pressure,
+                        "seed": workload.spec.seed,
+                    },
                 )
                 record = simulator.process(workload.trace,
                                            benchmark=workload.name)

@@ -51,6 +51,19 @@ from repro.core.pressure import (
     pressured_capacity,
 )
 from repro.core.simulator import CodeCacheSimulator, simulate
+from repro.core.invariants import (
+    CHECK_LEVELS,
+    ENV_CHECK_LEVEL,
+    InvariantChecker,
+    InvariantViolation,
+    resolve_check_level,
+)
+from repro.core.refmodel import (
+    AccessOutcome,
+    ReferenceResult,
+    ReferenceSimulator,
+    reference_ladder,
+)
 from repro.core.adaptive import AdaptiveUnitPolicy, DEFAULT_SCHEDULE
 from repro.core.placement import LinkAwarePlacementPolicy
 from repro.core.lru import LruPolicy
@@ -92,6 +105,15 @@ __all__ = [
     "pressured_capacity",
     "CodeCacheSimulator",
     "simulate",
+    "CHECK_LEVELS",
+    "ENV_CHECK_LEVEL",
+    "InvariantChecker",
+    "InvariantViolation",
+    "resolve_check_level",
+    "AccessOutcome",
+    "ReferenceResult",
+    "ReferenceSimulator",
+    "reference_ladder",
     "AdaptiveUnitPolicy",
     "DEFAULT_SCHEDULE",
     "LinkAwarePlacementPolicy",

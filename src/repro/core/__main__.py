@@ -16,6 +16,7 @@ import argparse
 import sys
 
 from repro.analysis.report import format_table
+from repro.core.invariants import CHECK_LEVELS, ENV_CHECK_LEVEL
 from repro.core.policies import (
     FineGrainedFifoPolicy,
     FlushPolicy,
@@ -45,6 +46,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default 3)")
     parser.add_argument("--no-links", action="store_true",
                         help="skip link tracking and Equation 4 charges")
+    parser.add_argument("--check", choices=CHECK_LEVELS, default=None,
+                        help="replay under the invariant checker at this "
+                             f"level (default: {ENV_CHECK_LEVEL} or off)")
     return parser
 
 
@@ -60,11 +64,23 @@ def _policies(tokens: list[str]):
                 f"error: --units entries must be integers or 'fifo', "
                 f"got {token!r}"
             )
+        if count < 1:
+            raise SystemExit(
+                f"error: --units entries must be >= 1, got {count}"
+            )
         yield FlushPolicy() if count == 1 else UnitFifoPolicy(count)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.capacity is not None and args.capacity < 1:
+        raise SystemExit(
+            f"error: --capacity must be >= 1, got {args.capacity}"
+        )
+    if args.pressure < 1:
+        raise SystemExit(
+            f"error: --pressure must be >= 1, got {args.pressure:g}"
+        )
     log = load_log(args.log)
     population = log.superblock_set()
     trace = log.access_trace()
@@ -85,6 +101,8 @@ def main(argv: list[str] | None = None) -> int:
         stats = simulate(
             population, policy, capacity, trace,
             track_links=not args.no_links,
+            check_level=args.check,
+            check_context={"log": args.log},
         )
         rows.append((
             policy.name,

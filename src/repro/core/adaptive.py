@@ -145,6 +145,9 @@ class AdaptiveUnitPolicy(EvictionPolicy):
     def resident_ids(self) -> set[int]:
         return self._cache.resident_ids()
 
+    def internal_caches(self) -> tuple:
+        return (self._cache,) if self._cache is not None else ()
+
     @property
     def effective_unit_count(self) -> int:
         self._require_configured()

@@ -23,9 +23,14 @@ from dataclasses import dataclass
 from repro.core.units import CacheUnit, make_units
 
 
-class ConfigurationError(Exception):
-    """Raised when a cache configuration cannot work (e.g. a unit smaller
-    than the largest superblock it must hold)."""
+class ConfigurationError(ValueError):
+    """Raised when a configuration cannot work (e.g. a unit smaller than
+    the largest superblock it must hold, a non-positive capacity, or a
+    zero-length trace).
+
+    Subclasses :class:`ValueError` so call sites that predate the
+    validation pass (and tests catching ``ValueError``) keep working.
+    """
 
 
 @dataclass(frozen=True)

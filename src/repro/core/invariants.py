@@ -1,0 +1,491 @@
+"""Runtime invariant checking for the code cache simulator.
+
+The paper's conclusions are only as trustworthy as the simulator's
+bookkeeping: occupancy accounting (Figures 6-11), FIFO unit ordering
+(Figure 8), the inter-unit link graph that drives the Equation 4 unlink
+charges (Figures 13-15), and the raw counters Equation 1 is derived
+from.  This module is the sanitizer for that bookkeeping — a tiered
+:class:`InvariantChecker` the simulator consults while it runs:
+
+``off``
+    No checker is constructed at all; the simulator's hot loops are
+    byte-for-byte the ones that run in production.
+``light``
+    Cheap conservation checks (occupancy vs. the sum of resident
+    superblock sizes, hits + misses == accesses, byte conservation,
+    Equation 1 re-derivation) every :data:`LIGHT_CADENCE` accesses.
+``paranoid``
+    Everything ``light`` checks plus per-unit capacity bounds, FIFO age
+    ordering inside every unit and circular buffer, stable unit keys,
+    and bidirectional :class:`~repro.core.links.LinkManager` consistency
+    (no dangling links to evicted blocks, every incoming record mirrored
+    by an outgoing one), every :data:`PARANOID_CADENCE` accesses.
+
+The level comes from the ``--check`` CLI flag or the
+``REPRO_CHECK_LEVEL`` environment variable (which process-pool sweep
+workers inherit); the cadence keeps even ``paranoid`` affordable on long
+traces, and a final check always runs when a trace ends.  A violation
+raises :class:`InvariantViolation` carrying a serialized repro bundle —
+workload identity, seed, access index, and a state snapshot — so a
+failure seen once in a million-access sweep can be reproduced exactly.
+
+Self-test: arming a :mod:`repro.faults` ``raise`` spec at one of the
+``cache.*`` state points (:data:`repro.faults.STATE_POINTS`) makes the
+checker *deterministically corrupt the live state* at its next check
+boundary — occupancy drift, a FIFO order scramble, a one-sided link
+record, or a conservation-breaking counter bump — which the same check
+pass must then detect.  Tests assert every injected corruption is
+caught; a checker that can't see planted bugs isn't checking anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping
+
+from repro import faults
+from repro.core.cache import (
+    CircularBlockBuffer,
+    ConfigurationError,
+    UnitCache,
+)
+from repro.core.metrics import SimulationStats, unified_miss_rate
+
+ENV_CHECK_LEVEL = "REPRO_CHECK_LEVEL"
+
+CHECK_LEVELS = ("off", "light", "paranoid")
+
+#: Accesses between check passes at each level.  ``paranoid`` walks the
+#: whole cache/link state each pass, so its cadence is the knob that
+#: keeps it usable on long traces; a final pass always runs at trace end.
+LIGHT_CADENCE = 4096
+PARANOID_CADENCE = 128
+
+
+def resolve_check_level(explicit: str | None = None) -> str:
+    """The effective check level: *explicit*, else ``REPRO_CHECK_LEVEL``,
+    else ``off``.  Unknown levels are rejected up front with the valid
+    choices spelled out, not deep inside the simulator loop."""
+    level = explicit
+    if level is None:
+        level = os.environ.get(ENV_CHECK_LEVEL, "").strip().lower() or "off"
+    level = level.strip().lower()
+    if level not in CHECK_LEVELS:
+        raise ConfigurationError(
+            f"unknown check level {level!r}; expected one of "
+            f"{', '.join(CHECK_LEVELS)} (via --check or {ENV_CHECK_LEVEL})"
+        )
+    return level
+
+
+def default_cadence(level: str) -> int:
+    return LIGHT_CADENCE if level == "light" else PARANOID_CADENCE
+
+
+class InvariantViolation(AssertionError):
+    """The simulator's state broke an invariant.
+
+    Carries a repro ``bundle`` (also serialized as ``bundle_json``):
+    what failed, where in the trace, the workload/policy identity
+    needed to regenerate the run, and a bounded state snapshot.
+    """
+
+    def __init__(self, violations: list[str], bundle: dict) -> None:
+        summary = "; ".join(violations[:3])
+        if len(violations) > 3:
+            summary += f"; ... ({len(violations)} violations total)"
+        super().__init__(
+            f"simulator invariant violation at access "
+            f"{bundle.get('access_index')}: {summary}"
+        )
+        self.violations = list(violations)
+        self.bundle = bundle
+
+    @property
+    def bundle_json(self) -> str:
+        return json.dumps(self.bundle, indent=2, sort_keys=True,
+                          default=str)
+
+
+def _snapshot_ids(ids, limit: int = 64) -> dict:
+    """A bounded view of a block-id collection for the repro bundle."""
+    ordered = sorted(ids)
+    return {
+        "count": len(ordered),
+        "first": ordered[:limit],
+        "truncated": len(ordered) > limit,
+    }
+
+
+class InvariantChecker:
+    """Validates simulator state against its ground truth.
+
+    Parameters
+    ----------
+    policy:
+        The (configured) eviction policy under check.
+    superblocks:
+        The workload population; its sizes are the ground truth for all
+        occupancy accounting.
+    capacity_bytes:
+        The cache capacity the policy was configured for.
+    links:
+        The run's :class:`~repro.core.links.LinkManager`, or ``None``
+        when links are untracked.
+    level:
+        ``light`` or ``paranoid`` (an ``off`` checker is never built).
+    cadence:
+        Accesses between check passes; defaults per level.
+    context:
+        Extra repro-bundle identity (benchmark name, spec seed, scale,
+        ...) merged into every violation's bundle.
+    """
+
+    def __init__(
+        self,
+        policy,
+        superblocks,
+        capacity_bytes: int,
+        links=None,
+        level: str = "paranoid",
+        cadence: int | None = None,
+        context: Mapping | None = None,
+    ) -> None:
+        if level not in CHECK_LEVELS or level == "off":
+            raise ConfigurationError(
+                f"an InvariantChecker needs level 'light' or 'paranoid', "
+                f"got {level!r}"
+            )
+        if cadence is not None and cadence < 1:
+            raise ConfigurationError(
+                f"check cadence must be >= 1, got {cadence}"
+            )
+        self.policy = policy
+        self.superblocks = superblocks
+        self.capacity_bytes = capacity_bytes
+        self.links = links
+        self.level = level
+        self.cadence = cadence if cadence is not None else default_cadence(level)
+        self.context = dict(context or {})
+        self.checks_run = 0
+        self._sizes = dict(superblocks.sizes())
+        #: Monotonic insertion sequence per block, for FIFO age ordering.
+        self._seq: dict[int, int] = {}
+        self._next_seq = 0
+
+    # -- Simulator notifications -------------------------------------------
+
+    def note_insert(self, sid: int) -> None:
+        """Record the insertion order of *sid* (called once per miss)."""
+        self._next_seq += 1
+        self._seq[sid] = self._next_seq
+
+    def after_access(self, access_index: int, sid: int,
+                     stats: SimulationStats | None = None) -> None:
+        """Cadence-bounded check hook; the simulator calls it per access.
+
+        Prefer the inlined countdown in the simulator loop for speed;
+        this entry point exists for direct/driver use.
+        """
+        if access_index % self.cadence == 0:
+            self.run_checks(stats, access_index=access_index, sid=sid)
+
+    # -- The check pass -----------------------------------------------------
+
+    def run_checks(self, stats: SimulationStats | None = None,
+                   access_index: int | None = None,
+                   sid: int | None = None) -> None:
+        """One full check pass at the current level; raises
+        :class:`InvariantViolation` on the first pass that fails."""
+        self._apply_armed_corruptions(stats)
+        self.checks_run += 1
+        violations: list[str] = []
+        resident = self.policy.resident_ids()
+        self._check_occupancy(resident, violations)
+        if stats is not None:
+            self._check_metrics(stats, resident, violations)
+        if self.level == "paranoid":
+            self._check_units(resident, violations)
+            self._check_fifo_order(violations)
+            self._check_links(resident, violations)
+        if violations:
+            raise InvariantViolation(
+                violations,
+                self._bundle(violations, resident, stats,
+                             access_index=access_index, sid=sid),
+            )
+
+    # Individual invariants ------------------------------------------------
+
+    def _check_occupancy(self, resident: set[int],
+                         violations: list[str]) -> None:
+        """Occupancy == sum of resident superblock sizes, within bounds."""
+        unknown = [s for s in resident if s not in self._sizes]
+        if unknown:
+            violations.append(
+                f"resident blocks unknown to the workload: {sorted(unknown)[:8]}"
+            )
+            return
+        expected = sum(self._sizes[s] for s in resident)
+        if expected > self.capacity_bytes:
+            violations.append(
+                f"resident bytes {expected} exceed capacity "
+                f"{self.capacity_bytes}"
+            )
+        total_cached = 0
+        cached_ids: set[int] = set()
+        caches = self.policy.internal_caches()
+        for cache in caches:
+            total_cached += cache.used_bytes
+            ids = cache.resident_ids()
+            if cached_ids & ids:
+                violations.append(
+                    f"block(s) resident in two caches: "
+                    f"{sorted(cached_ids & ids)[:8]}"
+                )
+            cached_ids |= ids
+        if caches:
+            if cached_ids != resident:
+                violations.append(
+                    f"cache residency ({len(cached_ids)} blocks) disagrees "
+                    f"with policy.resident_ids() ({len(resident)} blocks)"
+                )
+            if total_cached != expected:
+                violations.append(
+                    f"cache used_bytes {total_cached} != sum of resident "
+                    f"superblock sizes {expected} (occupancy drift)"
+                )
+
+    def _check_units(self, resident: set[int],
+                     violations: list[str]) -> None:
+        """Per-unit capacity bounds and internal byte accounting."""
+        for cache in self.policy.internal_caches():
+            if isinstance(cache, UnitCache):
+                for unit in cache.units:
+                    unit_bytes = sum(self._sizes.get(s, 0) for s in unit.blocks)
+                    if unit.used_bytes != unit_bytes:
+                        violations.append(
+                            f"unit {unit.index} used_bytes {unit.used_bytes} "
+                            f"!= sum of its block sizes {unit_bytes}"
+                        )
+                    if unit.used_bytes > unit.capacity_bytes:
+                        violations.append(
+                            f"unit {unit.index} over capacity: "
+                            f"{unit.used_bytes} > {unit.capacity_bytes}"
+                        )
+                    for s in unit.blocks:
+                        if s in cache._unit_of and cache._unit_of[s] != unit.index:
+                            violations.append(
+                                f"block {s} recorded in unit "
+                                f"{cache._unit_of[s]} but stored in unit "
+                                f"{unit.index}"
+                            )
+            elif isinstance(cache, CircularBlockBuffer):
+                queue = list(cache._queue)
+                if len(queue) != len(set(queue)):
+                    violations.append("circular buffer queue has duplicates")
+                if set(queue) != cache.resident_ids():
+                    violations.append(
+                        "circular buffer queue disagrees with its size map"
+                    )
+                if cache.used_bytes > cache.capacity_bytes:
+                    violations.append(
+                        f"circular buffer over capacity: "
+                        f"{cache.used_bytes} > {cache.capacity_bytes}"
+                    )
+
+    def _check_fifo_order(self, violations: list[str]) -> None:
+        """Blocks inside each FIFO structure must sit in insertion order."""
+        for cache in self.policy.internal_caches():
+            if isinstance(cache, UnitCache):
+                sequences = (unit.blocks for unit in cache.units)
+                where = "unit"
+            elif isinstance(cache, CircularBlockBuffer):
+                sequences = (list(cache._queue),)
+                where = "circular buffer"
+            else:  # pragma: no cover - no other cache kinds exist today
+                continue
+            for blocks in sequences:
+                ages = [self._seq[s] for s in blocks if s in self._seq]
+                if ages != sorted(ages):
+                    violations.append(
+                        f"FIFO age order broken in {where}: insertion "
+                        f"sequence {ages[:12]} is not monotonic"
+                    )
+
+    def _check_links(self, resident: set[int],
+                     violations: list[str]) -> None:
+        """Bidirectional link-map consistency and no dangling endpoints."""
+        links = self.links
+        if links is None:
+            return
+        out_pairs = links.live_links()
+        in_pairs = links.incoming_pairs()
+        if out_pairs != in_pairs:
+            one_sided = out_pairs.symmetric_difference(in_pairs)
+            violations.append(
+                f"link maps disagree: {len(one_sided)} one-sided record(s), "
+                f"e.g. {sorted(one_sided)[:4]}"
+            )
+        for source, target in out_pairs | in_pairs:
+            if source not in resident or target not in resident:
+                violations.append(
+                    f"dangling link ({source} -> {target}): endpoint not "
+                    "resident"
+                )
+                break
+        if links.live_link_count != len(out_pairs):
+            violations.append(
+                f"live_link_count {links.live_link_count} != "
+                f"{len(out_pairs)} recorded links"
+            )
+        if links.live_intra_count < 0 or links.live_inter_count < 0:
+            violations.append("negative intra/inter live link count")
+
+    def _check_metrics(self, stats: SimulationStats, resident: set[int],
+                       violations: list[str]) -> None:
+        """Counter conservation and Equation 1 re-derivability."""
+        if stats.hits + stats.misses != stats.accesses:
+            violations.append(
+                f"hits ({stats.hits}) + misses ({stats.misses}) != "
+                f"accesses ({stats.accesses})"
+            )
+        if min(stats.hits, stats.misses, stats.accesses,
+               stats.eviction_invocations, stats.evicted_blocks,
+               stats.evicted_bytes, stats.inserted_bytes) < 0:
+            violations.append("negative counter in SimulationStats")
+        resident_bytes = sum(self._sizes.get(s, 0) for s in resident)
+        if stats.inserted_bytes - stats.evicted_bytes != resident_bytes:
+            violations.append(
+                f"byte conservation broken: inserted {stats.inserted_bytes} "
+                f"- evicted {stats.evicted_bytes} != resident "
+                f"{resident_bytes}"
+            )
+        if stats.accesses:
+            eq1 = unified_miss_rate([stats])
+            if eq1 != stats.misses / stats.accesses:
+                violations.append(
+                    "Equation 1 not re-derivable from raw counters: "
+                    f"{eq1} != {stats.misses}/{stats.accesses}"
+                )
+
+    # -- Repro bundle --------------------------------------------------------
+
+    def _bundle(self, violations: list[str], resident: set[int],
+                stats: SimulationStats | None,
+                access_index: int | None, sid: int | None) -> dict:
+        units = []
+        for cache in self.policy.internal_caches():
+            if isinstance(cache, UnitCache):
+                units.extend(
+                    {"index": unit.index, "used_bytes": unit.used_bytes,
+                     "capacity_bytes": unit.capacity_bytes,
+                     "blocks": _snapshot_ids(unit.blocks)}
+                    for unit in cache.units
+                )
+        bundle = {
+            "violations": violations,
+            "check_level": self.level,
+            "check_cadence": self.cadence,
+            "access_index": access_index,
+            "access_sid": sid,
+            "workload": {
+                "policy": getattr(self.policy, "name", "?"),
+                "capacity_bytes": self.capacity_bytes,
+                "superblock_count": len(self.superblocks),
+                **self.context,
+            },
+            "state": {
+                "resident": _snapshot_ids(resident),
+                "resident_bytes": sum(
+                    self._sizes.get(s, 0) for s in resident
+                ),
+                "units": units,
+                "live_links": (self.links.live_link_count
+                               if self.links is not None else None),
+            },
+        }
+        if stats is not None:
+            bundle["stats"] = stats.to_dict()
+        return bundle
+
+    # -- Fault-injection self-test ------------------------------------------
+
+    def _apply_armed_corruptions(self, stats: SimulationStats | None) -> None:
+        """Service any armed ``cache.*`` state-corruption faults.
+
+        For each armed point whose corruption is currently applicable
+        (there is state to damage), fire the fault registry; a ``raise``
+        spec coming back as :class:`~repro.faults.InjectedFault` means
+        "corrupt now", and the damage is applied to the live state just
+        before the check pass that must catch it.
+        """
+        if faults.active_plan() is None:
+            return
+        key = self.context.get("benchmark")
+        for point, find in (
+            ("cache.occupancy", self._find_occupancy_corruption),
+            ("cache.fifo", self._find_fifo_corruption),
+            ("cache.links", self._find_link_corruption),
+            ("cache.metrics", lambda: self._find_metrics_corruption(stats)),
+        ):
+            corrupt = find()
+            if corrupt is None:
+                continue
+            try:
+                faults.fire(point, key=key)
+            except faults.InjectedFault:
+                corrupt()
+
+    def _find_occupancy_corruption(self):
+        for cache in self.policy.internal_caches():
+            if isinstance(cache, UnitCache):
+                for unit in cache.units:
+                    if unit.blocks:
+                        def corrupt(unit=unit):
+                            unit.used_bytes += 1
+                        return corrupt
+            elif isinstance(cache, CircularBlockBuffer):
+                if cache.resident_count:
+                    def corrupt(cache=cache):
+                        cache._used += 1
+                    return corrupt
+        return None
+
+    def _find_fifo_corruption(self):
+        for cache in self.policy.internal_caches():
+            if isinstance(cache, UnitCache):
+                for unit in cache.units:
+                    if len(unit.blocks) >= 2:
+                        def corrupt(unit=unit):
+                            unit.blocks[0], unit.blocks[-1] = (
+                                unit.blocks[-1], unit.blocks[0]
+                            )
+                        return corrupt
+            elif isinstance(cache, CircularBlockBuffer):
+                if cache.resident_count >= 2:
+                    def corrupt(cache=cache):
+                        cache._queue.rotate(1)
+                    return corrupt
+        return None
+
+    def _find_link_corruption(self):
+        links = self.links
+        if links is None:
+            return None
+        for target, sources in links._live_in.items():
+            for source in sources:
+                if source != target:
+                    def corrupt(target=target, source=source):
+                        links._live_in[target].discard(source)
+                    return corrupt
+        return None
+
+    def _find_metrics_corruption(self, stats: SimulationStats | None):
+        if stats is None or not stats.accesses:
+            return None
+
+        def corrupt():
+            stats.hits += 1
+        return corrupt

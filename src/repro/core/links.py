@@ -191,3 +191,14 @@ class LinkManager:
     def incoming_of(self, sid: int) -> frozenset[int]:
         """Live sources currently linking to *sid* (back-pointer lookup)."""
         return frozenset(self._live_in.get(sid, set()))
+
+    def incoming_pairs(self) -> set[tuple[int, int]]:
+        """The live ``(source, target)`` pairs as recorded by the
+        *back-pointer* (incoming) map.  Must mirror :meth:`live_links`
+        exactly; the invariant checker diffs the two views to catch
+        one-sided link bookkeeping."""
+        pairs: set[tuple[int, int]] = set()
+        for target, sources in self._live_in.items():
+            for source in sources:
+                pairs.add((source, target))
+        return pairs

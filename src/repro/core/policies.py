@@ -86,6 +86,13 @@ class EvictionPolicy(ABC):
         """
         return []
 
+    def internal_caches(self) -> tuple:
+        """The concrete cache mechanisms (``UnitCache`` /
+        ``CircularBlockBuffer``) backing this policy, for deep invariant
+        checking (:mod:`repro.core.invariants`).  Policies with bespoke
+        storage return ``()`` and get the generic checks only."""
+        return ()
+
     def _require_configured(self) -> None:
         if not self._configured:
             raise RuntimeError(f"{self.name}: configure() must be called first")
@@ -129,6 +136,9 @@ class UnitFifoPolicy(EvictionPolicy):
 
     def resident_ids(self) -> set[int]:
         return self._cache.resident_ids()
+
+    def internal_caches(self) -> tuple:
+        return (self._cache,) if self._cache is not None else ()
 
     @property
     def effective_unit_count(self) -> int:
@@ -177,6 +187,9 @@ class FineGrainedFifoPolicy(EvictionPolicy):
 
     def resident_ids(self) -> set[int]:
         return self._cache.resident_ids()
+
+    def internal_caches(self) -> tuple:
+        return (self._cache,) if self._cache is not None else ()
 
     @property
     def effective_unit_count(self) -> int:
@@ -276,6 +289,9 @@ class PreemptiveFlushPolicy(EvictionPolicy):
     def resident_ids(self) -> set[int]:
         return self._cache.resident_ids()
 
+    def internal_caches(self) -> tuple:
+        return (self._cache,) if self._cache is not None else ()
+
     @property
     def effective_unit_count(self) -> int:
         return 1
@@ -349,6 +365,11 @@ class GenerationalPolicy(EvictionPolicy):
 
     def resident_ids(self) -> set[int]:
         return self._nursery.resident_ids() | self._persistent.resident_ids()
+
+    def internal_caches(self) -> tuple:
+        if self._nursery is None:
+            return ()
+        return (self._nursery, self._persistent)
 
     @property
     def effective_unit_count(self) -> int:

@@ -1,0 +1,327 @@
+"""A slow, obviously-correct reference simulator — the differential oracle.
+
+The production :class:`~repro.core.simulator.CodeCacheSimulator` earns
+its speed with incremental bookkeeping: cached size maps, per-unit bump
+pointers, dual link maps, a batched hot loop.  Every one of those
+optimizations is a place for the two halves of an invariant to drift
+apart.  This module re-implements the paper's semantics with none of
+them — plain dicts and lists, occupancy recomputed by summation on
+every insertion, the live link set rebuilt from first principles — so
+that :mod:`repro.analysis.diffcheck` can replay the same trace through
+both implementations and compare them access for access.
+
+What is deliberately mirrored from the spec (not from the code):
+
+* Unit caches advance the fill pointer **once** per overflowing
+  insertion and evict the unit in the way in its entirety (Figure 5's
+  FIFO unit rotation); ``n = 1`` degenerates to FLUSH.
+* The fine-grained buffer evicts the minimum number of *oldest* blocks,
+  one eviction invocation each (Section 4).
+* Links are established in both directions when a block enters the
+  cache, classified intra/inter-unit at establishment time, and an
+  evicted block is charged Equation 4 unlinking only for incoming links
+  from *surviving* blocks.
+
+The reference model covers the paper's granularity ladder (FLUSH,
+2..512 units, fine-grained FIFO) — the policies every figure is built
+from.  Adaptive/generational/preemptive policies are driven by internal
+heuristics, not pure cache geometry, and stay under the runtime
+invariant checker only (see ROADMAP open items).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cache import ConfigurationError
+from repro.core.links import BACKPOINTER_ENTRY_BYTES
+from repro.core.metrics import SimulationStats
+from repro.core.overhead import OverheadModel, PAPER_MODEL
+from repro.core.superblock import SuperblockSet
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """What one trace access did, in comparable form.
+
+    ``evictions`` holds one tuple of block ids per eviction invocation
+    the access triggered, in order; ``links_removed`` counts the links
+    unpatched servicing it (0 when links are untracked).
+    """
+
+    index: int
+    sid: int
+    hit: bool
+    evictions: tuple[tuple[int, ...], ...] = ()
+    links_removed: int = 0
+
+
+@dataclass
+class ReferenceResult:
+    """A reference run: final stats plus the per-access outcome log."""
+
+    stats: SimulationStats
+    outcomes: list[AccessOutcome] = field(default_factory=list)
+
+
+class _ReferenceUnitStore:
+    """Unit-partitioned FIFO storage, recomputed-from-scratch flavour."""
+
+    def __init__(self, capacity_bytes: int, unit_count: int,
+                 sizes: dict[int, int]) -> None:
+        self.unit_capacity = capacity_bytes // unit_count
+        self.units: list[list[int]] = [[] for _ in range(unit_count)]
+        self.fill = 0
+        self.sizes = sizes
+
+    def resident(self, sid: int) -> bool:
+        return any(sid in unit for unit in self.units)
+
+    def resident_ids(self) -> set[int]:
+        return {sid for unit in self.units for sid in unit}
+
+    def unit_key(self, sid: int) -> int:
+        for idx, unit in enumerate(self.units):
+            if sid in unit:
+                return idx
+        raise KeyError(sid)
+
+    def _unit_used(self, idx: int) -> int:
+        return sum(self.sizes[s] for s in self.units[idx])
+
+    def insert(self, sid: int, size: int) -> list[tuple[int, ...]]:
+        assert not self.resident(sid), f"double insert of {sid}"
+        evictions: list[tuple[int, ...]] = []
+        if self._unit_used(self.fill) + size > self.unit_capacity:
+            self.fill = (self.fill + 1) % len(self.units)
+            victim = self.units[self.fill]
+            if victim:
+                evictions.append(tuple(victim))
+                self.units[self.fill] = []
+        self.units[self.fill].append(sid)
+        return evictions
+
+
+class _ReferenceFifoStore:
+    """Fine-grained circular buffer, recomputed-from-scratch flavour."""
+
+    def __init__(self, capacity_bytes: int, sizes: dict[int, int]) -> None:
+        self.capacity = capacity_bytes
+        self.queue: list[int] = []
+        self.sizes = sizes
+
+    def resident(self, sid: int) -> bool:
+        return sid in self.queue
+
+    def resident_ids(self) -> set[int]:
+        return set(self.queue)
+
+    def unit_key(self, sid: int) -> int:
+        # Every block is its own eviction unit; the id is the unit key.
+        if sid not in self.queue:
+            raise KeyError(sid)
+        return sid
+
+    def _used(self) -> int:
+        return sum(self.sizes[s] for s in self.queue)
+
+    def insert(self, sid: int, size: int) -> list[tuple[int, ...]]:
+        assert sid not in self.queue, f"double insert of {sid}"
+        evictions: list[tuple[int, ...]] = []
+        while self._used() + size > self.capacity:
+            victim = self.queue.pop(0)
+            evictions.append((victim,))
+        self.queue.append(sid)
+        return evictions
+
+
+class ReferenceSimulator:
+    """Replays a trace with first-principles bookkeeping.
+
+    Build one with :meth:`for_unit_policy` (``unit_count = 1`` is FLUSH)
+    or :meth:`for_fine_fifo`, mirroring how the production ladder clamps
+    unit counts so both sides simulate the same geometry.
+    """
+
+    def __init__(self, superblocks: SuperblockSet, capacity_bytes: int,
+                 store, policy_name: str,
+                 overhead_model: OverheadModel = PAPER_MODEL,
+                 track_links: bool = True) -> None:
+        self.superblocks = superblocks
+        self.capacity_bytes = capacity_bytes
+        self.store = store
+        self.policy_name = policy_name
+        self.model = overhead_model
+        self.track_links = track_links
+        self._sizes = dict(superblocks.sizes())
+        # Live links as one flat set of (source, target) pairs.
+        self._live: set[tuple[int, int]] = set()
+        self._intra: set[tuple[int, int]] = set()
+        self._established_intra = 0
+        self._established_inter = 0
+        self._peak_backpointer = 0
+
+    # -- Construction --------------------------------------------------------
+
+    @classmethod
+    def for_unit_policy(cls, superblocks: SuperblockSet,
+                        capacity_bytes: int, unit_count: int,
+                        overhead_model: OverheadModel = PAPER_MODEL,
+                        track_links: bool = True) -> "ReferenceSimulator":
+        if capacity_bytes <= 0:
+            raise ConfigurationError("capacity_bytes must be positive")
+        max_block = superblocks.max_block_bytes
+        # Same clamp as UnitFifoPolicy.configure: a unit must always be
+        # able to hold the largest superblock.
+        clamped = min(unit_count, max(1, capacity_bytes // max_block))
+        clamped = max(1, clamped)
+        name = "FLUSH" if unit_count == 1 else f"{unit_count}-unit"
+        store = _ReferenceUnitStore(capacity_bytes, clamped,
+                                    dict(superblocks.sizes()))
+        if max_block > store.unit_capacity:
+            raise ConfigurationError(
+                f"unit capacity {store.unit_capacity} B cannot hold the "
+                f"largest superblock ({max_block} B)"
+            )
+        return cls(superblocks, capacity_bytes, store, name,
+                   overhead_model=overhead_model, track_links=track_links)
+
+    @classmethod
+    def for_fine_fifo(cls, superblocks: SuperblockSet, capacity_bytes: int,
+                      overhead_model: OverheadModel = PAPER_MODEL,
+                      track_links: bool = True) -> "ReferenceSimulator":
+        if capacity_bytes <= 0:
+            raise ConfigurationError("capacity_bytes must be positive")
+        if superblocks.max_block_bytes > capacity_bytes:
+            raise ConfigurationError(
+                "cache capacity cannot hold the largest superblock"
+            )
+        store = _ReferenceFifoStore(capacity_bytes, dict(superblocks.sizes()))
+        return cls(superblocks, capacity_bytes, store, "FIFO",
+                   overhead_model=overhead_model, track_links=track_links)
+
+    # -- Link semantics (from the spec, not from LinkManager) ---------------
+
+    def _establish_links(self, sid: int) -> None:
+        store = self.store
+        new_pairs: list[tuple[int, int]] = []
+        for target in self.superblocks.outgoing(sid):
+            if target == sid or store.resident(target):
+                new_pairs.append((sid, target))
+        for source in self.superblocks.incoming(sid):
+            if source != sid and store.resident(source):
+                new_pairs.append((source, sid))
+        for pair in new_pairs:
+            if pair in self._live:
+                continue
+            self._live.add(pair)
+            source, target = pair
+            if source == target or (
+                store.unit_key(source) == store.unit_key(target)
+            ):
+                self._intra.add(pair)
+                self._established_intra += 1
+            else:
+                self._established_inter += 1
+        table = BACKPOINTER_ENTRY_BYTES * len(self._live)
+        if table > self._peak_backpointer:
+            self._peak_backpointer = table
+
+    def _drop_links(self, evicted: tuple[int, ...]) -> list[tuple[int, int]]:
+        """Remove every link touching *evicted*; return ``(sid, surviving
+        incoming count)`` records for blocks that needed unpatching."""
+        evicted_set = set(evicted)
+        records = []
+        for sid in evicted:
+            surviving = sum(
+                1 for (source, target) in self._live
+                if target == sid and source not in evicted_set
+            )
+            if surviving:
+                records.append((sid, surviving))
+        dead = {
+            pair for pair in self._live
+            if pair[0] in evicted_set or pair[1] in evicted_set
+        }
+        self._live -= dead
+        self._intra -= dead
+        return records
+
+    # -- Replay --------------------------------------------------------------
+
+    def run(self, trace, benchmark: str = "") -> ReferenceResult:
+        """Replay *trace*; return final stats and the per-access log."""
+        if hasattr(trace, "tolist"):
+            trace = trace.tolist()
+        stats = SimulationStats(policy_name=self.policy_name,
+                                benchmark=benchmark)
+        outcomes: list[AccessOutcome] = []
+        model = self.model
+        store = self.store
+        index = 0
+        for sid in trace:
+            index += 1
+            stats.accesses += 1
+            if store.resident(sid):
+                stats.hits += 1
+                outcomes.append(AccessOutcome(index, sid, True))
+                continue
+            stats.misses += 1
+            size = self._sizes[sid]
+            stats.inserted_bytes += size
+            stats.miss_overhead += model.miss_cost(size)
+            evictions = tuple(store.insert(sid, size))
+            links_removed = 0
+            for blocks in evictions:
+                evicted_bytes = sum(self._sizes[s] for s in blocks)
+                stats.eviction_invocations += 1
+                stats.evicted_blocks += len(blocks)
+                stats.evicted_bytes += evicted_bytes
+                stats.eviction_overhead += model.eviction_cost(evicted_bytes)
+                if self.track_links:
+                    for _, count in self._drop_links(blocks):
+                        stats.unlink_operations += 1
+                        stats.links_removed += count
+                        stats.unlink_overhead += model.unlink_cost(count)
+                        links_removed += count
+            if self.track_links:
+                self._establish_links(sid)
+            outcomes.append(
+                AccessOutcome(index, sid, False, evictions, links_removed)
+            )
+        if self.track_links:
+            stats.links_established_intra = self._established_intra
+            stats.links_established_inter = self._established_inter
+            stats.peak_backpointer_bytes = self._peak_backpointer
+        return ReferenceResult(stats=stats, outcomes=outcomes)
+
+
+def reference_ladder(include_fine: bool = True,
+                     unit_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32,
+                                                     64, 128, 256, 512)):
+    """Factories mirroring :func:`repro.core.policies.granularity_ladder`.
+
+    Returns ``(name, build)`` pairs where ``build(superblocks, capacity,
+    model, track_links)`` yields the matching :class:`ReferenceSimulator`;
+    names match the production ladder's so results join on policy name.
+    """
+    rungs = []
+    for count in unit_counts:
+        name = "FLUSH" if count == 1 else f"{count}-unit"
+
+        def build(superblocks, capacity, model=PAPER_MODEL,
+                  track_links=True, count=count):
+            return ReferenceSimulator.for_unit_policy(
+                superblocks, capacity, count,
+                overhead_model=model, track_links=track_links)
+
+        rungs.append((name, build))
+    if include_fine:
+        def build_fine(superblocks, capacity, model=PAPER_MODEL,
+                       track_links=True):
+            return ReferenceSimulator.for_fine_fifo(
+                superblocks, capacity,
+                overhead_model=model, track_links=track_links)
+
+        rungs.append(("FIFO", build_fine))
+    return rungs

@@ -12,13 +12,23 @@ operation.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable, Mapping
 
+from repro.core.cache import ConfigurationError
+from repro.core.invariants import InvariantChecker, resolve_check_level
 from repro.core.links import LinkManager
 from repro.core.metrics import SimulationStats
 from repro.core.overhead import OverheadModel, PAPER_MODEL
 from repro.core.policies import EvictionPolicy
 from repro.core.superblock import SuperblockSet
+
+#: Per-access observer: ``(index, sid, hit, evictions, links_removed)``
+#: where ``evictions`` is a tuple of evicted-block tuples (one per
+#: eviction invocation this access triggered) and ``links_removed`` is
+#: the number of links unpatched servicing it.  The differential oracle
+#: (:mod:`repro.analysis.diffcheck`) uses this to compare per-access
+#: outcomes against the reference model.
+AccessObserver = Callable[[int, int, bool, tuple, int], None]
 
 
 class CodeCacheSimulator:
@@ -40,6 +50,14 @@ class CodeCacheSimulator:
         When false, chaining links are ignored entirely: no link
         bookkeeping and no Equation 4 charges.  Figures 6-11 use this
         mode; Figures 13-15 enable it.
+    check_level:
+        Invariant-checking level (``off``/``light``/``paranoid``); when
+        ``None``, ``REPRO_CHECK_LEVEL`` decides (default ``off``).  At
+        ``off`` no checker is constructed and the hot paths are the
+        exact production code.  See :mod:`repro.core.invariants`.
+    check_context:
+        Extra identity (spec seed, scale, ...) for the repro bundle an
+        :class:`~repro.core.invariants.InvariantViolation` carries.
     """
 
     def __init__(
@@ -49,18 +67,26 @@ class CodeCacheSimulator:
         capacity_bytes: int,
         overhead_model: OverheadModel = PAPER_MODEL,
         track_links: bool = True,
+        check_level: str | None = None,
+        check_context: Mapping | None = None,
     ) -> None:
         if capacity_bytes <= 0:
-            raise ValueError("capacity_bytes must be positive")
+            raise ConfigurationError("capacity_bytes must be positive")
         self.superblocks = superblocks
         self.policy = policy
         self.capacity_bytes = capacity_bytes
         self.overhead_model = overhead_model
         policy.configure(capacity_bytes, superblocks.max_block_bytes)
         self.links = LinkManager(superblocks, policy) if track_links else None
+        level = resolve_check_level(check_level)
+        self.check_level = level
+        self.checker = None if level == "off" else InvariantChecker(
+            policy, superblocks, capacity_bytes, links=self.links,
+            level=level, context=check_context,
+        )
 
-    def process(self, trace: Iterable[int],
-                benchmark: str = "") -> SimulationStats:
+    def process(self, trace: Iterable[int], benchmark: str = "",
+                observer: AccessObserver | None = None) -> SimulationStats:
         """Replay *trace* (an iterable of superblock ids); return stats."""
         stats = SimulationStats(policy_name=self.policy.name,
                                 benchmark=benchmark)
@@ -78,7 +104,17 @@ class CodeCacheSimulator:
             type(policy).on_access is not EvictionPolicy.on_access
         )
 
-        if not watches_accesses and links is None:
+        if self.checker is not None or observer is not None:
+            if self.checker is not None and benchmark:
+                self.checker.context.setdefault("benchmark", benchmark)
+            if (observer is None and self.checker is not None
+                    and self.checker.level == "light"
+                    and not watches_accesses and links is None):
+                self._process_light_batched(trace, stats)
+            else:
+                self._process_checked(trace, stats, watches_accesses,
+                                      observer)
+        elif not watches_accesses and links is None:
             self._process_batched(trace, stats)
         else:
             insert = policy.insert
@@ -117,6 +153,134 @@ class CodeCacheSimulator:
             stats.links_established_inter = links.established_inter
             stats.peak_backpointer_bytes = links.peak_backpointer_bytes
         return stats
+
+    def _process_checked(self, trace, stats: SimulationStats,
+                         watches_accesses: bool,
+                         observer: AccessObserver | None) -> None:
+        """Instrumented path: invariant checking and/or per-access
+        observation.  Never taken when ``check_level`` is ``off`` and no
+        observer is passed, so the production loops stay untouched.
+        """
+        policy = self.policy
+        links = self.links
+        sizes = self.superblocks.sizes()
+        contains = policy.contains
+        insert = policy.insert
+        miss_cost = self.overhead_model.miss_cost
+        checker = self.checker
+        cadence = checker.cadence if checker is not None else 0
+        until_check = cadence
+        index = 0
+        if observer is None:
+            # No per-access outcomes to collect: same loop as the
+            # production slow path plus the cadence countdown, with no
+            # event-list allocation.  Insertion order only matters to
+            # the paranoid FIFO check, so light skips ``note_insert``.
+            note_insert = (checker.note_insert
+                           if checker.level == "paranoid" else None)
+            for sid in trace:
+                index += 1
+                stats.accesses += 1
+                if watches_accesses:
+                    hinted = contains(sid)
+                    preemptive = policy.on_access(sid, hinted)
+                    if preemptive:
+                        stats.preemptive_flushes += len(preemptive)
+                        self._account_evictions(preemptive, stats)
+                        hit = contains(sid)
+                    else:
+                        hit = hinted
+                else:
+                    hit = contains(sid)
+                if hit:
+                    stats.hits += 1
+                else:
+                    stats.misses += 1
+                    size = sizes[sid]
+                    stats.inserted_bytes += size
+                    stats.miss_overhead += miss_cost(size)
+                    inserted = insert(sid, size)
+                    if inserted:
+                        self._account_evictions(inserted, stats)
+                    if note_insert is not None:
+                        note_insert(sid)
+                    if links is not None:
+                        links.on_insert(sid)
+                until_check -= 1
+                if until_check <= 0:
+                    until_check = cadence
+                    checker.run_checks(stats, access_index=index, sid=sid)
+            checker.run_checks(stats, access_index=index)
+            return
+        for sid in trace:
+            index += 1
+            stats.accesses += 1
+            removed_before = stats.links_removed
+            events: list = []
+            if watches_accesses:
+                hinted = contains(sid)
+                preemptive = policy.on_access(sid, hinted)
+                if preemptive:
+                    stats.preemptive_flushes += len(preemptive)
+                    self._account_evictions(preemptive, stats)
+                    events.extend(preemptive)
+                    # The hook evicted blocks, so the pre-hook residency
+                    # probe is stale for this access only.
+                    hit = contains(sid)
+                else:
+                    hit = hinted
+            else:
+                hit = contains(sid)
+            if hit:
+                stats.hits += 1
+            else:
+                stats.misses += 1
+                size = sizes[sid]
+                stats.inserted_bytes += size
+                stats.miss_overhead += miss_cost(size)
+                inserted = insert(sid, size)
+                if inserted:
+                    self._account_evictions(inserted, stats)
+                    events.extend(inserted)
+                if checker is not None:
+                    checker.note_insert(sid)
+                if links is not None:
+                    links.on_insert(sid)
+            if observer is not None:
+                observer(index, sid, hit,
+                         tuple(event.blocks for event in events),
+                         stats.links_removed - removed_before)
+            if checker is not None:
+                until_check -= 1
+                if until_check <= 0:
+                    until_check = cadence
+                    checker.run_checks(stats, access_index=index, sid=sid)
+        if checker is not None:
+            # A trace always ends with a full pass, whatever the cadence.
+            checker.run_checks(stats, access_index=index)
+
+    def _process_light_batched(self, trace, stats: SimulationStats) -> None:
+        """Light checking on top of the batched fast path.
+
+        ``light`` only runs the conservation checks (occupancy and
+        metrics), neither of which needs per-access state, so the trace
+        can be replayed in cadence-sized chunks through
+        :meth:`_process_batched` with a check pass between chunks.  Only
+        taken when no observer is attached, the policy doesn't watch
+        accesses, and links are untracked — the exact conditions under
+        which the unchecked run would have used the batched path, which
+        keeps light-mode overhead to the checks themselves.
+        """
+        checker = self.checker
+        if not isinstance(trace, list):
+            trace = list(trace)
+        cadence = checker.cadence
+        for start in range(0, len(trace), cadence):
+            chunk = trace[start:start + cadence]
+            self._process_batched(chunk, stats)
+            checker.run_checks(stats, access_index=start + len(chunk))
+        # A trace always ends with a full pass, whatever the cadence.
+        checker.run_checks(stats, access_index=len(trace))
 
     def _process_batched(self, trace, stats: SimulationStats) -> None:
         """Fast path for the common no-links, non-watching-policy case.
@@ -199,6 +363,8 @@ def simulate(
     overhead_model: OverheadModel = PAPER_MODEL,
     track_links: bool = True,
     benchmark: str = "",
+    check_level: str | None = None,
+    check_context: Mapping | None = None,
 ) -> SimulationStats:
     """One-shot convenience wrapper: build a simulator and replay *trace*."""
     simulator = CodeCacheSimulator(
@@ -207,5 +373,7 @@ def simulate(
         capacity_bytes,
         overhead_model=overhead_model,
         track_links=track_links,
+        check_level=check_level,
+        check_context=check_context,
     )
     return simulator.process(trace, benchmark=benchmark)

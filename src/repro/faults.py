@@ -34,7 +34,17 @@ Named fault points wired into production code:
 ``cache.store``           bytes of a sweep-cache entry, before writing
 ``checkpoint.load``       bytes of a per-task checkpoint, before unpickling
 ``checkpoint.store``      bytes of a per-task checkpoint, before writing
+``cache.occupancy``       simulator cache state: occupancy accounting drift
+``cache.fifo``            simulator cache state: FIFO age-order scramble
+``cache.links``           simulator cache state: one-sided link record
+``cache.metrics``         simulator stats: hits/misses conservation break
 ========================  ====================================================
+
+The four ``cache.*`` state points are consumed by the invariant checker
+(:mod:`repro.core.invariants`): arming a ``raise`` spec at one of them
+makes the checker *corrupt the live simulator state* deterministically
+at its next check boundary, which the checker must then detect — the
+sanitizer's built-in self-test.
 
 Tests arm a plan with :func:`arm` (or the :func:`plan` context manager)
 and the production code reports into :func:`fire`.
@@ -63,6 +73,18 @@ POINTS = (
     "cache.store",
     "checkpoint.load",
     "checkpoint.store",
+    "cache.occupancy",
+    "cache.fifo",
+    "cache.links",
+    "cache.metrics",
+)
+
+#: The simulator-state corruption points the invariant checker services.
+STATE_POINTS = (
+    "cache.occupancy",
+    "cache.fifo",
+    "cache.links",
+    "cache.metrics",
 )
 
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.core.cache import ConfigurationError
 from repro.core.superblock import Superblock, SuperblockSet
 from repro.workloads.distributions import LogNormalSizeDistribution
 from repro.workloads.linkgraph import generate_links
@@ -223,7 +224,12 @@ def build_workload(
         Override the spec's deterministic seed.
     """
     if scale <= 0:
-        raise ValueError("scale must be positive")
+        raise ConfigurationError("scale must be positive")
+    if trace_accesses is not None and trace_accesses < 1:
+        raise ConfigurationError(
+            f"a workload trace needs at least one access, "
+            f"got trace_accesses={trace_accesses}"
+        )
     count = max(16, round(spec.superblock_count * scale))
     rng = np.random.default_rng(spec.seed if seed is None else seed)
     sizes = spec.size_distribution.sample(count, rng)

@@ -99,6 +99,36 @@ class TestQuarantine:
         with pytest.warns(RuntimeWarning, match="quarantined"):
             assert store.load(task) is None
 
+    def test_truncated_slab_is_quarantined_and_counted(self, store):
+        task = _task()
+        store.store(task, simulate_task(task))
+        payload = store.path(task).read_bytes()
+        store.path(task).write_bytes(payload[:len(payload) // 2])
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.load(task) is None
+        assert store.quarantined == 1
+        assert sweepcache.counters()["quarantines"] == 1
+        assert len(store.quarantined_entries()) == 1
+
+    def test_malformed_record_shape_is_quarantined(self, store):
+        task = _task()
+        store.root.mkdir(parents=True, exist_ok=True)
+        # A list, but not of (benchmark, policy, pressure, stats) tuples:
+        # unpickles fine, must still be rejected before a resume uses it.
+        store.path(task).write_bytes(
+            pickle.dumps([("gzip", "FLUSH", 2.0)])
+        )
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.load(task) is None
+        store.path(task).write_bytes(
+            pickle.dumps([("gzip", "FLUSH", 2.0, "not-stats")])
+        )
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.load(task) is None
+
+    def test_quarantined_entries_empty_without_directory(self, store):
+        assert store.quarantined_entries() == []
+
     def test_injected_corruption_on_load(self, store):
         task = _task()
         store.store(task, simulate_task(task))

@@ -1,0 +1,104 @@
+"""Property tests for the sanitizer itself: randomized traces replayed
+at ``paranoid`` cadence 1 must stay clean for every policy in the
+ladder (and multiprogrammed mixes), and the reference model must agree
+with the production simulator on random workloads — not just the
+registry's."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import granularity_ladder
+from repro.core.refmodel import ReferenceSimulator
+from repro.core.simulator import CodeCacheSimulator
+from repro.core.superblock import Superblock, SuperblockSet
+from repro.workloads.multiprogram import combine_workloads
+from repro.workloads.registry import all_benchmarks, build_workload
+
+_LADDER_SIZE = len(granularity_ladder())
+
+
+@st.composite
+def _workload(draw):
+    count = draw(st.integers(4, 24))
+    sizes = [draw(st.integers(16, 256)) for _ in range(count)]
+    blocks = []
+    for sid in range(count):
+        degree = draw(st.integers(0, 3))
+        links = tuple(
+            dict.fromkeys(
+                draw(st.integers(0, count - 1)) for _ in range(degree)
+            )
+        )
+        blocks.append(Superblock(sid, sizes[sid], links=links))
+    population = SuperblockSet(blocks)
+    trace = draw(
+        st.lists(st.integers(0, count - 1), min_size=1, max_size=250)
+    )
+    rung = draw(st.integers(0, _LADDER_SIZE - 1))
+    capacity = draw(st.integers(600, 3000))
+    return population, trace, rung, capacity
+
+
+@given(_workload())
+@settings(max_examples=80, deadline=None)
+def test_paranoid_cadence_1_clean_across_ladder(workload):
+    population, trace, rung, capacity = workload
+    policy = granularity_ladder()[rung]
+    simulator = CodeCacheSimulator(population, policy, capacity,
+                                   check_level="paranoid")
+    simulator.checker.cadence = 1
+    stats = simulator.process(trace, benchmark="prop")
+    assert stats.accesses == len(trace)
+    assert simulator.checker.checks_run >= len(trace)
+
+
+@given(_workload())
+@settings(max_examples=60, deadline=None)
+def test_reference_model_agrees_on_random_workloads(workload):
+    population, trace, rung, capacity = workload
+    ladder = granularity_ladder()
+    policy = ladder[rung]
+    is_fine = rung == len(ladder) - 1
+    outcomes = []
+
+    def observe(index, sid, hit, evictions, links_removed):
+        outcomes.append((sid, hit, evictions, links_removed))
+
+    simulator = CodeCacheSimulator(population, policy, capacity)
+    stats = simulator.process(trace, benchmark="prop", observer=observe)
+    if is_fine:
+        reference = ReferenceSimulator.for_fine_fifo(population, capacity)
+    else:
+        reference = ReferenceSimulator.for_unit_policy(
+            population, capacity, policy.requested_unit_count
+        )
+    result = reference.run(trace, benchmark="prop")
+    assert [
+        (o.sid, o.hit, o.evictions, o.links_removed)
+        for o in result.outcomes
+    ] == outcomes
+    assert result.stats.misses == stats.misses
+    assert result.stats.evicted_bytes == stats.evicted_bytes
+    assert result.stats.links_removed == stats.links_removed
+    assert (result.stats.links_established_intra
+            == stats.links_established_intra)
+    assert (result.stats.links_established_inter
+            == stats.links_established_inter)
+
+
+def test_paranoid_clean_on_multiprogrammed_workload():
+    specs = {spec.name: spec for spec in all_benchmarks()}
+    workloads = [
+        build_workload(specs[name], scale=0.15, trace_accesses=1200)
+        for name in ("gzip", "mcf")
+    ]
+    combined = combine_workloads(workloads, timeslice=100, seed=7)
+    capacity = max(combined.superblocks.max_block_bytes * 4,
+                   combined.max_cache_bytes // 6)
+    for policy in granularity_ladder(unit_counts=(1, 4, 16)):
+        simulator = CodeCacheSimulator(combined.superblocks, policy,
+                                       capacity, check_level="paranoid")
+        simulator.checker.cadence = 1
+        stats = simulator.process(combined.trace,
+                                  benchmark=combined.name)
+        assert stats.hits + stats.misses == stats.accesses

@@ -1,0 +1,135 @@
+"""The reference simulator: hand-computed semantics and geometry parity
+with the production policies."""
+
+import pytest
+
+from repro.core.cache import ConfigurationError
+from repro.core.policies import UnitFifoPolicy
+from repro.core.refmodel import ReferenceSimulator, reference_ladder
+from repro.core.superblock import Superblock, SuperblockSet
+
+
+def _population(sizes, links=None):
+    links = links or {}
+    return SuperblockSet(
+        Superblock(sid, size, links=tuple(links.get(sid, ())))
+        for sid, size in sizes.items()
+    )
+
+
+class TestUnitSemantics:
+    def test_flush_evicts_everything_in_one_invocation(self):
+        blocks = _population({0: 40, 1: 40, 2: 40})
+        ref = ReferenceSimulator.for_unit_policy(blocks, 100, 1,
+                                                 track_links=False)
+        result = ref.run([0, 1, 2])
+        # 0 and 1 fit (80 <= 100); 2 overflows -> whole cache flushed.
+        assert [o.hit for o in result.outcomes] == [False, False, False]
+        assert result.outcomes[2].evictions == ((0, 1),)
+        assert result.stats.eviction_invocations == 1
+        assert result.stats.evicted_bytes == 80
+
+    def test_unit_rotation_advances_once_and_evicts_whole_unit(self):
+        blocks = _population({0: 40, 1: 40, 2: 40, 3: 40})
+        ref = ReferenceSimulator.for_unit_policy(blocks, 160, 2,
+                                                 track_links=False)
+        result = ref.run([0, 1, 2, 3, 0])
+        # Unit capacity 80: {0,1} fill unit 0, {2,3} fill unit 1; with
+        # nothing evicted yet, re-accessing 0 is a hit.
+        assert [o.hit for o in result.outcomes] == [
+            False, False, False, False, True,
+        ]
+        assert result.stats.eviction_invocations == 0
+
+    def test_unit_eviction_on_wraparound(self):
+        blocks = _population({0: 60, 1: 60, 2: 60, 3: 60, 4: 60})
+        ref = ReferenceSimulator.for_unit_policy(blocks, 160, 2,
+                                                 track_links=False)
+        result = ref.run([0, 1, 2, 3, 4])
+        # Units of 80 hold one 60 B block plus 20 B slack: 0 -> unit 0,
+        # 1 overflows -> advance to unit 1 (empty), 2 -> evict unit 0
+        # ({0}), 3 -> evict unit 1 ({1}), 4 -> evict unit 0 ({2}).
+        assert result.outcomes[2].evictions == ((0,),)
+        assert result.outcomes[3].evictions == ((1,),)
+        assert result.outcomes[4].evictions == ((2,),)
+
+    def test_fine_fifo_evicts_oldest_one_event_each(self):
+        blocks = _population({0: 50, 1: 50, 2: 50, 3: 120})
+        ref = ReferenceSimulator.for_fine_fifo(blocks, 150,
+                                               track_links=False)
+        result = ref.run([0, 1, 2, 3])
+        # 3 needs 120 B: evict 0 (50 free+50) then 1 (100+50 > 150...
+        # after evicting 0: used 100, +120 > 150 -> evict 1; used 50,
+        # +120 > 150 -> evict 2; then place.
+        assert result.outcomes[3].evictions == ((0,), (1,), (2,))
+        assert result.stats.eviction_invocations == 3
+
+    def test_double_insert_guard(self):
+        blocks = _population({0: 10, 1: 10})
+        ref = ReferenceSimulator.for_unit_policy(blocks, 100, 1)
+        result = ref.run([0, 0, 1])
+        assert result.stats.hits == 1
+        assert result.stats.misses == 2
+
+
+class TestLinkSemantics:
+    def test_self_loop_is_intra_and_counts(self):
+        blocks = _population({0: 10}, links={0: (0,)})
+        ref = ReferenceSimulator.for_unit_policy(blocks, 100, 1)
+        result = ref.run([0])
+        assert result.stats.links_established_intra == 1
+        assert result.stats.links_established_inter == 0
+
+    def test_unlink_only_charged_for_surviving_sources(self):
+        # 0 -> 1 both ways; co-evicting them in one flush charges nothing.
+        blocks = _population({0: 40, 1: 40, 2: 80},
+                             links={0: (1,), 1: (0,)})
+        ref = ReferenceSimulator.for_unit_policy(blocks, 100, 1)
+        result = ref.run([0, 1, 2])
+        # 2 (80 B) forces a flush of {0, 1}: their links die for free.
+        assert result.outcomes[2].evictions == ((0, 1),)
+        assert result.stats.unlink_operations == 0
+        assert result.stats.links_removed == 0
+
+    def test_unlink_charged_when_source_survives(self):
+        blocks = _population({0: 60, 1: 60, 2: 60},
+                             links={1: (0,)})
+        ref = ReferenceSimulator.for_unit_policy(blocks, 160, 2)
+        result = ref.run([0, 1, 2])
+        # Units of 80: 0 -> unit 0, 1 -> unit 1 (advance), 2 evicts
+        # unit 0 ({0}); 1 survives with its 1 -> 0 link -> one unlink.
+        assert result.outcomes[2].evictions == ((0,),)
+        assert result.stats.unlink_operations == 1
+        assert result.stats.links_removed == 1
+
+    def test_peak_backpointer_counts_live_links(self):
+        blocks = _population({0: 10, 1: 10}, links={0: (1,), 1: (0,)})
+        ref = ReferenceSimulator.for_unit_policy(blocks, 100, 1)
+        result = ref.run([0, 1])
+        assert result.stats.peak_backpointer_bytes == 2 * 16
+
+
+class TestGeometryParity:
+    @pytest.mark.parametrize("requested", (1, 2, 4, 8, 64, 512))
+    def test_unit_clamp_matches_production_policy(self, requested):
+        blocks = _population({sid: 100 + sid for sid in range(8)})
+        capacity = 700
+        policy = UnitFifoPolicy(requested)
+        policy.configure(capacity, blocks.max_block_bytes)
+        ref = ReferenceSimulator.for_unit_policy(blocks, capacity, requested)
+        assert len(ref.store.units) == policy.effective_unit_count
+        assert ref.store.unit_capacity == \
+            policy.internal_caches()[0].unit_capacity_bytes
+
+    def test_ladder_names_match_production(self):
+        from repro.analysis.sweep import ladder_policy_factories
+        ref_names = [name for name, _ in reference_ladder()]
+        prod_names = [name for name, _ in ladder_policy_factories()]
+        assert ref_names == prod_names
+
+    def test_invalid_capacity_rejected(self):
+        blocks = _population({0: 10})
+        with pytest.raises(ConfigurationError):
+            ReferenceSimulator.for_unit_policy(blocks, 0, 1)
+        with pytest.raises(ConfigurationError):
+            ReferenceSimulator.for_fine_fifo(blocks, 5)
