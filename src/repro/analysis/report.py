@@ -107,3 +107,36 @@ class ExperimentResult:
         if self.notes:
             text += f"\nNote: {self.notes}"
         return text
+
+
+def render_service_report(report: Mapping) -> str:
+    """Render a ``BENCH_service.json`` load report (the output of
+    ``python -m repro.service load``) as a per-tenant table plus the
+    unified Equation 1 line."""
+    rows = [
+        (
+            row["tenant"],
+            row["benchmark"],
+            row["accesses"],
+            row["miss_rate"],
+            row["evicted_bytes"],
+            row.get("retried_requests", 0),
+        )
+        for row in report["per_tenant"]
+    ]
+    text = format_table(
+        ("tenant", "benchmark", "accesses", "miss rate",
+         "evicted bytes", "retries"),
+        rows,
+        title=f"service load: {report['tenants']} tenants, "
+              f"{report['total_accesses']} accesses in "
+              f"{report['elapsed_seconds']:.2f}s "
+              f"({report['accesses_per_second']:.0f}/s)",
+    )
+    unified = report["unified"]
+    text += (
+        f"\nunified (Eq. 1): miss rate {unified['miss_rate']:.4f} over "
+        f"{unified['accesses']} accesses, "
+        f"{unified['evicted_bytes']} bytes evicted"
+    )
+    return text

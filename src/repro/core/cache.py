@@ -151,6 +151,27 @@ class UnitCache:
             del self._unit_of[sid]
         return EvictionEvent(evicted, bytes_evicted)
 
+    def evict_blocks(self, sids) -> EvictionEvent:
+        """Targeted eviction of specific resident blocks, one invocation.
+
+        Tenancy reclaim (``repro.service``) evicts a chosen tenant's
+        blocks regardless of which units hold them.  The surviving
+        blocks keep their relative insertion order inside each unit, so
+        FIFO age invariants are preserved; the freed space is reused
+        when the fill pointer next visits the holed units.
+        """
+        blocks: list[int] = []
+        bytes_evicted = 0
+        for sid in sorted(sids):
+            size = self._sizes.pop(sid, None)
+            if size is None:
+                raise KeyError(f"block {sid} is not resident")
+            unit = self._units[self._unit_of.pop(sid)]
+            unit.remove(sid, size)
+            blocks.append(sid)
+            bytes_evicted += size
+        return EvictionEvent(tuple(blocks), bytes_evicted)
+
     def flush(self) -> EvictionEvent | None:
         """Evict everything in one invocation (preemptive-flush support).
 
@@ -239,6 +260,27 @@ class CircularBlockBuffer:
         self._sizes[sid] = size_bytes
         self._used += size_bytes
         return events
+
+    def evict_blocks(self, sids) -> EvictionEvent:
+        """Targeted eviction of specific resident blocks, one invocation.
+
+        The survivors keep their relative FIFO order in the queue.
+        """
+        victims = set(sids)
+        missing = victims - self._sizes.keys()
+        if missing:
+            raise KeyError(
+                f"block(s) not resident: {sorted(missing)[:8]}"
+            )
+        blocks: list[int] = []
+        bytes_evicted = 0
+        for sid in sorted(victims):
+            size = self._sizes.pop(sid)
+            self._used -= size
+            blocks.append(sid)
+            bytes_evicted += size
+        self._queue = deque(s for s in self._queue if s not in victims)
+        return EvictionEvent(tuple(blocks), bytes_evicted)
 
     def flush(self) -> EvictionEvent | None:
         """Evict everything in one invocation."""

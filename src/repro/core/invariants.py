@@ -17,9 +17,10 @@ from.  This module is the sanitizer for that bookkeeping — a tiered
 ``paranoid``
     Everything ``light`` checks plus per-unit capacity bounds, FIFO age
     ordering inside every unit and circular buffer, stable unit keys,
-    and bidirectional :class:`~repro.core.links.LinkManager` consistency
+    bidirectional :class:`~repro.core.links.LinkManager` consistency
     (no dangling links to evicted blocks, every incoming record mirrored
-    by an outgoing one), every :data:`PARANOID_CADENCE` accesses.
+    by an outgoing one), and generational promote-count / membership
+    consistency, every :data:`PARANOID_CADENCE` accesses.
 
 The level comes from the ``--check`` CLI flag or the
 ``REPRO_CHECK_LEVEL`` environment variable (which process-pool sweep
@@ -181,6 +182,17 @@ class InvariantChecker:
         self._next_seq += 1
         self._seq[sid] = self._next_seq
 
+    def register_block(self, sid: int, size_bytes: int) -> None:
+        """Teach the checker a block's ground-truth size after
+        construction.
+
+        The trace-driven simulator knows its whole population up front;
+        dynamic producers (the DBT runtime forming superblocks, the
+        multi-tenant service attaching tenants) register sizes as blocks
+        come into existence instead.
+        """
+        self._sizes[sid] = size_bytes
+
     def after_access(self, access_index: int, sid: int,
                      stats: SimulationStats | None = None) -> None:
         """Cadence-bounded check hook; the simulator calls it per access.
@@ -209,6 +221,7 @@ class InvariantChecker:
             self._check_units(resident, violations)
             self._check_fifo_order(violations)
             self._check_links(resident, violations)
+            self._check_generations(violations)
         if violations:
             raise InvariantViolation(
                 violations,
@@ -343,6 +356,49 @@ class InvariantChecker:
         if links.live_intra_count < 0 or links.live_inter_count < 0:
             violations.append("negative intra/inter live link count")
 
+    def _check_generations(self, violations: list[str]) -> None:
+        """Generational-policy promote-count / membership consistency.
+
+        A block lives in the persistent region iff it was re-inserted
+        after at least ``promote_after`` evictions; a resident nursery
+        block's evict count cannot reach the threshold (counts only grow
+        when a block is evicted), and every persistent resident implies
+        a recorded promotion.
+        """
+        from repro.core.policies import GenerationalPolicy
+
+        policy = self.policy
+        if not isinstance(policy, GenerationalPolicy) or \
+                policy._nursery is None:
+            return
+        nursery = policy._nursery.resident_ids()
+        persistent = policy._persistent.resident_ids()
+        overlap = nursery & persistent
+        if overlap:
+            violations.append(
+                f"block(s) resident in both generations: "
+                f"{sorted(overlap)[:8]}"
+            )
+        counts = policy._evict_counts
+        threshold = policy.promote_after
+        demoted = [s for s in persistent if counts[s] < threshold]
+        if demoted:
+            violations.append(
+                f"persistent-region block(s) with evict count below "
+                f"promote_after={threshold}: {sorted(demoted)[:8]}"
+            )
+        unpromoted = [s for s in nursery if counts[s] >= threshold]
+        if unpromoted:
+            violations.append(
+                f"nursery block(s) at or past the promotion threshold "
+                f"promote_after={threshold}: {sorted(unpromoted)[:8]}"
+            )
+        if policy.promotions < len(persistent):
+            violations.append(
+                f"promotions counter {policy.promotions} below the "
+                f"{len(persistent)} persistent resident(s) it must cover"
+            )
+
     def _check_metrics(self, stats: SimulationStats, resident: set[int],
                        violations: list[str]) -> None:
         """Counter conservation and Equation 1 re-derivability."""
@@ -429,6 +485,7 @@ class InvariantChecker:
             ("cache.fifo", self._find_fifo_corruption),
             ("cache.links", self._find_link_corruption),
             ("cache.metrics", lambda: self._find_metrics_corruption(stats)),
+            ("cache.generation", self._find_generation_corruption),
         ):
             corrupt = find()
             if corrupt is None:
@@ -489,3 +546,24 @@ class InvariantChecker:
         def corrupt():
             stats.hits += 1
         return corrupt
+
+    def _find_generation_corruption(self):
+        from repro.core.policies import GenerationalPolicy
+
+        policy = self.policy
+        if not isinstance(policy, GenerationalPolicy) or \
+                policy._persistent is None:
+            return None
+        persistent = policy._persistent.resident_ids()
+        if persistent:
+            def corrupt(sid=min(persistent)):
+                # A persistent resident whose count forgot its history.
+                policy._evict_counts[sid] = 0
+            return corrupt
+        nursery = policy._nursery.resident_ids()
+        if nursery:
+            def corrupt(sid=min(nursery)):
+                # A nursery block that should have been promoted.
+                policy._evict_counts[sid] = policy.promote_after
+            return corrupt
+        return None

@@ -93,6 +93,49 @@ class EvictionPolicy(ABC):
         storage return ``()`` and get the generic checks only."""
         return ()
 
+    @property
+    def supports_targeted_eviction(self) -> bool:
+        """Whether :meth:`evict_blocks` works for this (configured)
+        policy — true when every backing mechanism supports targeted
+        removal.  Tenancy arbitration (:mod:`repro.service`) requires
+        it and rejects policies that answer false."""
+        caches = self.internal_caches()
+        return bool(caches) and all(
+            hasattr(cache, "evict_blocks") for cache in caches
+        )
+
+    def evict_blocks(self, sids) -> list[EvictionEvent]:
+        """Evict specific resident blocks (tenancy reclaim).
+
+        Unlike overflow eviction, the caller — not the policy — chooses
+        the victims; the policy merely removes them from whichever
+        mechanism holds them (one :class:`EvictionEvent` per mechanism
+        touched).  Raises :class:`ConfigurationError` for policies with
+        bespoke storage that cannot remove individual blocks, and
+        :class:`KeyError` if any requested block is not resident.
+        """
+        self._require_configured()
+        remaining = set(sids)
+        if not remaining:
+            return []
+        if not self.supports_targeted_eviction:
+            raise ConfigurationError(
+                f"policy {self.name!r} does not support targeted "
+                f"eviction; tenancy quotas need a policy backed by "
+                f"UnitCache or CircularBlockBuffer"
+            )
+        events = []
+        for cache in self.internal_caches():
+            held = remaining & cache.resident_ids()
+            if held:
+                events.append(cache.evict_blocks(held))
+                remaining -= held
+        if remaining:
+            raise KeyError(
+                f"block(s) not resident: {sorted(remaining)[:8]}"
+            )
+        return events
+
     def _require_configured(self) -> None:
         if not self._configured:
             raise RuntimeError(f"{self.name}: configure() must be called first")
@@ -353,6 +396,15 @@ class GenerationalPolicy(EvictionPolicy):
         if born_again:
             self.promotions += 1
         events = region.insert(sid, size_bytes)
+        for event in events:
+            self._evict_counts.update(event.blocks)
+        return events
+
+    def evict_blocks(self, sids) -> list[EvictionEvent]:
+        # Targeted reclaim is still an eviction: bump the victims'
+        # evict counts so a reclaimed block that keeps coming back is
+        # promoted exactly as an overflow-evicted one would be.
+        events = super().evict_blocks(sids)
         for event in events:
             self._evict_counts.update(event.blocks)
         return events

@@ -84,6 +84,10 @@ class CodeCacheSimulator:
             policy, superblocks, capacity_bytes, links=self.links,
             level=level, context=check_context,
         )
+        #: Cadence countdown for the streaming :meth:`step` entry point.
+        self._step_until_check = (
+            self.checker.cadence if self.checker is not None else 0
+        )
 
     def process(self, trace: Iterable[int], benchmark: str = "",
                 observer: AccessObserver | None = None) -> SimulationStats:
@@ -153,6 +157,79 @@ class CodeCacheSimulator:
             stats.links_established_inter = links.established_inter
             stats.peak_backpointer_bytes = links.peak_backpointer_bytes
         return stats
+
+    def step(self, sid: int, stats: SimulationStats,
+             on_evictions=None, before_insert=None) -> tuple[bool, list]:
+        """Process a single access, accumulating into *stats*.
+
+        This is the streaming entry point the multi-tenant service
+        (:mod:`repro.service`) builds on: each tenant owns its own
+        :class:`SimulationStats` record and the caller decides which one
+        each access is charged to.  Returns ``(hit, events)`` where
+        *events* are the eviction invocations the insertion triggered.
+
+        Parameters
+        ----------
+        on_evictions:
+            ``(events, stats) -> None`` override for eviction
+            accounting.  The default charges everything to *stats*; a
+            multi-tenant caller instead attributes each evicted block to
+            its owning tenant.
+        before_insert:
+            ``(sid, size) -> None`` hook called on a miss after the size
+            is known but before the policy inserts — the seam where
+            tenancy quota reclaim frees the tenant's own space so the
+            shared policy does not have to evict other tenants' blocks.
+
+        The checker (when enabled) observes insertions and runs at its
+        cadence against *stats*; callers that split stats across tenants
+        should construct the simulator with ``check_level='off'`` and
+        drive an external checker against merged stats instead.
+        """
+        policy = self.policy
+        stats.accesses += 1
+        if type(policy).on_access is not EvictionPolicy.on_access:
+            hinted = policy.contains(sid)
+            preemptive = policy.on_access(sid, hinted)
+            if preemptive:
+                stats.preemptive_flushes += len(preemptive)
+                if on_evictions is None:
+                    self._account_evictions(preemptive, stats)
+                else:
+                    on_evictions(preemptive, stats)
+                hit = policy.contains(sid)
+            else:
+                hit = hinted
+        else:
+            hit = policy.contains(sid)
+        checker = self.checker
+        if hit:
+            stats.hits += 1
+            events: list = []
+        else:
+            stats.misses += 1
+            size = self.superblocks.sizes()[sid]
+            if before_insert is not None:
+                before_insert(sid, size)
+            stats.inserted_bytes += size
+            stats.miss_overhead += self.overhead_model.miss_cost(size)
+            events = policy.insert(sid, size)
+            if events:
+                if on_evictions is None:
+                    self._account_evictions(events, stats)
+                else:
+                    on_evictions(events, stats)
+            if checker is not None:
+                checker.note_insert(sid)
+            if self.links is not None:
+                self.links.on_insert(sid)
+        if checker is not None:
+            self._step_until_check -= 1
+            if self._step_until_check <= 0:
+                self._step_until_check = checker.cadence
+                checker.run_checks(stats, access_index=stats.accesses,
+                                   sid=sid)
+        return hit, events
 
     def _process_checked(self, trace, stats: SimulationStats,
                          watches_accesses: bool,

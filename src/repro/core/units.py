@@ -62,6 +62,16 @@ class CacheUnit:
         self.used_bytes = 0
         return evicted
 
+    def remove(self, sid: int, size_bytes: int) -> None:
+        """Remove one block, keeping the remaining insertion order.
+
+        Targeted removal (tenancy reclaim) frees the block's bytes in
+        place; the bump pointer does not move, so the freed space is
+        reused the next time the fill pointer visits this unit.
+        """
+        self.blocks.remove(sid)
+        self.used_bytes -= size_bytes
+
 
 def make_units(capacity_bytes: int, unit_count: int) -> list[CacheUnit]:
     """Split *capacity_bytes* into *unit_count* equal units.

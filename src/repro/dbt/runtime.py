@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.invariants import InvariantChecker, resolve_check_level
 from repro.core.overhead import ExecutionTimeModel
 from repro.core.policies import EvictionPolicy, FlushPolicy
 from repro.dbt.bbcache import BasicBlockCache
@@ -53,6 +54,25 @@ INTERPRETATION = "interpretation"
 NATIVE = "native"
 DISPATCH = "dispatch"
 EVICTION = "eviction"
+
+
+class _RuntimeBlocks:
+    """Ground-truth size map for the invariant checker.
+
+    The DBT runtime forms superblocks as it runs, so — unlike the
+    trace-driven simulator — there is no up-front population; the
+    runtime registers each translated block's size with the checker at
+    formation time and this adapter only supplies identity.
+    """
+
+    def __init__(self) -> None:
+        self._sizes: dict[int, int] = {}
+
+    def sizes(self) -> dict[int, int]:
+        return self._sizes
+
+    def __len__(self) -> int:
+        return len(self._sizes)
 
 
 class RuntimeObserver:
@@ -152,6 +172,8 @@ class DBTRuntime:
         max_trace_bytes: int = DEFAULT_MAX_BYTES,
         record_entries: bool = True,
         observer: "RuntimeObserver | None" = None,
+        check_level: str | None = None,
+        check_cadence: int | None = None,
     ) -> None:
         self.program = program
         self.cfg = build_cfg(program)
@@ -177,6 +199,24 @@ class DBTRuntime:
             cache_capacity = max(1 << 20, program.size_bytes * 16, largest)
         self.policy = policy or FlushPolicy()
         self.policy.configure(cache_capacity, largest)
+        # Invariant checking over the live code cache (same tiers as the
+        # trace-driven simulator): ``check_level`` explicit, else
+        # REPRO_CHECK_LEVEL, else off.  The cadence counts cache
+        # management operations (formations and evictions), not guest
+        # instructions, and a final pass runs when the guest stops.
+        level = resolve_check_level(check_level)
+        self.check_level = level
+        if level == "off":
+            self.checker = None
+        else:
+            self.checker = InvariantChecker(
+                self.policy, _RuntimeBlocks(), cache_capacity,
+                level=level, cadence=check_cadence,
+                context={"runtime": "dbt", "program": "guest"},
+            )
+        self._ops_until_check = (
+            self.checker.cadence if self.checker is not None else 0
+        )
         self._blocks_by_sid: dict[int, TranslatedSuperblock] = {}
         self._next_sid = 0
         self._result = RunResult(event_log=self.event_log)
@@ -201,6 +241,9 @@ class DBTRuntime:
                 self._execute_cached(sid, interpreter, max_guest_instructions)
             else:
                 self._interpret_block(state.pc, interpreter)
+        if self.checker is not None:
+            # A run always ends with a full pass, whatever the cadence.
+            self.checker.run_checks()
         result = self._result
         result.guest_instructions = interpreter.instruction_count
         result.halted = state.halted
@@ -271,9 +314,13 @@ class DBTRuntime:
                     len(translated.exit_targets),
                 ),
             )
+        if self.checker is not None:
+            self.checker.register_block(sid, translated.size_bytes)
+            self.checker.note_insert(sid)
         for event in self.policy.insert(sid, translated.size_bytes):
             self._account_eviction(event)
         self.dispatch.add(head, sid)
+        self._maybe_check()
         self._blocks_by_sid[sid] = translated
         for source, target in self.chaining.on_insert(translated,
                                                       self.dispatch):
@@ -313,6 +360,18 @@ class DBTRuntime:
             self.event_log.record_evicted(SuperblockEvicted(sid))
         self._result.eviction_invocations += 1
         self._result.evicted_blocks += event.block_count
+        self._maybe_check()
+
+    def _maybe_check(self) -> None:
+        """Cadence-bounded invariant pass over the live cache state."""
+        if self.checker is None:
+            return
+        self._ops_until_check -= 1
+        if self._ops_until_check <= 0:
+            self._ops_until_check = self.checker.cadence
+            self.checker.run_checks(
+                access_index=self._result.superblocks_formed
+            )
 
     # -- Hot path: cached execution --------------------------------------------
 

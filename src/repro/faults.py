@@ -38,6 +38,10 @@ Named fault points wired into production code:
 ``cache.fifo``            simulator cache state: FIFO age-order scramble
 ``cache.links``           simulator cache state: one-sided link record
 ``cache.metrics``         simulator stats: hits/misses conservation break
+``cache.generation``      generational policy: promote-count membership break
+``service.accept``        service connection accept / session admission
+``service.session``       one queued access batch in a session's consumer
+``service.flush``         a session's queue flush (stats/close/drain)
 ========================  ====================================================
 
 The four ``cache.*`` state points are consumed by the invariant checker
@@ -77,6 +81,10 @@ POINTS = (
     "cache.fifo",
     "cache.links",
     "cache.metrics",
+    "cache.generation",
+    "service.accept",
+    "service.session",
+    "service.flush",
 )
 
 #: The simulator-state corruption points the invariant checker services.
@@ -85,6 +93,7 @@ STATE_POINTS = (
     "cache.fifo",
     "cache.links",
     "cache.metrics",
+    "cache.generation",
 )
 
 

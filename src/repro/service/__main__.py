@@ -1,0 +1,165 @@
+"""The service CLI: ``python -m repro.service {serve,load}``.
+
+``serve`` runs the TCP server in the foreground until interrupted (then
+drains gracefully).  ``load`` drives N concurrent tenants against a
+server — an already-running one via ``--connect HOST:PORT``, or a
+self-contained in-process server on an ephemeral port by default — and
+writes the throughput/miss-rate report to ``BENCH_service.json``.
+
+Examples::
+
+    python -m repro.service serve --policy 8-unit --capacity 262144 \
+        --port 7401 --check light
+    python -m repro.service load --tenants 4 --policy fifo \
+        --accesses 20000
+    python -m repro.service load --tenants 2 --connect 127.0.0.1:7401
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.service.client import run_load, write_report
+from repro.service.server import CacheService, ServiceConfig
+
+
+def _add_server_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--policy", default="8-unit",
+                        help="eviction policy: flush, fifo, preempt, gen, "
+                             "or a unit count like 64 (default: 8-unit)")
+    parser.add_argument("--capacity", type=int, default=256 * 1024,
+                        help="arena capacity in bytes (default: 262144)")
+    parser.add_argument("--max-sessions", type=int, default=16,
+                        help="admission limit (default: 16)")
+    parser.add_argument("--queue-batches", type=int, default=64,
+                        help="per-session queue bound in batches "
+                             "(default: 64)")
+    parser.add_argument("--pressure", type=float, default=None,
+                        metavar="FRACTION",
+                        help="occupancy fraction that triggers "
+                             "cross-tenant reclaim (default: off)")
+    parser.add_argument("--check", default=None,
+                        choices=("off", "light", "paranoid"),
+                        help="invariant check level (default: "
+                             "REPRO_CHECK_LEVEL or off)")
+
+
+def _config(args: argparse.Namespace, host: str, port: int) -> ServiceConfig:
+    return ServiceConfig(
+        policy=args.policy,
+        capacity_bytes=args.capacity,
+        host=host,
+        port=port,
+        max_sessions=args.max_sessions,
+        queue_batches=args.queue_batches,
+        pressure_threshold=args.pressure,
+        check_level=args.check,
+    )
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    service = CacheService(_config(args, args.host, args.port))
+    await service.start()
+    print(f"serving on {args.host}:{service.port} "
+          f"(policy={service.arena.policy.name}, "
+          f"capacity={service.arena.capacity_bytes} B, "
+          f"check={service.arena.check_level})")
+    try:
+        await service.serve_forever()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    finally:
+        await service.drain()
+        print("drained:", json.dumps(service.describe()["arena"]))
+    return 0
+
+
+async def _load(args: argparse.Namespace) -> int:
+    service = None
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        host, port = host or "127.0.0.1", int(port_text)
+    else:
+        service = CacheService(_config(args, "127.0.0.1", 0))
+        await service.start()
+        host, port = "127.0.0.1", service.port
+    try:
+        report = await run_load(
+            host, port, args.tenants,
+            benchmarks=args.benchmarks, scale=args.scale,
+            accesses=args.accesses, batch=args.batch,
+            quota_bytes=args.quota_bytes,
+        )
+    finally:
+        if service is not None:
+            await service.drain()
+    if service is not None:
+        report["server"] = "in-process"
+        report["policy"] = service.arena.policy.name
+        report["capacity_bytes"] = service.arena.capacity_bytes
+        report["arena"] = service.arena.to_dict()
+    else:
+        report["server"] = f"{host}:{port}"
+    write_report(report, args.output)
+    unified = report["unified"]
+    print(f"{args.tenants} tenants, {report['total_accesses']} accesses "
+          f"in {report['elapsed_seconds']:.2f}s "
+          f"({report['accesses_per_second']:.0f}/s)")
+    print(f"unified miss rate {unified['miss_rate']:.4f}; per tenant:")
+    for row in report["per_tenant"]:
+        print(f"  {row['tenant']:<24} miss_rate={row['miss_rate']:.4f} "
+              f"retries={row['retried_requests']}")
+    print(f"report written to {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Multi-tenant code-cache service and load harness.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run the TCP server in the foreground"
+    )
+    _add_server_options(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7401)
+
+    load = commands.add_parser(
+        "load", help="drive N concurrent tenants and report"
+    )
+    _add_server_options(load)
+    load.add_argument("--tenants", type=int, default=4)
+    load.add_argument("--connect", default=None, metavar="HOST:PORT",
+                      help="use a running server instead of an "
+                           "in-process one")
+    load.add_argument("--benchmarks", nargs="*", default=None,
+                      help="registry benchmarks to cycle through "
+                           "(default: the SPEC suite)")
+    load.add_argument("--scale", type=float, default=0.25,
+                      help="benchmark population scale (default: 0.25)")
+    load.add_argument("--accesses", type=int, default=20_000,
+                      help="trace length per tenant (default: 20000)")
+    load.add_argument("--batch", type=int, default=256,
+                      help="accesses per protocol message (default: 256)")
+    load.add_argument("--quota-bytes", type=int, default=None,
+                      help="per-tenant resident-byte quota (default: "
+                           "uncapped)")
+    load.add_argument("--output", default="BENCH_service.json",
+                      help="report path (default: BENCH_service.json)")
+
+    args = parser.parse_args(argv)
+    runner = _serve if args.command == "serve" else _load
+    try:
+        return asyncio.run(runner(args))
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

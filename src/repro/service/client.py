@@ -1,0 +1,208 @@
+"""The service client and the multi-tenant load harness.
+
+:class:`ServiceClient` speaks the JSON-lines protocol over one TCP
+connection (one session per connection), with automatic bounded retry
+on the two retryable rejections — admission (``overloaded`` /
+``draining``) and backpressure — honouring the server's ``retry_after``
+hint.
+
+:func:`run_load` is the harness behind ``python -m repro.service load``:
+N concurrent tenants, each replaying a registry benchmark's access
+trace through its own connection into the shared arena, then reporting
+per-tenant and unified miss rates plus throughput into
+``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from repro.service import protocol
+from repro.workloads.registry import (
+    build_workload,
+    get_benchmark,
+    spec_benchmarks,
+)
+
+DEFAULT_BATCH = 256
+DEFAULT_RETRIES = 64
+
+
+class ServiceUnavailable(RuntimeError):
+    """The server kept rejecting after the retry budget was spent."""
+
+
+class ServiceClient:
+    """One protocol session over one TCP connection."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 max_retries: int = DEFAULT_RETRIES) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.max_retries = max_retries
+        self.retries = 0  # rejected-then-retried requests, for reports
+
+    @classmethod
+    async def connect(cls, host: str, port: int,
+                      max_retries: int = DEFAULT_RETRIES) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_retries=max_retries)
+
+    async def request(self, message: dict) -> dict:
+        """One request/response round trip; no retry logic."""
+        self._writer.write(protocol.encode(message))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode_line(line)
+
+    async def _request_retrying(self, message: dict,
+                                retry_on: tuple[str, ...]) -> dict:
+        for _ in range(self.max_retries):
+            response = await self.request(message)
+            if response.get("ok") or response.get("error") not in retry_on:
+                return response
+            self.retries += 1
+            await asyncio.sleep(response.get("retry_after", 0.05))
+        raise ServiceUnavailable(
+            f"{message.get('op')} still rejected "
+            f"({response.get('error')}) after {self.max_retries} retries"
+        )
+
+    async def hello(self, tenant: str, benchmark: str | None = None,
+                    block_sizes: list[int] | None = None,
+                    scale: float | None = None,
+                    quota_bytes: int | None = None,
+                    weight: float | None = None) -> dict:
+        message = {"op": "hello", "tenant": tenant}
+        for key, value in (("benchmark", benchmark),
+                           ("block_sizes", block_sizes), ("scale", scale),
+                           ("quota_bytes", quota_bytes), ("weight", weight)):
+            if value is not None:
+                message[key] = value
+        return await self._request_retrying(
+            message, (protocol.ERR_OVERLOADED,)
+        )
+
+    async def access(self, sids: list[int]) -> dict:
+        return await self._request_retrying(
+            {"op": "access", "sids": list(sids)},
+            (protocol.ERR_BACKPRESSURE,),
+        )
+
+    async def stats(self) -> dict:
+        return await self.request({"op": "stats"})
+
+    async def close_session(self) -> dict:
+        return await self.request({"op": "close"})
+
+    async def ping(self) -> dict:
+        return await self.request({"op": "ping"})
+
+    async def aclose(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def run_tenant(host: str, port: int, tenant: str, benchmark: str,
+                     scale: float, accesses: int, batch: int,
+                     quota_bytes: int | None = None,
+                     weight: float = 1.0, seed: int | None = None) -> dict:
+    """One load-generator tenant: replay a registry trace end to end."""
+    workload = build_workload(get_benchmark(benchmark), scale=scale,
+                              trace_accesses=accesses, seed=seed)
+    sizes = workload.superblocks.sizes()
+    block_sizes = [sizes[sid] for sid in range(len(sizes))]
+    client = await ServiceClient.connect(host, port)
+    try:
+        greeting = await client.hello(
+            tenant, block_sizes=block_sizes,
+            quota_bytes=quota_bytes, weight=weight,
+        )
+        if not greeting.get("ok"):
+            raise ServiceUnavailable(
+                f"hello rejected: {greeting.get('detail')}"
+            )
+        trace = workload.trace.tolist()
+        for start in range(0, len(trace), batch):
+            response = await client.access(trace[start:start + batch])
+            if not response.get("ok"):
+                raise ServiceUnavailable(
+                    f"access rejected: {response.get('detail')}"
+                )
+        farewell = await client.close_session()
+        if not farewell.get("ok"):
+            raise ServiceUnavailable(
+                f"close rejected: {farewell.get('detail')}"
+            )
+        return {
+            "tenant": tenant,
+            "benchmark": benchmark,
+            "accesses": len(trace),
+            "stats": farewell["tenant"],
+            "unified_after": farewell["unified"],
+            "retried_requests": client.retries,
+        }
+    finally:
+        await client.aclose()
+
+
+async def run_load(host: str, port: int, tenants: int,
+                   benchmarks: list[str] | None = None,
+                   scale: float = 0.25, accesses: int = 20_000,
+                   batch: int = DEFAULT_BATCH,
+                   quota_bytes: int | None = None) -> dict:
+    """Drive *tenants* concurrent sessions; returns the load report."""
+    if benchmarks:
+        names = [benchmarks[i % len(benchmarks)] for i in range(tenants)]
+    else:
+        suite = [spec.name for spec in spec_benchmarks()]
+        names = [suite[i % len(suite)] for i in range(tenants)]
+    started = time.monotonic()
+    results = await asyncio.gather(*(
+        run_tenant(host, port, f"tenant-{i}:{names[i]}", names[i],
+                   scale=scale, accesses=accesses, batch=batch,
+                   quota_bytes=quota_bytes, seed=1000 + i)
+        for i in range(tenants)
+    ))
+    elapsed = time.monotonic() - started
+    total_accesses = sum(r["accesses"] for r in results)
+    unified = results[-1]["unified_after"]
+    return {
+        "harness": "repro.service load",
+        "tenants": tenants,
+        "scale": scale,
+        "accesses_per_tenant": accesses,
+        "batch": batch,
+        "quota_bytes": quota_bytes,
+        "elapsed_seconds": elapsed,
+        "total_accesses": total_accesses,
+        "accesses_per_second": (
+            total_accesses / elapsed if elapsed > 0 else 0.0
+        ),
+        "unified": unified,
+        "per_tenant": [
+            {
+                "tenant": r["tenant"],
+                "benchmark": r["benchmark"],
+                "accesses": r["accesses"],
+                "miss_rate": r["stats"]["miss_rate"],
+                "evicted_bytes": r["stats"]["evicted_bytes"],
+                "retried_requests": r["retried_requests"],
+            }
+            for r in results
+        ],
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,141 @@
+"""The service wire protocol: newline-delimited JSON messages.
+
+One request per line, one response per line, strictly in order.  The
+framing is deliberately boring — every client platform can speak it, a
+captured session is human-readable, and a torn line is detected by the
+JSON parser rather than a length prefix.
+
+Requests (``op`` selects the operation):
+
+``hello``
+    Open a session: ``{"op": "hello", "tenant": str, "benchmark": str,
+    "scale": float?, "quota_bytes": int?, "weight": float?}`` or, for
+    non-registry tenants, ``"block_sizes": [int, ...]`` instead of
+    ``benchmark``/``scale``.  Rejected with ``retry_after`` when the
+    server is at its admission limit.
+``access``
+    Stream a batch: ``{"op": "access", "sids": [int, ...]}``.  The
+    batch is *queued*, not applied synchronously; a full session queue
+    rejects the batch with ``retry_after`` (backpressure).
+``stats``
+    Flush the session's queue, then report per-tenant and unified
+    stats.
+``close``
+    Flush, detach the tenant (evicting its resident blocks) and report
+    final stats.
+``ping``
+    Liveness probe; also reports service-level counters.
+
+Responses always carry ``"ok"``; failures add ``"error"`` (a stable
+token such as ``overloaded`` / ``backpressure`` / ``session-failed``)
+plus a human-readable ``"detail"`` and, for retryable conditions,
+``"retry_after"`` in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one protocol line; a client that exceeds it is
+#: misbehaving (or not speaking this protocol) and is disconnected.
+MAX_LINE_BYTES = 1 << 20
+
+OPS = ("hello", "access", "stats", "close", "ping")
+
+#: Stable error tokens clients can dispatch on.
+ERR_OVERLOADED = "overloaded"
+ERR_BACKPRESSURE = "backpressure"
+ERR_BAD_REQUEST = "bad-request"
+ERR_NO_SESSION = "no-session"
+ERR_SESSION_FAILED = "session-failed"
+ERR_DRAINING = "draining"
+ERR_FAULT = "injected-fault"
+
+
+class ProtocolError(ValueError):
+    """A malformed or invalid protocol message."""
+
+
+def encode(message: dict) -> bytes:
+    """Serialize one message as a JSON line."""
+    return (json.dumps(message, separators=(",", ":"),
+                       sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse and structurally validate one received line."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte line limit"
+        )
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"undecodable message: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"a message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def validate_request(message: dict) -> str:
+    """Check a client request's shape; return its ``op``.
+
+    Field-level semantics (unknown benchmark, quota bounds, ...) are the
+    server's job; this guards the shapes the dispatch code relies on.
+    """
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(OPS)}"
+        )
+    if op == "hello":
+        tenant = message.get("tenant")
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError("hello needs a non-empty string 'tenant'")
+        sizes = message.get("block_sizes")
+        benchmark = message.get("benchmark")
+        if sizes is None and not isinstance(benchmark, str):
+            raise ProtocolError(
+                "hello needs 'benchmark' (a registry name) or "
+                "'block_sizes' (a list of sizes)"
+            )
+        if sizes is not None:
+            if (not isinstance(sizes, list) or not sizes
+                    or not all(isinstance(s, int) and s > 0 for s in sizes)):
+                raise ProtocolError(
+                    "'block_sizes' must be a non-empty list of positive ints"
+                )
+        for field, kind in (("scale", (int, float)),
+                            ("quota_bytes", int), ("weight", (int, float))):
+            value = message.get(field)
+            if value is not None and (
+                    not isinstance(value, kind) or value <= 0):
+                raise ProtocolError(f"{field!r} must be a positive number")
+    elif op == "access":
+        sids = message.get("sids")
+        if (not isinstance(sids, list) or not sids
+                or not all(isinstance(s, int) and s >= 0 for s in sids)):
+            raise ProtocolError(
+                "'sids' must be a non-empty list of non-negative ints"
+            )
+    return op
+
+
+def ok(op: str, **fields) -> dict:
+    """A success response for *op*."""
+    return {"ok": True, "op": op, **fields}
+
+
+def error(op: str, token: str, detail: str,
+          retry_after: float | None = None, **fields) -> dict:
+    """A failure response; *token* is machine-matchable, *detail* human."""
+    message = {"ok": False, "op": op, "error": token, "detail": detail,
+               **fields}
+    if retry_after is not None:
+        message["retry_after"] = retry_after
+    return message

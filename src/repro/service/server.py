@@ -1,0 +1,308 @@
+"""The cache service: admission control, dispatch, graceful drain.
+
+:class:`CacheService` owns one :class:`~repro.service.tenancy.SharedArena`
+and exposes it two ways:
+
+* **In process** — :meth:`CacheService.open_session` returns a
+  :class:`~repro.service.session.Session` directly; tests and embedded
+  callers drive it without sockets.
+* **Over TCP** — :meth:`CacheService.start` binds an asyncio server
+  speaking the :mod:`repro.service.protocol` JSON-lines protocol; every
+  connection runs one session.
+
+Admission control is two-layered: the service rejects new sessions over
+``max_sessions`` (or while draining) with a ``retry_after`` hint, and
+each admitted session's bounded queue pushes back on over-eager clients
+batch by batch.  :func:`repro.faults.fire` points cover the accept path
+(``service.accept``), the per-batch simulation path
+(``service.session``) and flush (``service.flush``), so the fault-
+injection suite can prove a dying or hanging session never corrupts its
+neighbours.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass, field
+
+from repro import faults
+from repro.core.cache import ConfigurationError
+from repro.service import protocol
+from repro.service.session import (
+    DEFAULT_QUEUE_BATCHES,
+    Session,
+    SessionError,
+)
+from repro.service.tenancy import SharedArena, TenantQuota, make_policy
+from repro.workloads.registry import build_workload, get_benchmark
+
+
+@dataclass
+class ServiceConfig:
+    """Everything a service instance needs, CLI-mappable."""
+
+    policy: str = "8-unit"
+    capacity_bytes: int = 256 * 1024
+    max_block_bytes: int = 8192
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read CacheService.port after start
+    max_sessions: int = 16
+    queue_batches: int = DEFAULT_QUEUE_BATCHES
+    retry_after: float = 0.05
+    pressure_threshold: float | None = None
+    reclaim_fraction: float = 0.85
+    check_level: str | None = None
+    check_context: dict = field(default_factory=dict)
+
+
+class CacheService:
+    """A multi-tenant code-cache server over one shared arena."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.arena = SharedArena(
+            make_policy(self.config.policy),
+            self.config.capacity_bytes,
+            max_block_bytes=self.config.max_block_bytes,
+            pressure_threshold=self.config.pressure_threshold,
+            reclaim_fraction=self.config.reclaim_fraction,
+            check_level=self.config.check_level,
+            check_context=self.config.check_context,
+        )
+        self.sessions: dict[str, Session] = {}
+        self.draining = False
+        self.sessions_admitted = 0
+        self.sessions_rejected = 0
+        self._server: asyncio.Server | None = None
+
+    # -- Admission ----------------------------------------------------------
+
+    def open_session(
+        self,
+        tenant: str,
+        block_sizes: list[int] | None = None,
+        benchmark: str | None = None,
+        scale: float = 1.0,
+        quota_bytes: int | None = None,
+        weight: float = 1.0,
+    ) -> Session:
+        """Admit *tenant* and attach it to the arena.
+
+        Raises :class:`~repro.service.session.SessionError` with
+        ``draining`` / ``overloaded`` (both carrying ``retry_after``)
+        when admission fails, and :class:`ConfigurationError` for bad
+        tenant parameters.
+        """
+        faults.fire("service.accept", key=tenant)
+        if self.draining:
+            self.sessions_rejected += 1
+            raise SessionError(
+                protocol.ERR_DRAINING,
+                "service is draining; no new sessions",
+                retry_after=self.config.retry_after,
+            )
+        if len(self.sessions) >= self.config.max_sessions:
+            self.sessions_rejected += 1
+            raise SessionError(
+                protocol.ERR_OVERLOADED,
+                f"service at its {self.config.max_sessions}-session "
+                f"admission limit",
+                retry_after=self.config.retry_after,
+            )
+        if tenant in self.sessions:
+            raise SessionError(
+                protocol.ERR_BAD_REQUEST,
+                f"tenant {tenant!r} already has a session",
+            )
+        if block_sizes is None:
+            if benchmark is None:
+                raise ConfigurationError(
+                    "a session needs block_sizes or a benchmark name"
+                )
+            block_sizes = benchmark_sizes(benchmark, scale)
+        quota = None
+        if quota_bytes is not None:
+            quota = TenantQuota(quota_bytes=quota_bytes, weight=weight)
+        elif weight != 1.0:
+            quota = TenantQuota(
+                quota_bytes=self.config.capacity_bytes, weight=weight
+            )
+        self.arena.attach(tenant, block_sizes, quota)
+        session = Session(
+            self.arena, tenant,
+            queue_batches=self.config.queue_batches,
+            retry_after=self.config.retry_after,
+        )
+        try:
+            session.start()
+        except BaseException:
+            self.arena.detach(tenant)
+            raise
+        self.sessions[tenant] = session
+        self.sessions_admitted += 1
+        return session
+
+    def _release(self, session: Session) -> None:
+        current = self.sessions.get(session.tenant)
+        if current is session:
+            del self.sessions[session.tenant]
+
+    # -- The TCP face -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("service not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def drain(self) -> None:
+        """Graceful shutdown: reject new sessions, flush and close the
+        live ones, then stop the listener."""
+        self.draining = True
+        for session in list(self.sessions.values()):
+            with contextlib.suppress(SessionError):
+                await session.close()
+            self._release(session)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.arena.check_now()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        session: Session | None = None
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                response, done = await self._dispatch_line(line, session)
+                if response.get("op") == "hello" and response.get("ok"):
+                    session = self.sessions.get(response["tenant"])
+                writer.write(protocol.encode(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+                if done:
+                    session = None
+        finally:
+            if session is not None:
+                await session.abort()
+                self._release(session)
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _dispatch_line(self, line: bytes,
+                             session: Session | None) -> tuple[dict, bool]:
+        """Handle one request line; returns (response, session_done)."""
+        try:
+            message = protocol.decode_line(line)
+            op = protocol.validate_request(message)
+        except protocol.ProtocolError as error:
+            return protocol.error("?", protocol.ERR_BAD_REQUEST,
+                                  str(error)), False
+        try:
+            return await self._dispatch(op, message, session)
+        except SessionError as error:
+            done = error.token == protocol.ERR_SESSION_FAILED
+            return protocol.error(op, error.token, error.detail,
+                                  retry_after=error.retry_after), done
+        except (ConfigurationError, KeyError) as error:
+            return protocol.error(op, protocol.ERR_BAD_REQUEST,
+                                  str(error)), False
+        except faults.InjectedFault as error:
+            return protocol.error(op, protocol.ERR_FAULT,
+                                  str(error)), False
+
+    async def _dispatch(self, op: str, message: dict,
+                        session: Session | None) -> tuple[dict, bool]:
+        if op == "ping":
+            return protocol.ok("ping", version=protocol.PROTOCOL_VERSION,
+                               service=self.describe()), False
+        if op == "hello":
+            if session is not None:
+                return protocol.error(
+                    op, protocol.ERR_BAD_REQUEST,
+                    f"connection already serves tenant "
+                    f"{session.tenant!r}",
+                ), False
+            opened = self.open_session(
+                message["tenant"],
+                block_sizes=message.get("block_sizes"),
+                benchmark=message.get("benchmark"),
+                scale=message.get("scale", 1.0),
+                quota_bytes=message.get("quota_bytes"),
+                weight=message.get("weight", 1.0),
+            )
+            return protocol.ok(
+                "hello", tenant=opened.tenant,
+                version=protocol.PROTOCOL_VERSION,
+                blocks=len_blocks(self.arena, opened.tenant),
+                policy=self.arena.policy.name,
+                capacity_bytes=self.arena.capacity_bytes,
+            ), False
+        if session is None:
+            return protocol.error(
+                op, protocol.ERR_NO_SESSION,
+                "no session on this connection; send hello first",
+            ), False
+        if op == "access":
+            queued = session.submit(message["sids"])
+            return protocol.ok("access", queued_batches=queued), False
+        if op == "stats":
+            tenant_stats = await session.stats()
+            return protocol.ok(
+                "stats", tenant=tenant_stats,
+                unified=self.arena.unified_stats().to_dict(),
+                arena=self.arena.to_dict(),
+            ), False
+        # op == "close"
+        final = await session.close()
+        self._release(session)
+        return protocol.ok(
+            "close", tenant=final,
+            unified=self.arena.unified_stats().to_dict(),
+        ), True
+
+    def describe(self) -> dict:
+        return {
+            "draining": self.draining,
+            "sessions": sorted(self.sessions),
+            "sessions_admitted": self.sessions_admitted,
+            "sessions_rejected": self.sessions_rejected,
+            "max_sessions": self.config.max_sessions,
+            "arena": self.arena.to_dict(),
+        }
+
+
+def benchmark_sizes(name: str, scale: float = 1.0) -> list[int]:
+    """Superblock sizes for a registry benchmark, in local-sid order."""
+    workload = build_workload(get_benchmark(name), scale=scale,
+                              trace_accesses=1)
+    sizes = workload.superblocks.sizes()
+    return [sizes[sid] for sid in range(len(sizes))]
+
+
+def len_blocks(arena: SharedArena, tenant: str) -> int:
+    for state in arena.tenants():
+        if state.name == tenant:
+            return state.block_count
+    raise KeyError(tenant)

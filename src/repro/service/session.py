@@ -1,0 +1,209 @@
+"""One tenant's attachment to the service: a fault-isolated pipeline.
+
+A :class:`Session` sits between the protocol layer and the
+:class:`~repro.service.tenancy.SharedArena`.  Access batches land in a
+*bounded* queue (the backpressure boundary: a full queue rejects the
+batch with a retry hint instead of buffering without limit) and a
+consumer task drains them through the arena in a worker thread, so the
+event loop never blocks on simulation work or on the arena lock — and
+so an injected ``hang`` at the ``service.session`` fault point stalls
+only this tenant's consumer, not the server.
+
+Failure is contained by construction: any exception in the consumer —
+including :class:`~repro.faults.InjectedFault` — marks the session
+``failed``, detaches the tenant from the arena (evicting its resident
+blocks and archiving its stats, which keeps the unified byte
+conservation the invariant checker enforces), and drains the pending
+queue.  Other tenants' sessions never observe anything.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import faults
+from repro.service import protocol
+
+#: Default bound on queued (not yet simulated) batches per session.
+DEFAULT_QUEUE_BATCHES = 64
+
+OPEN = "open"
+FAILED = "failed"
+CLOSED = "closed"
+
+
+class SessionError(Exception):
+    """A session-level request failure, carrying its protocol token."""
+
+    def __init__(self, token: str, detail: str,
+                 retry_after: float | None = None) -> None:
+        super().__init__(detail)
+        self.token = token
+        self.detail = detail
+        self.retry_after = retry_after
+
+
+class Session:
+    """One tenant's queue-and-consumer pipeline over the shared arena."""
+
+    def __init__(self, arena, tenant: str,
+                 queue_batches: int = DEFAULT_QUEUE_BATCHES,
+                 retry_after: float = 0.05) -> None:
+        self.arena = arena
+        self.tenant = tenant
+        self.retry_after = retry_after
+        self.state = OPEN
+        self.failure: str | None = None
+        self.hits = 0
+        self.accesses_applied = 0
+        self.batches_applied = 0
+        self._queue: asyncio.Queue[list[int]] = asyncio.Queue(
+            maxsize=queue_batches
+        )
+        self._consumer: asyncio.Task | None = None
+        self._detached = False
+        self._final_stats = None
+
+    def start(self) -> None:
+        self._consumer = asyncio.get_running_loop().create_task(
+            self._consume(), name=f"session:{self.tenant}"
+        )
+
+    # -- The request side ---------------------------------------------------
+
+    def submit(self, sids: list[int]) -> int:
+        """Queue one access batch; returns the queue depth after it.
+
+        Raises :class:`SessionError` with ``backpressure`` (and a
+        ``retry_after``) when the bounded queue is full, or
+        ``session-failed`` once the consumer has died.
+        """
+        self._require_open()
+        try:
+            self._queue.put_nowait(list(sids))
+        except asyncio.QueueFull:
+            raise SessionError(
+                protocol.ERR_BACKPRESSURE,
+                f"session queue full ({self._queue.maxsize} batches "
+                f"pending); retry after {self.retry_after}s",
+                retry_after=self.retry_after,
+            ) from None
+        return self._queue.qsize()
+
+    async def flush(self) -> None:
+        """Wait until every queued batch has been simulated (or the
+        session failed trying)."""
+        await asyncio.to_thread(
+            faults.fire, "service.flush", self.tenant
+        )
+        await self._queue.join()
+        self._require_open()
+
+    async def stats(self) -> dict:
+        """Flush, then snapshot this tenant's stats record."""
+        await self.flush()
+        record = self.arena.tenant_stats(self.tenant)
+        return record.to_dict()
+
+    async def close(self) -> dict:
+        """Flush, detach from the arena, and return final stats."""
+        if self.state == CLOSED:
+            return self._final_stats.to_dict()
+        self._require_open()
+        await self._queue.join()
+        if self.failure is not None:  # the last batch may have failed
+            self._require_open()
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+        self._final_stats = self._detach()
+        self.state = CLOSED
+        return self._final_stats.to_dict()
+
+    async def abort(self) -> None:
+        """Tear the session down without flushing (connection lost)."""
+        if self.state == CLOSED:
+            return
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+        if self.state != FAILED:
+            self._final_stats = self._detach()
+            self.state = CLOSED
+
+    def _require_open(self) -> None:
+        if self.state == FAILED:
+            raise SessionError(
+                protocol.ERR_SESSION_FAILED,
+                f"session for tenant {self.tenant!r} failed: "
+                f"{self.failure}",
+            )
+        if self.state == CLOSED:
+            raise SessionError(
+                protocol.ERR_NO_SESSION,
+                f"session for tenant {self.tenant!r} is closed",
+            )
+
+    # -- The consumer side --------------------------------------------------
+
+    def _apply(self, batch: list[int]) -> int:
+        """Run in a worker thread: fire the fault point, then simulate."""
+        faults.fire("service.session", key=self.tenant)
+        return self.arena.access_many(self.tenant, batch)
+
+    async def _consume(self) -> None:
+        while True:
+            batch = await self._queue.get()
+            try:
+                hits = await asyncio.to_thread(self._apply, batch)
+            except asyncio.CancelledError:
+                self._queue.task_done()
+                raise
+            except Exception as error:
+                self._fail(error)
+                self._queue.task_done()
+                self._drain_pending()
+                return
+            self.hits += hits
+            self.accesses_applied += len(batch)
+            self.batches_applied += 1
+            self._queue.task_done()
+
+    def _fail(self, error: Exception) -> None:
+        self.state = FAILED
+        self.failure = f"{type(error).__name__}: {error}"
+        # Detach immediately: the tenant's blocks leave the shared
+        # cache and its stats are archived, so the arena's unified
+        # conservation invariants stay intact for everyone else.
+        self._final_stats = self._detach()
+
+    def _drain_pending(self) -> None:
+        while True:
+            try:
+                self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            self._queue.task_done()
+
+    def _detach(self):
+        if self._detached:
+            return self._final_stats
+        self._detached = True
+        return self.arena.detach(self.tenant)
+
+    def describe(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "state": self.state,
+            "failure": self.failure,
+            "queued_batches": self._queue.qsize(),
+            "batches_applied": self.batches_applied,
+            "accesses_applied": self.accesses_applied,
+            "hits": self.hits,
+        }

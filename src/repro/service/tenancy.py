@@ -1,0 +1,518 @@
+"""Shared-arena tenancy: many tenants, one code cache, arbitrated space.
+
+One :class:`SharedArena` owns a single
+:class:`~repro.core.simulator.CodeCacheSimulator` (one policy, one
+capacity) and serves every tenant from it:
+
+* **Id namespacing** — each tenant's local superblock ids are mapped
+  into a disjoint slice of the global id space, so two tenants replaying
+  the same benchmark never collide in the shared cache.
+* **Per-tenant accounting** — every access is charged to its tenant's
+  own :class:`~repro.core.metrics.SimulationStats`; evicted blocks are
+  attributed to their *owner* (the tenant whose code was evicted), so
+  per-tenant byte conservation (inserted − evicted == resident) holds
+  tenant by tenant, and Equation 1 is reportable per tenant and unified.
+* **Quotas (Memshare-style)** — each tenant has a hard byte quota on
+  resident code.  A miss that would push its owner past the quota first
+  reclaims the tenant's *own* oldest blocks (targeted eviction through
+  :meth:`~repro.core.policies.EvictionPolicy.evict_blocks`), so the
+  shared granularity policy never has to evict a neighbour to absorb an
+  over-quota tenant.
+* **Cross-tenant reclaim on pressure** — when global occupancy crosses
+  a pressure threshold, tenants holding more than their *reserved*
+  (weight-proportional) share give space back, most-over-share first,
+  until occupancy reaches the reclaim target.  Tenants under their
+  reserved share are never touched.
+
+The arena serializes all mutation behind one lock: the simulator, the
+policies and the caches underneath are single-threaded by design (the
+thread-safety audit in DESIGN.md), and the arena is the one place the
+service touches them from.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.cache import ConfigurationError
+from repro.core.invariants import InvariantChecker, resolve_check_level
+from repro.core.metrics import SimulationStats, merge_all, unified_miss_rate
+from repro.core.overhead import PAPER_MODEL, OverheadModel
+from repro.core.policies import (
+    EvictionPolicy,
+    FineGrainedFifoPolicy,
+    FlushPolicy,
+    GenerationalPolicy,
+    PreemptiveFlushPolicy,
+    UnitFifoPolicy,
+)
+from repro.core.simulator import CodeCacheSimulator
+
+#: Global ids are ``slot * NAMESPACE_STRIDE + local_sid`` — 4M blocks per
+#: tenant namespace, far beyond any registry workload.
+NAMESPACE_STRIDE = 1 << 22
+
+#: Largest superblock any tenant may register (the registry clips
+#: Windows-suite sizes at 8 KiB).
+DEFAULT_MAX_BLOCK_BYTES = 8192
+
+
+def make_policy(spec: str) -> EvictionPolicy:
+    """Build an eviction policy from a CLI-friendly name.
+
+    Accepts ``flush``, ``fifo``, ``preempt``, ``gen``, ``<n>-unit``, or
+    a bare unit count (``64``).
+    """
+    token = spec.strip().lower()
+    if token in ("flush", "1", "1-unit"):
+        return FlushPolicy()
+    if token == "fifo":
+        return FineGrainedFifoPolicy()
+    if token == "preempt":
+        return PreemptiveFlushPolicy()
+    if token == "gen":
+        return GenerationalPolicy()
+    count_token = token[:-5] if token.endswith("-unit") else token
+    try:
+        count = int(count_token)
+    except ValueError:
+        raise ConfigurationError(
+            f"unknown policy {spec!r}; expected flush, fifo, preempt, "
+            f"gen, or a unit count like 64 / 64-unit"
+        ) from None
+    if count < 1:
+        raise ConfigurationError(
+            f"unit count must be >= 1, got {count}"
+        )
+    return UnitFifoPolicy(count)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's space entitlement in the shared arena.
+
+    ``quota_bytes`` is the hard cap on the tenant's resident code;
+    ``weight`` sets its *reserved* share for pressure reclaim (reserved
+    = capacity × weight / Σweights).  A tenant above its reserved share
+    is a reclaim donor; one at or below is protected.
+    """
+
+    quota_bytes: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.quota_bytes <= 0:
+            raise ConfigurationError("quota_bytes must be positive")
+        if self.weight <= 0:
+            raise ConfigurationError("weight must be positive")
+
+
+class _ArenaBlocks:
+    """The arena's live, growing ground-truth size map.
+
+    Stands in for a :class:`~repro.core.superblock.SuperblockSet`: the
+    simulator only needs ``sizes()`` and ``max_block_bytes``, and the
+    invariant checker learns sizes through ``register_block`` as
+    tenants attach.
+    """
+
+    def __init__(self, max_block_bytes: int) -> None:
+        self.max_block_bytes = max_block_bytes
+        self._sizes: dict[int, int] = {}
+
+    def sizes(self) -> dict[int, int]:
+        return self._sizes
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+
+class TenantState:
+    """One attached tenant: namespace, stats, quota and residency."""
+
+    def __init__(self, name: str, slot: int, sizes: list[int],
+                 quota: TenantQuota) -> None:
+        self.name = name
+        self.slot = slot
+        self.offset = slot * NAMESPACE_STRIDE
+        self.block_count = len(sizes)
+        self.quota = quota
+        self.stats = SimulationStats(benchmark=name)
+        self.resident_bytes = 0
+        #: Resident gids in insertion order — the victim order for
+        #: quota and pressure reclaim (oldest first, FIFO-faithful).
+        self.order: deque[int] = deque()
+        self.resident: set[int] = set()
+        self.quota_reclaims = 0
+        self.quota_reclaimed_bytes = 0
+        self.detached = False
+
+    @property
+    def miss_rate(self) -> float:
+        return self.stats.miss_rate
+
+
+class SharedArena:
+    """A multi-tenant view over one shared code-cache simulator.
+
+    Parameters
+    ----------
+    policy:
+        The shared eviction policy (any granularity).  Quotas need
+        targeted eviction, so the policy must answer
+        ``supports_targeted_eviction`` after configuration.
+    capacity_bytes:
+        Total arena capacity — shared by all tenants.
+    max_block_bytes:
+        Largest superblock any tenant may register.
+    pressure_threshold:
+        Occupancy fraction above which cross-tenant reclaim runs;
+        ``None`` disables pressure reclaim (quotas still apply).
+    reclaim_fraction:
+        Occupancy fraction pressure reclaim drives down to.
+    check_level:
+        Invariant-checking level (explicit, else ``REPRO_CHECK_LEVEL``,
+        else off).  The arena drives its own checker against *merged*
+        stats — per-tenant records would break conservation checks.
+    """
+
+    def __init__(
+        self,
+        policy: EvictionPolicy,
+        capacity_bytes: int,
+        max_block_bytes: int = DEFAULT_MAX_BLOCK_BYTES,
+        overhead_model: OverheadModel = PAPER_MODEL,
+        pressure_threshold: float | None = None,
+        reclaim_fraction: float = 0.85,
+        check_level: str | None = None,
+        check_context: dict | None = None,
+    ) -> None:
+        if pressure_threshold is not None and not 0.0 < pressure_threshold <= 1.0:
+            raise ConfigurationError(
+                f"pressure_threshold must be in (0, 1], got "
+                f"{pressure_threshold}"
+            )
+        if not 0.0 < reclaim_fraction <= 1.0:
+            raise ConfigurationError(
+                f"reclaim_fraction must be in (0, 1], got {reclaim_fraction}"
+            )
+        if (pressure_threshold is not None
+                and reclaim_fraction > pressure_threshold):
+            raise ConfigurationError(
+                "reclaim_fraction must not exceed pressure_threshold"
+            )
+        self._blocks = _ArenaBlocks(max_block_bytes)
+        # The arena drives its own checker (against merged stats), so
+        # the simulator itself always runs unchecked.
+        self.simulator = CodeCacheSimulator(
+            self._blocks, policy, capacity_bytes,
+            overhead_model=overhead_model, track_links=False,
+            check_level="off",
+        )
+        self.policy = policy
+        self.capacity_bytes = capacity_bytes
+        self.pressure_threshold = pressure_threshold
+        self.reclaim_fraction = reclaim_fraction
+        if not policy.supports_targeted_eviction:
+            raise ConfigurationError(
+                f"policy {policy.name!r} does not support targeted "
+                f"eviction, which tenancy quotas and pressure reclaim "
+                f"require"
+            )
+        level = resolve_check_level(check_level)
+        self.check_level = level
+        self.checker = None if level == "off" else InvariantChecker(
+            policy, self._blocks, capacity_bytes, level=level,
+            context={"service": "shared-arena", **(check_context or {})},
+        )
+        self._until_check = (
+            self.checker.cadence if self.checker is not None else 0
+        )
+        self._lock = threading.Lock()
+        self._tenants: dict[str, TenantState] = {}
+        self._by_slot: list[TenantState] = []
+        self._closed_stats: list[SimulationStats] = []
+        self._resident_bytes = 0
+        self.total_accesses = 0
+        self.pressure_reclaims = 0
+        self.pressure_reclaimed_bytes = 0
+
+    # -- Tenant lifecycle ---------------------------------------------------
+
+    def attach(self, name: str, block_sizes: list[int],
+               quota: TenantQuota | None = None) -> TenantState:
+        """Register *name* with its block population; returns its state.
+
+        ``block_sizes[i]`` is the translated size of the tenant's local
+        superblock ``i``.  The default quota is the whole arena (no
+        per-tenant cap) at weight 1.
+        """
+        with self._lock:
+            if name in self._tenants:
+                raise ConfigurationError(
+                    f"tenant {name!r} is already attached"
+                )
+            if not block_sizes:
+                raise ConfigurationError(
+                    f"tenant {name!r} needs at least one superblock"
+                )
+            if len(block_sizes) > NAMESPACE_STRIDE:
+                raise ConfigurationError(
+                    f"tenant {name!r} has {len(block_sizes)} blocks; the "
+                    f"namespace holds {NAMESPACE_STRIDE}"
+                )
+            largest = max(block_sizes)
+            if largest > self._blocks.max_block_bytes:
+                raise ConfigurationError(
+                    f"tenant {name!r} block of {largest} B exceeds the "
+                    f"arena's max_block_bytes "
+                    f"({self._blocks.max_block_bytes} B)"
+                )
+            quota = quota or TenantQuota(quota_bytes=self.capacity_bytes)
+            if quota.quota_bytes < largest:
+                raise ConfigurationError(
+                    f"tenant {name!r} quota of {quota.quota_bytes} B "
+                    f"cannot hold its largest block ({largest} B)"
+                )
+            tenant = TenantState(name, len(self._by_slot), block_sizes,
+                                 quota)
+            sizes = self._blocks.sizes()
+            for local_sid, size in enumerate(block_sizes):
+                gid = tenant.offset + local_sid
+                sizes[gid] = size
+                if self.checker is not None:
+                    self.checker.register_block(gid, size)
+            self._tenants[name] = tenant
+            self._by_slot.append(tenant)
+            return tenant
+
+    def detach(self, name: str) -> SimulationStats:
+        """Close *name*: evict its resident blocks, keep its stats.
+
+        The final stats record stays in the unified merge (so Equation 1
+        and byte conservation remain true for the whole service life),
+        and is returned for the session's goodbye message.
+        """
+        with self._lock:
+            tenant = self._require(name)
+            if tenant.resident:
+                events = self.policy.evict_blocks(tenant.resident)
+                self._attribute_events(events, tenant.stats)
+            tenant.detached = True
+            del self._tenants[name]
+            self._closed_stats.append(tenant.stats)
+            self._check_maybe(force=True)
+            return tenant.stats
+
+    def _require(self, name: str) -> TenantState:
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise KeyError(f"no attached tenant {name!r}") from None
+
+    # -- The access path ----------------------------------------------------
+
+    def access(self, name: str, local_sid: int) -> bool:
+        """Serve one access for tenant *name*; True on a cache hit."""
+        with self._lock:
+            tenant = self._require(name)
+            return self._access_locked(tenant, local_sid)
+
+    def access_many(self, name: str, local_sids) -> int:
+        """Serve a batch under one lock acquisition; returns hit count."""
+        with self._lock:
+            tenant = self._require(name)
+            hits = 0
+            for local_sid in local_sids:
+                if self._access_locked(tenant, local_sid):
+                    hits += 1
+            return hits
+
+    def _access_locked(self, tenant: TenantState, local_sid: int) -> bool:
+        if not 0 <= local_sid < tenant.block_count:
+            raise KeyError(
+                f"tenant {tenant.name!r} has no superblock {local_sid} "
+                f"(population {tenant.block_count})"
+            )
+        gid = tenant.offset + local_sid
+        self._inserting = tenant
+        hit, _ = self.simulator.step(
+            gid, tenant.stats,
+            on_evictions=self._attribute_events,
+            before_insert=self._reclaim_quota,
+        )
+        if not hit:
+            size = self._blocks.sizes()[gid]
+            tenant.resident.add(gid)
+            tenant.order.append(gid)
+            tenant.resident_bytes += size
+            self._resident_bytes += size
+            if self.checker is not None:
+                self.checker.note_insert(gid)
+            self._reclaim_pressure()
+        self.total_accesses += 1
+        self._check_maybe()
+        return hit
+
+    # -- Attribution and reclaim -------------------------------------------
+
+    def _owner_of(self, gid: int) -> TenantState:
+        return self._by_slot[gid // NAMESPACE_STRIDE]
+
+    def _attribute_events(self, events, inserter_stats) -> None:
+        """Split eviction events: the work (invocations, Equation 2/3
+        overhead) is charged to the stats record driving the insert; the
+        evicted blocks and bytes are attributed to their owners, keeping
+        per-tenant byte conservation exact."""
+        eviction_cost = self.simulator.overhead_model.eviction_cost
+        sizes = self._blocks.sizes()
+        for event in events:
+            inserter_stats.eviction_invocations += 1
+            inserter_stats.eviction_overhead += eviction_cost(
+                event.bytes_evicted
+            )
+            for gid in event.blocks:
+                owner = self._owner_of(gid)
+                size = sizes[gid]
+                owner.stats.evicted_blocks += 1
+                owner.stats.evicted_bytes += size
+                owner.resident_bytes -= size
+                owner.resident.discard(gid)
+                self._resident_bytes -= size
+
+    def _victims(self, tenant: TenantState, needed_bytes: int) -> list[int]:
+        """The tenant's oldest resident blocks covering *needed_bytes*."""
+        victims: list[int] = []
+        freed = 0
+        sizes = self._blocks.sizes()
+        while tenant.order and freed < needed_bytes:
+            gid = tenant.order.popleft()
+            if gid not in tenant.resident:
+                continue  # already evicted by the shared policy
+            victims.append(gid)
+            freed += sizes[gid]
+        return victims
+
+    def _reclaim_quota(self, gid: int, size: int) -> None:
+        """Quota layer: before the policy inserts for an over-quota
+        tenant, evict that tenant's own oldest blocks to make room."""
+        tenant = self._inserting
+        over = tenant.resident_bytes + size - tenant.quota.quota_bytes
+        if over <= 0:
+            return
+        victims = self._victims(tenant, over)
+        if not victims:
+            return
+        events = self.policy.evict_blocks(victims)
+        self._attribute_events(events, tenant.stats)
+        tenant.quota_reclaims += 1
+        tenant.quota_reclaimed_bytes += sum(
+            event.bytes_evicted for event in events
+        )
+
+    def _reclaim_pressure(self) -> None:
+        """Memshare-style arbitration: above the pressure threshold,
+        tenants over their reserved (weight-proportional) share donate
+        space, most-over-share first, down to the reclaim target."""
+        threshold = self.pressure_threshold
+        if threshold is None:
+            return
+        if self._resident_bytes <= threshold * self.capacity_bytes:
+            return
+        target = self.reclaim_fraction * self.capacity_bytes
+        total_weight = sum(
+            t.quota.weight for t in self._tenants.values()
+        ) or 1.0
+        while self._resident_bytes > target:
+            donor = None
+            worst_excess = 0
+            for tenant in self._tenants.values():
+                reserved = (self.capacity_bytes * tenant.quota.weight
+                            / total_weight)
+                excess = tenant.resident_bytes - reserved
+                if excess > worst_excess:
+                    donor = tenant
+                    worst_excess = excess
+            if donor is None:
+                return  # nobody is over their reserved share
+            needed = min(worst_excess,
+                         self._resident_bytes - target)
+            victims = self._victims(donor, needed)
+            if not victims:
+                return
+            events = self.policy.evict_blocks(victims)
+            self._attribute_events(events, donor.stats)
+            self.pressure_reclaims += 1
+            self.pressure_reclaimed_bytes += sum(
+                event.bytes_evicted for event in events
+            )
+
+    # -- Reporting and checking --------------------------------------------
+
+    def tenants(self) -> list[TenantState]:
+        with self._lock:
+            return list(self._by_slot)
+
+    def tenant_stats(self, name: str) -> SimulationStats:
+        with self._lock:
+            return self._require(name).stats
+
+    def unified_stats(self) -> SimulationStats:
+        """All tenants merged — Equation 1 across the whole service."""
+        with self._lock:
+            return self._unified_locked()
+
+    def _unified_locked(self) -> SimulationStats:
+        records = ([t.stats for t in self._tenants.values()]
+                   + self._closed_stats)
+        if not records:
+            return SimulationStats(policy_name=self.policy.name,
+                                   benchmark="unified")
+        merged = merge_all(records)
+        merged.policy_name = self.policy.name
+        merged.benchmark = "unified"
+        return merged
+
+    def unified_miss_rate(self) -> float:
+        with self._lock:
+            records = ([t.stats for t in self._tenants.values()]
+                       + self._closed_stats)
+            return unified_miss_rate(records)
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._resident_bytes
+
+    def check_now(self) -> None:
+        """Run a full invariant pass immediately (no-op when off)."""
+        with self._lock:
+            self._check_maybe(force=True)
+
+    def _check_maybe(self, force: bool = False) -> None:
+        checker = self.checker
+        if checker is None:
+            return
+        if not force:
+            self._until_check -= 1
+            if self._until_check > 0:
+                return
+        self._until_check = checker.cadence
+        checker.run_checks(self._unified_locked(),
+                           access_index=self.total_accesses)
+
+    def to_dict(self) -> dict:
+        """Arena-level counters for reports and the service stats op."""
+        with self._lock:
+            return {
+                "policy": self.policy.name,
+                "capacity_bytes": self.capacity_bytes,
+                "resident_bytes": self._resident_bytes,
+                "tenants": len(self._tenants),
+                "closed_tenants": len(self._closed_stats),
+                "total_accesses": self.total_accesses,
+                "pressure_reclaims": self.pressure_reclaims,
+                "pressure_reclaimed_bytes": self.pressure_reclaimed_bytes,
+                "check_level": self.check_level,
+            }

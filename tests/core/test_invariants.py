@@ -18,6 +18,7 @@ from repro.core.invariants import (
 )
 from repro.core.policies import (
     FineGrainedFifoPolicy,
+    GenerationalPolicy,
     UnitFifoPolicy,
     granularity_ladder,
 )
@@ -130,8 +131,12 @@ class TestCorruptionSelfTest:
 
     @pytest.mark.parametrize("point", faults.STATE_POINTS)
     def test_paranoid_detects_every_state_corruption(self, workload, point):
+        # The generational corruption only has meaning for the
+        # generational policy; every other point uses the ladder rung.
+        policy = (GenerationalPolicy() if point == "cache.generation"
+                  else UnitFifoPolicy(8))
         with faults.plan(faults.FaultSpec(point=point)):
-            simulator = _simulator(workload, UnitFifoPolicy(8), "paranoid",
+            simulator = _simulator(workload, policy, "paranoid",
                                    cadence=64)
             with pytest.raises(InvariantViolation) as excinfo:
                 simulator.process(workload.trace, benchmark="gzip")
@@ -145,7 +150,10 @@ class TestCorruptionSelfTest:
             with pytest.raises(InvariantViolation):
                 simulator.process(workload.trace, benchmark="gzip")
 
-    @pytest.mark.parametrize("point", faults.STATE_POINTS)
+    @pytest.mark.parametrize(
+        "point",
+        tuple(p for p in faults.STATE_POINTS if p != "cache.generation"),
+    )
     def test_fine_fifo_detects_state_corruption(self, workload, point):
         with faults.plan(faults.FaultSpec(point=point)):
             simulator = _simulator(workload, FineGrainedFifoPolicy(),
@@ -210,3 +218,34 @@ class TestDirectChecks:
         stats.misses += 3
         with pytest.raises(InvariantViolation, match="accesses"):
             simulator.checker.run_checks(stats)
+
+    def _generational_simulator(self, workload):
+        simulator = _simulator(workload, GenerationalPolicy(), "paranoid",
+                               pressure=8.0)
+        simulator.process(workload.trace, benchmark="gzip")
+        return simulator
+
+    def test_demoted_persistent_block_caught(self, workload):
+        simulator = self._generational_simulator(workload)
+        policy = simulator.policy
+        victim = min(policy._persistent.resident_ids())
+        policy._evict_counts[victim] = 0
+        with pytest.raises(InvariantViolation,
+                           match="below.*promote_after"):
+            simulator.checker.run_checks()
+
+    def test_unpromoted_nursery_block_caught(self, workload):
+        simulator = self._generational_simulator(workload)
+        policy = simulator.policy
+        victim = min(policy._nursery.resident_ids())
+        policy._evict_counts[victim] = policy.promote_after
+        with pytest.raises(InvariantViolation,
+                           match="promotion threshold"):
+            simulator.checker.run_checks()
+
+    def test_understated_promotions_counter_caught(self, workload):
+        simulator = self._generational_simulator(workload)
+        simulator.policy.promotions = 0
+        with pytest.raises(InvariantViolation,
+                           match="promotions counter"):
+            simulator.checker.run_checks()

@@ -1,0 +1,93 @@
+"""Invariant checking wired into the live DBT runtime (not just the
+trace-driven simulator): clean runs under churn, zero behavioural
+impact, and central check-level validation."""
+
+import pytest
+
+from repro.core.cache import ConfigurationError
+from repro.core.invariants import ENV_CHECK_LEVEL, InvariantViolation
+from repro.core.policies import (
+    FineGrainedFifoPolicy,
+    GenerationalPolicy,
+    UnitFifoPolicy,
+)
+from repro.dbt.runtime import DBTRuntime
+from repro.workloads.generator import GuestProgramSpec, generate_program
+
+
+def _churny_program(seed=31):
+    return generate_program(GuestProgramSpec(
+        "churny", functions=8, body_blocks=3, instructions_per_block=9,
+        inner_iterations=70, outer_iterations=12, side_exit_mask=3,
+        seed=seed,
+    ))
+
+
+def _runtime(policy, capacity=4096, **kwargs):
+    return DBTRuntime(
+        _churny_program(), policy=policy, cache_capacity=capacity,
+        max_trace_blocks=8, max_trace_bytes=512, record_entries=False,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("policy_factory, capacity", [
+    (lambda: UnitFifoPolicy(4), 4096),
+    (FineGrainedFifoPolicy, 4096),
+    (GenerationalPolicy, 8192),
+])
+@pytest.mark.parametrize("level", ("light", "paranoid"))
+def test_churny_run_is_clean_under_checking(policy_factory, capacity,
+                                            level):
+    runtime = _runtime(policy_factory(), capacity, check_level=level,
+                       check_cadence=8)
+    result = runtime.run(max_guest_instructions=700_000)
+    assert result.eviction_invocations > 0  # the checker saw churn
+    assert runtime.checker.checks_run > 0
+
+
+def test_checking_does_not_change_behaviour():
+    baseline = _runtime(UnitFifoPolicy(4)).run(700_000)
+    checked = _runtime(UnitFifoPolicy(4), check_level="paranoid",
+                       check_cadence=1).run(700_000)
+    assert checked.guest_instructions == baseline.guest_instructions
+    assert checked.superblocks_formed == baseline.superblocks_formed
+    assert checked.evicted_blocks == baseline.evicted_blocks
+
+
+def test_final_check_runs_even_without_evictions():
+    runtime = DBTRuntime(_churny_program(), check_level="light")
+    runtime.run(max_guest_instructions=100_000)
+    assert runtime.checker.checks_run >= 1
+
+
+def test_off_is_the_default_and_builds_no_checker(monkeypatch):
+    monkeypatch.delenv(ENV_CHECK_LEVEL, raising=False)
+    runtime = _runtime(UnitFifoPolicy(4))
+    assert runtime.check_level == "off"
+    assert runtime.checker is None
+
+
+def test_env_level_reaches_the_runtime(monkeypatch):
+    monkeypatch.setenv(ENV_CHECK_LEVEL, "light")
+    runtime = _runtime(UnitFifoPolicy(4))
+    assert runtime.check_level == "light"
+    assert runtime.checker is not None
+
+
+def test_bad_level_rejected_centrally(monkeypatch):
+    with pytest.raises(ConfigurationError, match="unknown check level"):
+        _runtime(UnitFifoPolicy(4), check_level="extreme")
+    monkeypatch.setenv(ENV_CHECK_LEVEL, "bogus")
+    with pytest.raises(ConfigurationError, match="unknown check level"):
+        _runtime(UnitFifoPolicy(4))
+
+
+def test_hand_corrupted_occupancy_caught():
+    runtime = _runtime(UnitFifoPolicy(4), check_level="light")
+    runtime.run(max_guest_instructions=300_000)
+    cache = runtime.policy.internal_caches()[0]
+    occupied = [unit for unit in cache.units if unit.blocks]
+    occupied[0].used_bytes += 13
+    with pytest.raises(InvariantViolation, match="occupancy drift"):
+        runtime.checker.run_checks()

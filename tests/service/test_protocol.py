@@ -1,0 +1,103 @@
+"""The JSON-lines wire protocol: framing, validation, error shapes."""
+
+import pytest
+
+from repro.service import protocol
+
+
+class TestFraming:
+    def test_encode_decode_roundtrip(self):
+        message = {"op": "access", "sids": [3, 1, 2]}
+        assert protocol.decode_line(protocol.encode(message)) == message
+
+    def test_encode_is_one_line(self):
+        blob = protocol.encode({"op": "ping", "note": "a\nb"})
+        assert blob.endswith(b"\n")
+        assert blob.count(b"\n") == 1
+
+    def test_oversized_line_rejected(self):
+        line = b'{"op": "access", "sids": [' \
+            + b",".join(b"1" for _ in range(protocol.MAX_LINE_BYTES // 2)) \
+            + b"]}"
+        with pytest.raises(protocol.ProtocolError, match="line limit"):
+            protocol.decode_line(line)
+
+    def test_non_json_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="undecodable"):
+            protocol.decode_line(b"GET / HTTP/1.1\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="JSON object"):
+            protocol.decode_line(b"[1, 2, 3]\n")
+
+
+class TestValidation:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown op"):
+            protocol.validate_request({"op": "evict-the-world"})
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown op"):
+            protocol.validate_request({"sids": [1]})
+
+    def test_hello_needs_tenant(self):
+        with pytest.raises(protocol.ProtocolError, match="tenant"):
+            protocol.validate_request({"op": "hello", "benchmark": "gzip"})
+
+    def test_hello_needs_population(self):
+        with pytest.raises(protocol.ProtocolError, match="block_sizes"):
+            protocol.validate_request({"op": "hello", "tenant": "t"})
+
+    def test_hello_with_benchmark_accepted(self):
+        op = protocol.validate_request(
+            {"op": "hello", "tenant": "t", "benchmark": "gzip"}
+        )
+        assert op == "hello"
+
+    def test_hello_with_sizes_accepted(self):
+        protocol.validate_request(
+            {"op": "hello", "tenant": "t", "block_sizes": [64, 128]}
+        )
+
+    @pytest.mark.parametrize("sizes", ([], [0], [64, -1], ["64"], "64"))
+    def test_bad_block_sizes_rejected(self, sizes):
+        with pytest.raises(protocol.ProtocolError, match="block_sizes"):
+            protocol.validate_request(
+                {"op": "hello", "tenant": "t", "block_sizes": sizes}
+            )
+
+    @pytest.mark.parametrize("field", ("scale", "quota_bytes", "weight"))
+    def test_non_positive_numbers_rejected(self, field):
+        message = {"op": "hello", "tenant": "t", "benchmark": "gzip",
+                   field: 0}
+        with pytest.raises(protocol.ProtocolError, match=field):
+            protocol.validate_request(message)
+
+    @pytest.mark.parametrize("sids", (None, [], [1.5], [-1], "1"))
+    def test_bad_access_batches_rejected(self, sids):
+        with pytest.raises(protocol.ProtocolError, match="sids"):
+            protocol.validate_request({"op": "access", "sids": sids})
+
+    def test_access_accepted(self):
+        assert protocol.validate_request(
+            {"op": "access", "sids": [0, 5, 2]}
+        ) == "access"
+
+
+class TestResponses:
+    def test_ok_shape(self):
+        response = protocol.ok("stats", tenant={"misses": 3})
+        assert response["ok"] is True
+        assert response["op"] == "stats"
+        assert response["tenant"] == {"misses": 3}
+
+    def test_error_shape(self):
+        response = protocol.error("access", protocol.ERR_BACKPRESSURE,
+                                  "queue full", retry_after=0.25)
+        assert response["ok"] is False
+        assert response["error"] == "backpressure"
+        assert response["retry_after"] == 0.25
+
+    def test_error_omits_retry_after_when_not_retryable(self):
+        response = protocol.error("hello", protocol.ERR_BAD_REQUEST, "no")
+        assert "retry_after" not in response
