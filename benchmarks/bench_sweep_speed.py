@@ -1,25 +1,33 @@
-"""Sweep-engine speed bench: serial vs parallel vs checkpointed runs.
+"""Sweep-engine speed bench: replay vs one-pass vs parallel runs.
 
-Runs the full 20-benchmark grid at a small fixed scale through the
-serial engine, the process-parallel engine, the parallel engine with
-per-task checkpointing enabled (cold), and a checkpoint-warm *resumed*
-run, verifies they all produce identical statistics, and records the
-wall-clock numbers in ``BENCH_sweep.json`` at the repo root so both the
-parallel speedup and the checkpointing overhead are tracked across PRs.
+Runs the full 20-benchmark grid at a small fixed scale through four
+engines — the serial replay engine (``one_pass=False``; the PR-5
+baseline), the serial one-pass kernel engine, the parallel engine
+(pressure-sharded tasks, worker count picked by ``plan_jobs``, one-pass
+on), and checkpointed cold/warm parallel runs — verifies they all
+produce identical statistics, and records the wall-clock numbers in
+``BENCH_sweep.json`` at the repo root so the one-pass speedup, the
+parallel speedup, and the checkpointing overhead are tracked across
+PRs.
 
 Run directly (``python benchmarks/bench_sweep_speed.py``) or through
-pytest (``pytest benchmarks/bench_sweep_speed.py``).  The speedup
-assertion only applies when the machine actually has enough cores for
-the parallel engine to win; the JSON is written either way.  The
-checkpoint-overhead assertion holds checkpointed runs to ~5 % over the
-plain parallel run (plus a small absolute grace for timer noise).
+pytest (``pytest benchmarks/bench_sweep_speed.py``).  The headline
+gates: ``one_pass_speedup`` (serial replay over serial one-pass on the
+same grid) must be >= 10x, and ``speedup`` (serial replay over the
+parallel entry point) must never drop below 1.0 — on boxes where a
+pool cannot win, ``plan_jobs`` degrades the parallel engine to the
+inline one-pass path instead of regressing.  The checkpoint-overhead
+assertion holds checkpointed runs to ~5 % over the plain parallel run
+(plus a small absolute grace for timer noise).
 
 The bench also times the invariant checker: serial sweeps at
 ``--check light`` and ``--check paranoid`` are compared against the
-plain (``off``) serial run, the grids are asserted identical, and the
-light-mode overhead is held to ~10 % (plus the same absolute grace).
+plain replay run (checking always forces replay — the kernel has no
+invariant hooks), the grids are asserted identical, and the light-mode
+overhead is held to ~10 % (plus the same absolute grace).
 
-Knobs: ``REPRO_BENCH_JOBS`` (default 4) and ``REPRO_BENCH_REPEATS``
+Knobs: ``REPRO_BENCH_JOBS`` (default 4; the *requested* pool size
+before ``plan_jobs`` has its say) and ``REPRO_BENCH_REPEATS``
 (default 1; best-of-N timing).
 """
 
@@ -30,7 +38,13 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.analysis import ckernel
 from repro.analysis.checkpoint import CheckpointStore
+from repro.analysis.parallel import (
+    estimate_task_accesses,
+    plan_jobs,
+    plan_tasks,
+)
 from repro.analysis.sweep import (
     ladder_policy_factories,
     run_sweep,
@@ -62,13 +76,28 @@ def _grids_identical(serial, parallel) -> bool:
 
 def run_bench() -> dict:
     specs = all_benchmarks()
+    # Pay the C kernel's compile-and-load outside every timed region so
+    # the one-pass numbers measure simulation, not gcc.
+    kernel_engine = "c" if ckernel.available() else "py"
 
-    def serial_once(check_level=None):
+    # The parallel entry point mirrors full_sweep: pressure-sharded
+    # tasks, with plan_jobs degrading the pool to the inline engine
+    # when it cannot win (single CPU, or tiny per-task work).
+    planned = plan_tasks(specs, scale=SCALE, trace_accesses=TRACE_ACCESSES,
+                         pressures=PRESSURES, unit_counts=UNIT_COUNTS,
+                         shard="pressure")
+    per_task = (sum(estimate_task_accesses(task) for task in planned)
+                // len(planned))
+    effective_jobs = plan_jobs(JOBS, task_count=len(planned),
+                               per_task_accesses=per_task)
+
+    def serial_once(check_level=None, one_pass=False):
         workloads = build_suite(specs, scale=SCALE,
                                 trace_accesses=TRACE_ACCESSES)
         started = time.perf_counter()
         result = run_sweep(workloads, ladder_policy_factories(UNIT_COUNTS),
-                           pressures=PRESSURES, check_level=check_level)
+                           pressures=PRESSURES, check_level=check_level,
+                           one_pass=one_pass)
         return time.perf_counter() - started, result
 
     def parallel_once(checkpoints=None):
@@ -76,8 +105,10 @@ def run_bench() -> dict:
         result = run_sweep_parallel(specs, scale=SCALE,
                                     trace_accesses=TRACE_ACCESSES,
                                     pressures=PRESSURES,
-                                    unit_counts=UNIT_COUNTS, jobs=JOBS,
-                                    checkpoints=checkpoints)
+                                    unit_counts=UNIT_COUNTS,
+                                    jobs=effective_jobs,
+                                    checkpoints=checkpoints,
+                                    one_pass=True, shard="pressure")
         return time.perf_counter() - started, result
 
     def checkpointed_once(root):
@@ -92,6 +123,10 @@ def run_bench() -> dict:
 
     serial_seconds, serial_result = min(
         (serial_once() for _ in range(REPEATS)), key=lambda pair: pair[0]
+    )
+    one_pass_seconds, one_pass_result = min(
+        (serial_once(one_pass=True) for _ in range(REPEATS)),
+        key=lambda pair: pair[0]
     )
     parallel_seconds, parallel_result = min(
         (parallel_once() for _ in range(REPEATS)), key=lambda pair: pair[0]
@@ -115,9 +150,9 @@ def run_bench() -> dict:
         (serial_once("paranoid") for _ in range(REPEATS)),
         key=lambda pair: pair[0]
     )
-    # The parallel engine pays workload construction inside the timed
-    # region too (workers rebuild from specs), so the comparison gives
-    # the serial engine its build time for symmetry.
+    # Every engine pays workload construction inside its timed region
+    # (pool workers rebuild from specs), so the comparisons stay
+    # symmetric.
     total_accesses = sum(
         record.accesses for record in serial_result.stats.values()
     )
@@ -131,8 +166,12 @@ def run_bench() -> dict:
         "grid_points": len(serial_result.stats),
         "total_accesses": total_accesses,
         "jobs": JOBS,
+        "effective_jobs": effective_jobs,
         "cpus": os.cpu_count(),
+        "kernel_engine": kernel_engine,
         "serial_seconds": round(serial_seconds, 3),
+        "one_pass_seconds": round(one_pass_seconds, 3),
+        "one_pass_speedup": round(serial_seconds / one_pass_seconds, 3),
         "parallel_seconds": round(parallel_seconds, 3),
         "speedup": round(serial_seconds / parallel_seconds, 3),
         "checkpoint_cold_seconds": round(checkpoint_seconds, 3),
@@ -150,11 +189,15 @@ def run_bench() -> dict:
             paranoid_seconds / serial_seconds - 1.0, 4
         ),
         "accesses_per_second_serial": round(total_accesses / serial_seconds),
+        "accesses_per_second_one_pass": round(
+            total_accesses / one_pass_seconds
+        ),
         "accesses_per_second_parallel": round(
             total_accesses / parallel_seconds
         ),
         "grids_identical": (
-            _grids_identical(serial_result, parallel_result)
+            _grids_identical(serial_result, one_pass_result)
+            and _grids_identical(serial_result, parallel_result)
             and _grids_identical(serial_result, checkpoint_result)
             and _grids_identical(serial_result, resume_result)
         ),
@@ -171,8 +214,13 @@ def test_sweep_speed():
     report = run_bench()
     assert report["grids_identical"]
     assert report["serial_seconds"] > 0 and report["parallel_seconds"] > 0
-    # The parallel engine can only win where there are cores to win on;
-    # single-core CI boxes still record their numbers above.
+    # The headline gate: one trace traversal for the whole unit ladder
+    # must beat 6 replays by an order of magnitude on the same grid.
+    assert report["one_pass_speedup"] >= 10.0, report
+    # The parallel entry point must never regress below the serial
+    # replay baseline: either the pool wins, or plan_jobs has degraded
+    # it to the inline one-pass engine.
+    assert report["speedup"] >= 1.0, report
     if (os.cpu_count() or 1) >= 4:
         assert report["speedup"] >= 2.0, report
     # Streaming per-task checkpoints must stay cheap: within ~5 % of
@@ -180,9 +228,11 @@ def test_sweep_speed():
     # noise on loaded CI boxes can't fail the build.
     assert (report["checkpoint_cold_seconds"]
             <= report["parallel_seconds"] * 1.05 + 0.75), report
-    # A fully-checkpointed sweep resumes every task instead of
-    # simulating, so the warm run must beat the cold one outright.
-    assert report["resumed_tasks"] == report["benchmarks"], report
+    # A fully-checkpointed sweep resumes every (benchmark, pressure)
+    # slice instead of simulating, so the warm run must beat the cold
+    # one outright.
+    assert (report["resumed_tasks"]
+            == report["benchmarks"] * len(report["pressures"])), report
     assert report["resume_seconds"] < report["checkpoint_cold_seconds"], report
     # Checking must never change the science: grids at light and
     # paranoid are byte-identical to the unchecked run.

@@ -48,7 +48,7 @@ _ALIASES = {
 _CACHE_COMMANDS = ("cache-stats", "cache-clear")
 
 #: Sanitizer commands (see repro.core.invariants / repro.analysis.diffcheck).
-_SANITY_COMMANDS = ("diff-check",)
+_SANITY_COMMANDS = ("diff-check", "kernel-check")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -102,10 +102,19 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="run simulations under the invariant "
                              "checker at this level (default: "
                              f"{ENV_CHECK_LEVEL} or off)")
+    parser.add_argument("--one-pass", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="route eligible sweep ladder rungs through "
+                             "the one-pass multi-granularity kernel "
+                             "(default: REPRO_SWEEP_ONE_PASS, on); "
+                             "--no-one-pass forces full replay")
     parser.add_argument("--diff-benchmarks", nargs="+", metavar="NAME",
                         default=list(diffcheck.DEFAULT_BENCHMARKS),
-                        help="benchmarks the diff-check command replays "
-                             "(default: %(default)s)")
+                        help="benchmarks the diff-check and kernel-check "
+                             "commands replay (default: %(default)s)")
+    parser.add_argument("--diff-lru", action="store_true",
+                        help="extend diff-check's ladder with the "
+                             "Section 3.3 LRU arena policy")
     return parser
 
 
@@ -188,7 +197,25 @@ def _run_diff_check(args: argparse.Namespace) -> bool:
         scale=args.scale,
         trace_accesses=args.trace_accesses,
         pressures=pressures,
+        include_lru=args.diff_lru,
         check_level=args.check,
+        progress=lambda line: print(f"  {line}", file=sys.stderr),
+    )
+    print(report.render(precision=args.precision))
+    return report.ok
+
+
+def _run_kernel_check(args: argparse.Namespace) -> bool:
+    """Run kernel-vs-replay equivalence; print its report; True on pass."""
+    pressures = tuple(
+        args.pressures if args.pressures is not None
+        else diffcheck.DEFAULT_PRESSURES
+    )
+    report = diffcheck.kernel_check(
+        benchmarks=tuple(args.diff_benchmarks),
+        scale=args.scale,
+        trace_accesses=args.trace_accesses,
+        pressures=pressures,
         progress=lambda line: print(f"  {line}", file=sys.stderr),
     )
     print(report.render(precision=args.precision))
@@ -235,7 +262,8 @@ def main(argv: list[str] | None = None) -> int:
                     use_cache=False if args.no_cache else None,
                     task_timeout=args.task_timeout,
                     max_retries=args.max_retries,
-                    resume=args.resume)
+                    resume=args.resume,
+                    one_pass=args.one_pass)
     requested = []
     for raw in args.artifacts:
         name = _ALIASES.get(raw, raw)
@@ -258,7 +286,9 @@ def main(argv: list[str] | None = None) -> int:
             _run_cache_command(name)
             continue
         if name in _SANITY_COMMANDS:
-            if not _run_diff_check(args):
+            runner = (_run_kernel_check if name == "kernel-check"
+                      else _run_diff_check)
+            if not runner(args):
                 failed = True
             continue
         result = _call_driver(name, args)

@@ -1,0 +1,394 @@
+/* One-pass multi-granularity sweep kernel: C fast path.
+ *
+ * Mirrors the generated-Python runner in kernel.py operation for
+ * operation so every statistic — including IEEE-754 double
+ * accumulations — is bit-identical to replaying each geometry through
+ * CodeCacheSimulator.  Compile WITHOUT -ffast-math and WITH
+ * -ffp-contract=off: fused multiply-adds would change double rounding
+ * and break the field-identical contract.
+ *
+ * The single deliberate gap: multi-victim unit evictions emit unlink
+ * records in CPython set-iteration order, which this kernel does not
+ * replicate.  Instead it logs each unit eviction event's victims and
+ * their surviving-source counts (in victim insertion order) and leaves
+ * unlink_overhead for those geometries to the Python caller, which
+ * re-folds the event costs using a real Python set.  Events whose
+ * victims all have zero survivors contribute exactly +0.0 and are not
+ * logged.
+ */
+
+#include <stdlib.h>
+#include <string.h>
+
+typedef long long i64;
+
+typedef struct {
+    int kind;      /* 0 = flush (links only), 1 = unit, 2 = fifo */
+    i64 cap;       /* flush / fifo byte capacity */
+    i64 ucap;      /* unit: per-unit byte capacity */
+    int ucount;    /* unit: number of units */
+    unsigned char *res;  /* per-block residency flag */
+    /* flush frontier */
+    int *blocks;
+    int blen;
+    /* unit frontier: singly-linked chains per unit */
+    int *next, *uhead, *utail, *ua;
+    i64 *uused;
+    int fill;
+    /* fifo frontier: ring buffer */
+    int *queue;
+    int qhead, qtail;
+    i64 fused;     /* flush / fifo resident bytes */
+    /* Eq. 1 counters */
+    i64 misses, ins, inv, evb, evB, ulops, ulrem, intra, inter;
+    i64 live, plive;
+    double mo, evo, ulo;
+} Geom;
+
+static void free_geoms(Geom *geoms, int n_geoms, unsigned int *residency)
+{
+    int g;
+    for (g = 0; g < n_geoms; g++) {
+        free(geoms[g].res);
+        free(geoms[g].blocks);
+        free(geoms[g].next);
+        free(geoms[g].uhead);
+        free(geoms[g].utail);
+        free(geoms[g].ua);
+        free(geoms[g].uused);
+        free(geoms[g].queue);
+    }
+    free(geoms);
+    free(residency);
+}
+
+/* Returns 0 on success, -1 on log-buffer overflow, -2 on bad geometry
+ * count, -3 on allocation failure. */
+int one_pass(
+    i64 n_acc, const int *trace,
+    int n_blocks, const i64 *sizes, const double *mc,
+    int track_links,
+    const int *in_idx, const int *in_dat,
+    const int *on_idx, const int *on_dat,
+    const unsigned char *sf,
+    int n_geoms, const int *kinds, const i64 *caps, const i64 *ucaps,
+    const int *ucounts,
+    double ev_s, double ev_i, double ul_s, double ul_i,
+    i64 *out_i, double *out_d,
+    int *ev_geom, i64 *ev_start, int *ev_vic, int *ev_sur,
+    i64 ev_cap, i64 vic_cap, i64 *log_counts)
+{
+    Geom *geoms;
+    unsigned int *residency, full;
+    i64 a, ne = 0, nv = 0;
+    int g, k;
+
+    if (n_geoms < 1 || n_geoms > 31)
+        return -2;
+    full = (1u << n_geoms) - 1u;
+
+    geoms = (Geom *)calloc((size_t)n_geoms, sizeof(Geom));
+    residency = (unsigned int *)calloc((size_t)n_blocks + 1,
+                                       sizeof(unsigned int));
+    if (!geoms || !residency) {
+        free(geoms);
+        free(residency);
+        return -3;
+    }
+    for (g = 0; g < n_geoms; g++) {
+        Geom *G = &geoms[g];
+        G->kind = kinds[g];
+        G->cap = caps[g];
+        G->ucap = ucaps[g];
+        G->ucount = ucounts[g];
+        if (track_links) {
+            G->res = (unsigned char *)calloc((size_t)n_blocks + 1, 1);
+            if (!G->res)
+                goto oom;
+        }
+        if (G->kind == 0) {
+            G->blocks = (int *)malloc(sizeof(int) * ((size_t)n_blocks + 1));
+            if (!G->blocks)
+                goto oom;
+        } else if (G->kind == 1) {
+            G->next = (int *)malloc(sizeof(int) * ((size_t)n_blocks + 1));
+            G->uhead = (int *)malloc(sizeof(int) * (size_t)G->ucount);
+            G->utail = (int *)malloc(sizeof(int) * (size_t)G->ucount);
+            G->uused = (i64 *)calloc((size_t)G->ucount, sizeof(i64));
+            if (!G->next || !G->uhead || !G->utail || !G->uused)
+                goto oom;
+            memset(G->uhead, -1, sizeof(int) * (size_t)G->ucount);
+            memset(G->utail, -1, sizeof(int) * (size_t)G->ucount);
+            if (track_links) {
+                G->ua = (int *)malloc(sizeof(int) * ((size_t)n_blocks + 1));
+                if (!G->ua)
+                    goto oom;
+                memset(G->ua, -1, sizeof(int) * ((size_t)n_blocks + 1));
+            }
+        } else {
+            G->queue = (int *)malloc(sizeof(int) * ((size_t)n_blocks + 1));
+            if (!G->queue)
+                goto oom;
+        }
+    }
+
+    for (a = 0; a < n_acc; a++) {
+        int sid = trace[a];
+        unsigned int mask = residency[sid];
+        i64 size;
+        double cost;
+        if (mask == full)
+            continue;
+        size = sizes[sid];
+        cost = mc[sid];
+        for (g = 0; g < n_geoms; g++) {
+            Geom *G;
+            unsigned int bit = 1u << g, nb = ~bit;
+            if (mask & bit)
+                continue;
+            G = &geoms[g];
+            G->misses++;
+            G->ins += size;
+            G->mo += cost;
+            if (G->kind == 0) {
+                /* -- FLUSH: one unit, links tracked.  A flush drops
+                 * every live link with the code — no unlink records. */
+                i64 est;
+                if (G->fused + size > G->cap) {
+                    G->inv++;
+                    G->evb += G->blen;
+                    G->evB += G->fused;
+                    G->evo += ev_s * (double)G->fused + ev_i;
+                    for (k = 0; k < G->blen; k++) {
+                        int v = G->blocks[k];
+                        residency[v] &= nb;
+                        G->res[v] = 0;
+                    }
+                    G->blen = 0;
+                    G->fused = 0;
+                    G->live = 0;
+                }
+                G->blocks[G->blen++] = sid;
+                G->fused += size;
+                G->res[sid] = 1;
+                est = sf[sid];
+                for (k = on_idx[sid]; k < on_idx[sid + 1]; k++)
+                    est += G->res[on_dat[k]];
+                for (k = in_idx[sid]; k < in_idx[sid + 1]; k++)
+                    est += G->res[in_dat[k]];
+                if (est) {
+                    G->intra += est;
+                    G->live += est;
+                    if (G->live > G->plive)
+                        G->plive = G->live;
+                }
+            } else if (G->kind == 1) {
+                /* -- UNIT: FIFO over ucount units, each evicted whole. */
+                int f;
+                if (G->uused[G->fill] + size > G->ucap) {
+                    int h;
+                    G->fill++;
+                    if (G->fill == G->ucount)
+                        G->fill = 0;
+                    f = G->fill;
+                    h = G->uhead[f];
+                    if (h >= 0) {
+                        i64 used = G->uused[f];
+                        int v, vlen = 0;
+                        G->inv++;
+                        G->evB += used;
+                        G->evo += ev_s * (double)used + ev_i;
+                        if (track_links) {
+                            /* Dead-link scan with every victim still
+                             * flagged: links to co-victims are live
+                             * until the event drops them. */
+                            i64 dead = 0, vstart = nv;
+                            int any = 0;
+                            for (v = h; v >= 0; v = G->next[v]) {
+                                vlen++;
+                                dead += sf[v];
+                                for (k = on_idx[v]; k < on_idx[v + 1]; k++)
+                                    dead += G->res[on_dat[k]];
+                            }
+                            for (v = h; v >= 0; v = G->next[v]) {
+                                residency[v] &= nb;
+                                G->res[v] = 0;
+                                G->ua[v] = -1;
+                            }
+                            /* Survivor counts; victims logged in
+                             * insertion order for the caller's
+                             * set-order unlink fold. */
+                            for (v = h; v >= 0; v = G->next[v]) {
+                                i64 sur = 0;
+                                for (k = in_idx[v]; k < in_idx[v + 1]; k++)
+                                    sur += G->res[in_dat[k]];
+                                dead += sur;
+                                if (sur) {
+                                    G->ulops++;
+                                    G->ulrem += sur;
+                                    any = 1;
+                                }
+                                if (nv >= vic_cap)
+                                    goto overflow;
+                                ev_vic[nv] = v;
+                                ev_sur[nv] = (int)sur;
+                                nv++;
+                            }
+                            if (any) {
+                                if (ne >= ev_cap)
+                                    goto overflow;
+                                ev_geom[ne] = g;
+                                ev_start[ne] = vstart;
+                                ne++;
+                            } else {
+                                nv = vstart;
+                            }
+                            G->live -= dead;
+                        } else {
+                            for (v = h; v >= 0; v = G->next[v]) {
+                                vlen++;
+                                residency[v] &= nb;
+                            }
+                        }
+                        G->evb += vlen;
+                        G->uhead[f] = -1;
+                        G->utail[f] = -1;
+                        G->uused[f] = 0;
+                    }
+                }
+                f = G->fill;
+                if (G->utail[f] < 0)
+                    G->uhead[f] = sid;
+                else
+                    G->next[G->utail[f]] = sid;
+                G->utail[f] = sid;
+                G->next[sid] = -1;
+                G->uused[f] += size;
+                if (track_links) {
+                    i64 est = 0, li = 0;
+                    G->ua[sid] = f;
+                    G->res[sid] = 1;
+                    if (sf[sid]) {
+                        est++;
+                        li++;
+                    }
+                    for (k = on_idx[sid]; k < on_idx[sid + 1]; k++) {
+                        int u = G->ua[on_dat[k]];
+                        if (u >= 0) {
+                            est++;
+                            if (u == f)
+                                li++;
+                        }
+                    }
+                    for (k = in_idx[sid]; k < in_idx[sid + 1]; k++) {
+                        int u = G->ua[in_dat[k]];
+                        if (u >= 0) {
+                            est++;
+                            if (u == f)
+                                li++;
+                        }
+                    }
+                    if (est) {
+                        G->intra += li;
+                        G->inter += est - li;
+                        G->live += est;
+                        if (G->live > G->plive)
+                            G->plive = G->live;
+                    }
+                }
+            } else {
+                /* -- FIFO: byte-granularity circular buffer; every
+                 * victim is its own eviction event. */
+                if (G->fused + size > G->cap) {
+                    double evo_l = 0.0, ulo_l = 0.0;
+                    while (G->fused + size > G->cap) {
+                        int v = G->queue[G->qhead];
+                        i64 vs = sizes[v];
+                        G->qhead++;
+                        if (G->qhead > n_blocks)
+                            G->qhead = 0;
+                        G->fused -= vs;
+                        G->inv++;
+                        G->evB += vs;
+                        if (track_links) {
+                            i64 sur = 0, outd = 0;
+                            evo_l += ev_s * (double)vs + ev_i;
+                            for (k = in_idx[v]; k < in_idx[v + 1]; k++)
+                                sur += G->res[in_dat[k]];
+                            if (sur) {
+                                G->ulops++;
+                                G->ulrem += sur;
+                                ulo_l += ul_s * (double)sur + ul_i;
+                            }
+                            for (k = on_idx[v]; k < on_idx[v + 1]; k++)
+                                outd += G->res[on_dat[k]];
+                            G->live -= sur + sf[v] + outd;
+                            G->res[v] = 0;
+                        } else {
+                            /* The untracked engine accounts each
+                             * eviction event directly. */
+                            G->evo += ev_s * (double)vs + ev_i;
+                        }
+                        residency[v] &= nb;
+                    }
+                    if (track_links) {
+                        G->evo += evo_l;
+                        G->ulo += ulo_l;
+                    }
+                }
+                G->queue[G->qtail] = sid;
+                G->qtail++;
+                if (G->qtail > n_blocks)
+                    G->qtail = 0;
+                G->fused += size;
+                if (track_links) {
+                    i64 ln = 0, s = sf[sid];
+                    G->res[sid] = 1;
+                    for (k = on_idx[sid]; k < on_idx[sid + 1]; k++)
+                        ln += G->res[on_dat[k]];
+                    for (k = in_idx[sid]; k < in_idx[sid + 1]; k++)
+                        ln += G->res[in_dat[k]];
+                    if (ln + s) {
+                        G->inter += ln;
+                        G->intra += s;
+                        G->live += ln + s;
+                        if (G->live > G->plive)
+                            G->plive = G->live;
+                    }
+                }
+            }
+        }
+        residency[sid] = full;
+    }
+
+    for (g = 0; g < n_geoms; g++) {
+        Geom *G = &geoms[g];
+        i64 *oi = out_i + (i64)g * 10;
+        double *od = out_d + (i64)g * 3;
+        oi[0] = G->misses;
+        oi[1] = G->ins;
+        oi[2] = G->inv;
+        oi[3] = (G->kind == 2) ? G->inv : G->evb;
+        oi[4] = G->evB;
+        oi[5] = G->ulops;
+        oi[6] = G->ulrem;
+        oi[7] = G->intra;
+        oi[8] = G->inter;
+        oi[9] = G->plive;
+        od[0] = G->mo;
+        od[1] = G->evo;
+        od[2] = G->ulo;
+    }
+    log_counts[0] = ne;
+    log_counts[1] = nv;
+    free_geoms(geoms, n_geoms, residency);
+    return 0;
+
+overflow:
+    free_geoms(geoms, n_geoms, residency);
+    return -1;
+
+oom:
+    free_geoms(geoms, n_geoms, residency);
+    return -3;
+}

@@ -20,6 +20,7 @@ statement this repo can make short of the original DynamoRIO logs.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 
@@ -30,7 +31,7 @@ from repro.core.policies import STANDARD_UNIT_COUNTS
 from repro.core.pressure import pressured_capacity
 from repro.core.refmodel import AccessOutcome, reference_ladder
 from repro.core.simulator import CodeCacheSimulator
-from repro.analysis.sweep import ladder_policy_factories
+from repro.analysis.sweep import ladder_policy_factories, run_sweep
 from repro.workloads.registry import all_benchmarks, build_workload
 
 #: Benchmarks the CLI diffs by default: the three smallest SPEC
@@ -167,6 +168,7 @@ def diff_check(
     pressures: tuple[float, ...] = DEFAULT_PRESSURES,
     unit_counts: tuple[int, ...] = STANDARD_UNIT_COUNTS,
     include_fine: bool = True,
+    include_lru: bool = False,
     overhead_model: OverheadModel = PAPER_MODEL,
     track_links: bool = True,
     check_level: str | None = None,
@@ -178,6 +180,9 @@ def diff_check(
     ``check_level`` additionally runs the production side under the
     invariant checker (``None`` defers to ``REPRO_CHECK_LEVEL``), so a
     single command exercises both halves of the sanitizer.
+    ``include_lru`` extends the ladder with the Section 3.3 LRU arena,
+    diffing true-LRU victim order and first-fit fragmentation against
+    the reference byte arena.
     """
     if scale <= 0:
         raise ConfigurationError("scale must be positive")
@@ -187,8 +192,10 @@ def diff_check(
         raise ConfigurationError("trace_accesses must be >= 1")
     if not pressures or min(pressures) < 1:
         raise ConfigurationError("pressure factors must be >= 1")
-    production = ladder_policy_factories(unit_counts, include_fine)
-    reference = reference_ladder(include_fine, tuple(unit_counts))
+    production = ladder_policy_factories(unit_counts, include_fine,
+                                         include_lru=include_lru)
+    reference = reference_ladder(include_fine, tuple(unit_counts),
+                                 include_lru=include_lru)
     report = DiffReport()
     for benchmark in benchmarks:
         spec = _spec_by_name(benchmark)
@@ -236,4 +243,97 @@ def diff_check(
                         benchmark, name, pressure, "stats", problem))
             if progress is not None:
                 progress(f"diffed {benchmark} @ pressure {pressure:g}")
+    return report
+
+
+@dataclass
+class KernelCheckReport:
+    """Outcome of a one-pass-kernel vs replay equivalence run."""
+
+    runs: int = 0
+    cells: int = 0
+    mismatches: list[DiffMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def render(self, precision: int = 4) -> str:
+        lines = [
+            f"kernel-check: {self.runs} sweep run(s), "
+            f"{self.cells} grid cell(s) compared",
+        ]
+        if self.ok:
+            lines.append("  PASS: one-pass kernel and replay engine are "
+                         "field-identical")
+        else:
+            lines.append(f"  FAIL: {len(self.mismatches)} mismatch(es)")
+            for m in self.mismatches:
+                lines.append(
+                    f"  {m.benchmark} / {m.policy} / pressure "
+                    f"{m.pressure:g}: {m.detail}"
+                )
+        return "\n".join(lines)
+
+
+def kernel_check(
+    benchmarks: tuple[str, ...] = DEFAULT_BENCHMARKS,
+    scale: float = 1.0,
+    trace_accesses: int | None = None,
+    pressures: tuple[float, ...] = DEFAULT_PRESSURES,
+    unit_counts: tuple[int, ...] = STANDARD_UNIT_COUNTS,
+    include_fine: bool = True,
+    overhead_model: OverheadModel = PAPER_MODEL,
+    progress=None,
+) -> KernelCheckReport:
+    """One-pass kernel vs replay equivalence over a sweep grid.
+
+    Runs the same (benchmark, policy, pressure) grid twice per
+    link-tracking mode — once through the one-pass kernel, once through
+    full replay — and requires every statistics field to be *exactly*
+    equal.  The kernel's contract is bit-identity (including IEEE-754
+    double accumulation order), so unlike :func:`diff_check` no float
+    tolerance applies.
+    """
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    if trace_accesses is None:
+        trace_accesses = DEFAULT_TRACE_ACCESSES
+    if trace_accesses < 1:
+        raise ConfigurationError("trace_accesses must be >= 1")
+    if not pressures or min(pressures) < 1:
+        raise ConfigurationError("pressure factors must be >= 1")
+    factories = ladder_policy_factories(unit_counts, include_fine)
+    report = KernelCheckReport()
+    for benchmark in benchmarks:
+        spec = _spec_by_name(benchmark)
+        workload = build_workload(spec, scale=scale,
+                                  trace_accesses=trace_accesses)
+        for track_links in (True, False):
+            # check_level="off" on both sides: the kernel has no
+            # invariant hooks, so an inherited REPRO_CHECK_LEVEL would
+            # silently turn this into replay-vs-replay.
+            kernel = run_sweep([workload], factories, pressures=pressures,
+                               overhead_model=overhead_model,
+                               track_links=track_links,
+                               check_level="off", one_pass=True)
+            replay = run_sweep([workload], factories, pressures=pressures,
+                               overhead_model=overhead_model,
+                               track_links=track_links,
+                               check_level="off", one_pass=False)
+            report.runs += 2
+            for point, want in replay.stats.items():
+                got = kernel.stats[point]
+                report.cells += 1
+                got_dict = dataclasses.asdict(got)
+                want_dict = dataclasses.asdict(want)
+                if got_dict != want_dict:
+                    diffs = {key: (got_dict[key], want_dict[key])
+                             for key in got_dict
+                             if got_dict[key] != want_dict[key]}
+                    report.mismatches.append(DiffMismatch(
+                        benchmark, point[1], point[2], "stats",
+                        f"links={track_links}: kernel vs replay {diffs}"))
+        if progress is not None:
+            progress(f"kernel-checked {benchmark}")
     return report

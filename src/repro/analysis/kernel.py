@@ -1,0 +1,846 @@
+"""One-pass multi-granularity sweep kernel.
+
+The sweep engine's replay path re-runs the whole trace once per
+(policy, pressure) grid point even though every rung of the FIFO/unit
+granularity ladder sees the *same* accesses.  Following DEW's
+observation for hardware FIFO caches — many geometries can be evaluated
+in a single trace traversal — this module replays a trace exactly once
+while maintaining:
+
+* a shared residency timeline: one bitmask per superblock, bit *g* set
+  iff the block is resident in geometry *g*; and
+* per-granularity eviction frontiers: the FIFO fill pointer and unit
+  occupancy (``UnitCache`` semantics) or the circular-buffer queue
+  (``CircularBlockBuffer`` semantics) for each distinct geometry.
+
+A hit in every geometry costs one list load and one compare; only the
+geometries a block is *missing* from pay their miss path.  Hits are
+derived (``accesses - misses``) rather than counted.
+
+The hot loop is *generated*: for each geometry shape (kinds × link
+tracking) the kernel renders one flat Python function with every miss
+body inlined behind its residency-bit test and every counter held in a
+local variable, then compiles and memoizes the function.  Compared to
+dispatching per-geometry closures this removes all per-miss call
+overhead and nonlocal-cell traffic, and the per-access size, cost, and
+adjacency loads are shared by every geometry that misses on the same
+access.  The generated code is batched array code — dense precomputed
+sizes, per-model miss costs, deduplicated adjacency, flat per-frontier
+buffers, no per-access object churn — and counts neighbour residency
+with C-speed ``sum(map(bytearray.__getitem__, ...))`` scans.
+
+Equivalence contract
+--------------------
+Kernel output is *field-identical* to per-point
+:class:`~repro.core.simulator.CodeCacheSimulator` replay — including the
+float accumulators, which requires mirroring the replay loops'
+accumulation grouping exactly:
+
+* links mode charges ``miss_overhead`` once per miss and runs one
+  ``_account_evictions`` batch per miss (locals summed over the miss's
+  events, then one ``+=`` per field);
+* the no-links batched path keeps running totals over the whole trace;
+* unlink records are generated in ``set(evicted)`` iteration order, and
+  records for a whole event batch are costed before any links drop.
+
+Link accounting needs no per-geometry link maps: with a static link
+graph, a link ``(s, t)`` is live in geometry *g* exactly when both
+endpoints are resident in *g* (it is established when the later of the
+two is inserted and dies when either is evicted), so residency flags
+and the precomputed adjacency lists reproduce ``LinkManager``'s
+counters.  Two consequences are exploited outright: a single-unit FLUSH
+cache never pays unlink work (every live link's endpoints die in the
+flush) and never establishes an inter-unit link, and a whole-unit
+eviction's in-link survivors can be counted *after* clearing the
+victims' flags, which turns the co-victim exclusion into a plain
+residency count.  The peak backpointer-table footprint is the running
+maximum of the live-link count after an insert (the only time it can
+grow), scaled by the entry size at finalize time.
+
+Geometries that clamp to the same shape (small workloads saturate the
+unit ladder early) are simulated once and their stats cloned per rung.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from collections import deque
+from dataclasses import dataclass
+from operator import itemgetter
+from textwrap import indent
+from typing import Callable, Iterable, Sequence
+
+from repro.core.cache import ConfigurationError
+from repro.core.links import BACKPOINTER_ENTRY_BYTES
+from repro.core.metrics import SimulationStats
+from repro.core.overhead import OverheadModel, PAPER_MODEL
+from repro.core.policies import (
+    STANDARD_UNIT_COUNTS,
+    FineGrainedFifoPolicy,
+    FlushPolicy,
+    UnitFifoPolicy,
+)
+from repro.core.superblock import SuperblockSet
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """One ladder rung the kernel can simulate.
+
+    ``kind`` is ``"unit"`` (``UnitCache`` semantics, ``unit_count``
+    requested units, clamped exactly like :class:`UnitFifoPolicy`) or
+    ``"fifo"`` (``CircularBlockBuffer`` semantics).
+    """
+
+    name: str
+    kind: str
+    unit_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("unit", "fifo"):
+            raise ValueError(f"unknown kernel config kind {self.kind!r}")
+        if self.unit_count < 1:
+            raise ValueError(
+                f"unit count must be >= 1, got {self.unit_count}"
+            )
+
+
+def ladder_kernel_configs(
+    unit_counts: tuple[int, ...] = STANDARD_UNIT_COUNTS,
+    include_fine: bool = True,
+) -> list[KernelConfig]:
+    """Kernel configs matching :func:`~repro.analysis.sweep.
+    ladder_policy_factories` name for name."""
+    configs = [
+        KernelConfig(name="FLUSH" if count == 1 else f"{count}-unit",
+                     kind="unit", unit_count=count)
+        for count in unit_counts
+    ]
+    if include_fine:
+        configs.append(KernelConfig(name="FIFO", kind="fifo"))
+    return configs
+
+
+def classify_policy(name: str,
+                    factory: Callable[[], object]) -> KernelConfig | None:
+    """Map a ``(name, factory)`` sweep entry to a kernel config, or
+    ``None`` when the policy is not one-pass eligible.
+
+    Eligibility is deliberately exact-type: subclasses other than the
+    pure-rename :class:`FlushPolicy` may override behaviour, and the
+    stateful policies (PREEMPT, GEN, ADAPT, LRU) genuinely need replay.
+    """
+    probe = factory()
+    kind = type(probe)
+    if kind is FlushPolicy or kind is UnitFifoPolicy:
+        return KernelConfig(name=name, kind="unit",
+                            unit_count=probe.requested_unit_count)
+    if kind is FineGrainedFifoPolicy:
+        return KernelConfig(name=name, kind="fifo")
+    return None
+
+
+class _Population:
+    """Dense per-workload arrays, cached across kernel invocations.
+
+    One workload is swept at many pressures (and, under slice sharding,
+    by many tasks in the same worker process), so the flattening work —
+    sizes, per-model miss costs, deduplicated adjacency — is memoized
+    per :class:`SuperblockSet` (weakly, so it dies with the workload).
+    """
+
+    __slots__ = ("count", "remap", "sizes", "_miss_costs", "_pre",
+                 "out_lists", "in_lists", "out_nonself", "self_flags",
+                 "nbr_all", "nbr_get", "in_get", "outns_get",
+                 "unit_nbr_get", "c_data", "__weakref__")
+
+    def __init__(self, superblocks: SuperblockSet) -> None:
+        sids = superblocks.sids
+        self.count = len(sids)
+        size_map = superblocks.sizes()
+        if sids == tuple(range(self.count)):
+            self.remap = None
+            self.sizes = [size_map[sid] for sid in range(self.count)]
+        else:
+            self.remap = {sid: index for index, sid in enumerate(sids)}
+            self.sizes = [size_map[sid] for sid in sids]
+        self._miss_costs: dict[tuple, list[float]] = {}
+        self._pre: dict[tuple, list[tuple]] = {}
+        self.out_lists: list[tuple[int, ...]] | None = None
+        self.in_lists: list[tuple[int, ...]] = []
+        self.out_nonself: list[tuple[int, ...]] = []
+        self.self_flags: list[int] = []
+        self.nbr_all: list[tuple[int, ...]] = []
+        self.nbr_get: list = []
+        self.in_get: list = []
+        self.outns_get: list = []
+        self.unit_nbr_get: list = []
+        #: ckernel's memo for contiguous C-side views of these arrays.
+        self.c_data: dict = {}
+
+    def miss_costs(self, model: OverheadModel) -> list[float]:
+        key = (model.miss.slope, model.miss.intercept)
+        costs = self._miss_costs.get(key)
+        if costs is None:
+            slope, intercept = key
+            costs = [slope * size + intercept for size in self.sizes]
+            self._miss_costs[key] = costs
+        return costs
+
+    def prelude(self, model: OverheadModel, track_links: bool) -> list:
+        """Per-sid miss prelude rows, so the hot loop pays one index
+        plus one tuple unpack instead of one lookup per array."""
+        key = (model.miss.slope, model.miss.intercept, track_links)
+        rows = self._pre.get(key)
+        if rows is None:
+            mc = self.miss_costs(model)
+            if track_links:
+                rows = list(zip(self.sizes, mc, self.nbr_all,
+                                self.self_flags))
+            else:
+                rows = list(zip(self.sizes, mc))
+            self._pre[key] = rows
+        return rows
+
+    def ensure_links(self, superblocks: SuperblockSet) -> None:
+        if self.out_lists is not None:
+            return
+        remap = self.remap
+        out_lists, in_lists = [], []
+        out_nonself, self_flags, nbr_all = [], [], []
+        sids = (superblocks.sids if remap is not None
+                else range(self.count))
+        for index, sid in enumerate(sids):
+            outgoing = list(dict.fromkeys(superblocks.outgoing(sid)))
+            incoming = [s for s in superblocks.incoming(sid) if s != sid]
+            if remap is not None:
+                outgoing = [remap[t] for t in outgoing]
+                incoming = [remap[s] for s in incoming]
+            out_lists.append(tuple(outgoing))
+            in_lists.append(tuple(incoming))
+            nonself = tuple(t for t in outgoing if t != index)
+            out_nonself.append(nonself)
+            self_flags.append(1 if len(nonself) != len(outgoing) else 0)
+            nbr_all.append(nonself + in_lists[-1])
+        self.out_lists = out_lists
+        self.in_lists = in_lists
+        self.out_nonself = out_nonself
+        self.self_flags = self_flags
+        self.nbr_all = nbr_all
+        # Precompiled neighbour gathers.  Residency arrays carry one
+        # extra always-zero sentinel slot (index ``count``; the unit
+        # map's sentinel stays -1), and every index tuple is padded
+        # with two sentinels so itemgetter always returns a tuple and
+        # the gathered values sum without any per-item dispatch.
+        pad = (self.count, self.count)
+        self.nbr_get = [itemgetter(*(t + pad)) for t in nbr_all]
+        self.in_get = [itemgetter(*(t + pad)) for t in in_lists]
+        self.outns_get = [itemgetter(*(t + pad)) for t in out_nonself]
+        self.unit_nbr_get = [
+            itemgetter(*(out + inc + pad))
+            for out, inc in zip(out_lists, in_lists)
+        ]
+
+
+_POPULATIONS: "weakref.WeakKeyDictionary[SuperblockSet, _Population]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _population(superblocks: SuperblockSet) -> _Population:
+    population = _POPULATIONS.get(superblocks)
+    if population is None:
+        population = _Population(superblocks)
+        _POPULATIONS[superblocks] = population
+    return population
+
+
+_ENGINES = ("auto", "c", "py")
+
+
+def _resolve_engine(engine: str | None) -> str:
+    if engine is None:
+        engine = os.environ.get("REPRO_KERNEL_ENGINE", "auto")
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"unknown kernel engine {engine!r}; expected one of {_ENGINES}"
+        )
+    return engine
+
+
+def _c_max_geometries() -> int:
+    try:
+        from repro.analysis import ckernel
+    except ImportError:
+        return 1 << 30  # no splitting needed; Python masks are unbounded
+    return ckernel.MAX_GEOMETRIES
+
+
+def _run_c_engine(population, trace, kinds, caps, ucaps, ucounts,
+                  overhead_model, track_links):
+    """Run the grid through the compiled kernel, or return ``None``
+    when it is unavailable (no compiler, no numpy, shape refused)."""
+    try:
+        from repro.analysis import ckernel
+    except ImportError:
+        return None
+    return ckernel.run_geometries(population, trace, kinds, caps, ucaps,
+                                  ucounts, overhead_model, track_links)
+
+
+def one_pass_sweep(
+    superblocks: SuperblockSet,
+    trace: Iterable[int],
+    capacity_bytes: int,
+    configs: Sequence[KernelConfig],
+    overhead_model: OverheadModel = PAPER_MODEL,
+    track_links: bool = True,
+    benchmark: str = "",
+    engine: str | None = None,
+) -> dict[str, SimulationStats]:
+    """Simulate every config in one trace traversal.
+
+    Returns ``{config.name: stats}`` in *configs* order, field-identical
+    to replaying each config through :class:`CodeCacheSimulator`.
+    """
+    return one_pass_grid(superblocks, trace, (capacity_bytes,), configs,
+                         overhead_model=overhead_model,
+                         track_links=track_links,
+                         benchmark=benchmark,
+                         engine=engine)[0]
+
+
+def one_pass_grid(
+    superblocks: SuperblockSet,
+    trace: Iterable[int],
+    capacities: Sequence[int],
+    configs: Sequence[KernelConfig],
+    overhead_model: OverheadModel = PAPER_MODEL,
+    track_links: bool = True,
+    benchmark: str = "",
+    engine: str | None = None,
+) -> list[dict[str, SimulationStats]]:
+    """Simulate a (capacity x config) grid in one trace traversal.
+
+    This is the full amortisation: one pass over *trace* evaluates
+    every pressure rung and every ladder rung simultaneously, each
+    geometry keeping its own eviction frontier and residency bit.
+    Returns a list parallel to *capacities*; element ``i`` maps
+    ``config.name`` to stats for ``capacities[i]``, field-identical to
+    replaying each (capacity, config) cell through
+    :class:`CodeCacheSimulator`.
+
+    *engine* selects the hot-loop implementation: ``"c"`` (the
+    compiled fast path in :mod:`repro.analysis.ckernel`), ``"py"`` (the
+    generated-Python runner), or ``"auto"`` (C when buildable, Python
+    otherwise).  ``None`` defers to the ``REPRO_KERNEL_ENGINE``
+    environment variable, defaulting to ``"auto"``.  Both engines are
+    bit-identical; the choice only affects speed.
+    """
+    if not configs or not capacities:
+        return [{} for _capacity in capacities]
+    max_block = superblocks.max_block_bytes
+
+    # -- Resolve distinct geometries.  Ladder rungs that clamp to the
+    #    same shape at the same capacity are simulated once; the
+    #    (capacity, config) nesting mirrors run_sweep's pressure-then-
+    #    policy iteration so configuration errors surface in the same
+    #    order replay would raise them.
+    geometry_index: dict[tuple, int] = {}
+    geometries: list[tuple] = []
+    cell_geometry: list[list[int]] = []
+    for capacity_bytes in capacities:
+        if capacity_bytes <= 0:
+            raise ConfigurationError("capacity_bytes must be positive")
+        row: list[int] = []
+        for config in configs:
+            if config.kind == "unit":
+                most_units = max(1, capacity_bytes // max_block)
+                clamped = min(config.unit_count, most_units)
+                unit_capacity = capacity_bytes // clamped
+                if max_block > unit_capacity:
+                    raise ConfigurationError(
+                        f"unit capacity {unit_capacity} B cannot hold "
+                        f"the largest superblock ({max_block} B); "
+                        f"reduce the unit count"
+                    )
+                key = ("unit", clamped, capacity_bytes)
+            else:
+                if max_block > capacity_bytes:
+                    raise ConfigurationError(
+                        f"cache capacity {capacity_bytes} B cannot hold "
+                        f"the largest superblock ({max_block} B)"
+                    )
+                key = ("fifo", capacity_bytes)
+            index = geometry_index.setdefault(key, len(geometries))
+            if index == len(geometries):
+                geometries.append(key)
+            row.append(index)
+        cell_geometry.append(row)
+
+    population = _population(superblocks)
+    if track_links:
+        population.ensure_links(superblocks)
+
+    # -- Assemble the geometry descriptors.  The FLUSH shape (one
+    #    unit) gets its own specialised body in links mode; without
+    #    links it is just a one-unit unit cache.  ``caps``/``ucaps``/
+    #    ``ucounts`` are the C engine's parallel views of the same
+    #    geometries (unused slots stay zero).
+    kinds: list[str] = []
+    geometry_kwargs: dict[str, int] = {}
+    caps = [0] * len(geometries)
+    ucaps = [0] * len(geometries)
+    ucounts = [0] * len(geometries)
+    for index, key in enumerate(geometries):
+        if key[0] == "unit":
+            unit_count, capacity_bytes = key[1], key[2]
+            unit_capacity = capacity_bytes // unit_count
+            if track_links and unit_count == 1:
+                kinds.append("flush")
+                geometry_kwargs[f"cap_{index}"] = unit_capacity
+                caps[index] = unit_capacity
+            else:
+                kinds.append("unit")
+                geometry_kwargs[f"ucap_{index}"] = unit_capacity
+                geometry_kwargs[f"ucount_{index}"] = unit_count
+                ucaps[index] = unit_capacity
+                ucounts[index] = unit_count
+        else:
+            kinds.append("fifo")
+            geometry_kwargs[f"cap_{index}"] = key[1]
+            caps[index] = key[1]
+
+    mode = _resolve_engine(engine)
+    geometry_stats = None
+    if mode != "py":
+        if len(geometries) > _c_max_geometries() and len(capacities) > 1:
+            # Too many distinct geometries for one 32-bit residency
+            # mask: split the capacity axis and recurse.
+            half = len(capacities) // 2
+            shared = dict(overhead_model=overhead_model,
+                          track_links=track_links, benchmark=benchmark,
+                          engine=engine)
+            return (one_pass_grid(superblocks, trace, capacities[:half],
+                                  configs, **shared)
+                    + one_pass_grid(superblocks, trace, capacities[half:],
+                                    configs, **shared))
+        geometry_stats = _run_c_engine(population, trace, kinds, caps,
+                                       ucaps, ucounts, overhead_model,
+                                       track_links)
+        if geometry_stats is None and mode == "c":
+            from repro.analysis import ckernel
+            raise RuntimeError(
+                f"C kernel engine unavailable: {ckernel.load_error()}"
+            )
+
+    if geometry_stats is None:
+        runner = _runner(tuple(kinds), track_links)
+        if hasattr(trace, "tolist"):
+            py_trace = trace.tolist()
+        elif isinstance(trace, list):
+            py_trace = trace
+        else:
+            py_trace = list(trace)
+        if population.remap is not None:
+            remap = population.remap
+            py_trace = [remap[sid] for sid in py_trace]
+
+        kwargs = dict(
+            trace=py_trace,
+            residency=[0] * population.count,
+            pre=population.prelude(overhead_model, track_links),
+            sizes=population.sizes,
+            n_blocks=population.count,
+            ev_s=overhead_model.eviction.slope,
+            ev_i=overhead_model.eviction.intercept,
+            _sum=sum,
+            _deque=deque,
+            **geometry_kwargs,
+        )
+        if track_links:
+            kwargs.update(
+                ul_s=overhead_model.unlink.slope,
+                ul_i=overhead_model.unlink.intercept,
+                bp_bytes=BACKPOINTER_ENTRY_BYTES,
+                self_flags=population.self_flags,
+                nbr_get=population.nbr_get,
+                in_get=population.in_get,
+                outns_get=population.outns_get,
+                unit_nbr_get=population.unit_nbr_get,
+            )
+        geometry_stats = runner(**kwargs)
+
+    accesses = len(trace)
+    results: list[dict[str, SimulationStats]] = []
+    for row in cell_geometry:
+        cell: dict[str, SimulationStats] = {}
+        for config, geometry in zip(configs, row):
+            stats = SimulationStats(**geometry_stats[geometry])
+            stats.policy_name = config.name
+            stats.benchmark = benchmark
+            stats.accesses = accesses
+            stats.hits = accesses - stats.misses
+            cell[config.name] = stats
+        results.append(cell)
+    return results
+
+
+# -- Generated hot loop ------------------------------------------------------
+#
+# The templates below are written at zero indent and expanded with
+# plain string replacement: ``@i@`` is the geometry index and ``@nb@``
+# the complement of its residency bit.  Every temporary is suffixed
+# with the geometry index so inlined bodies stay independent.  Mutable
+# frontier state is created inside the generated function (fresh per
+# call); read-only arrays, capacities, and cost coefficients arrive as
+# parameters, which keeps one compiled function reusable for every
+# capacity and overhead model that shares the same geometry shape.
+
+_SHARED_PARAMS = ("trace", "residency", "pre", "sizes", "n_blocks",
+                  "ev_s", "ev_i", "_sum", "_deque")
+_LINK_PARAMS = ("ul_s", "ul_i", "bp_bytes", "self_flags",
+                "nbr_get", "in_get", "outns_get", "unit_nbr_get")
+
+_UNIT_PARAMS = ("ucap_@i@", "ucount_@i@")
+_CAP_PARAMS = ("cap_@i@",)
+
+_COUNTER_INIT = """\
+misses_@i@ = 0
+ins_@i@ = 0
+mo_@i@ = 0.0
+evB_@i@ = 0
+evo_@i@ = 0.0
+"""
+
+_LINK_COUNTER_INIT = """\
+ulops_@i@ = 0
+ulrem_@i@ = 0
+ulo_@i@ = 0.0
+intra_@i@ = 0
+inter_@i@ = 0
+live_@i@ = 0
+plive_@i@ = 0
+res_@i@ = bytearray(n_blocks + 1)
+"""
+
+_MISS_PRELUDE = """\
+misses_@i@ += 1
+ins_@i@ += size
+mo_@i@ += mcs
+"""
+
+_UNIT_INIT = _COUNTER_INIT + """\
+inv_@i@ = 0
+evb_@i@ = 0
+fill_@i@ = 0
+units_@i@ = [[] for _unused in range(ucount_@i@)]
+used_@i@ = [0] * ucount_@i@
+"""
+
+# UnitCache semantics, links untracked: running totals over the whole
+# trace, eviction overhead accumulated per event, exactly like
+# CodeCacheSimulator._process_batched.
+_UNIT_BODY = _MISS_PRELUDE + """\
+if used_@i@[fill_@i@] + size > ucap_@i@:
+    fill_@i@ += 1
+    if fill_@i@ == ucount_@i@:
+        fill_@i@ = 0
+    victims_@i@ = units_@i@[fill_@i@]
+    if victims_@i@:
+        inv_@i@ += 1
+        evb_@i@ += len(victims_@i@)
+        evB_@i@ += used_@i@[fill_@i@]
+        evo_@i@ += ev_s * used_@i@[fill_@i@] + ev_i
+        for v_@i@ in victims_@i@:
+            residency[v_@i@] &= @nb@
+        units_@i@[fill_@i@] = []
+        used_@i@[fill_@i@] = 0
+units_@i@[fill_@i@].append(sid)
+used_@i@[fill_@i@] += size
+"""
+
+_UNIT_RET = """\
+dict(misses=misses_@i@, inserted_bytes=ins_@i@, miss_overhead=mo_@i@,
+     eviction_invocations=inv_@i@, evicted_blocks=evb_@i@,
+     evicted_bytes=evB_@i@, eviction_overhead=evo_@i@)
+"""
+
+_FIFO_INIT = _COUNTER_INIT + """\
+nev_@i@ = 0
+fused_@i@ = 0
+queue_@i@ = _deque()
+popleft_@i@ = queue_@i@.popleft
+append_@i@ = queue_@i@.append
+"""
+
+# CircularBlockBuffer semantics, links untracked.  Every victim is its
+# own eviction event, so invocations == evicted blocks (one counter).
+_FIFO_BODY = _MISS_PRELUDE + """\
+while fused_@i@ + size > cap_@i@:
+    v_@i@ = popleft_@i@()
+    vs_@i@ = sizes[v_@i@]
+    fused_@i@ -= vs_@i@
+    nev_@i@ += 1
+    evB_@i@ += vs_@i@
+    evo_@i@ += ev_s * vs_@i@ + ev_i
+    residency[v_@i@] &= @nb@
+append_@i@(sid)
+fused_@i@ += size
+"""
+
+_FIFO_RET = """\
+dict(misses=misses_@i@, inserted_bytes=ins_@i@, miss_overhead=mo_@i@,
+     eviction_invocations=nev_@i@, evicted_blocks=nev_@i@,
+     evicted_bytes=evB_@i@, eviction_overhead=evo_@i@)
+"""
+
+_FLUSH_LINKS_INIT = _COUNTER_INIT + _LINK_COUNTER_INIT + """\
+inv_@i@ = 0
+evb_@i@ = 0
+fused_@i@ = 0
+blocks_@i@ = []
+bapp_@i@ = blocks_@i@.append
+"""
+
+# Single-unit FLUSH with link accounting.  A flush evicts every
+# resident block at once, so no live link ever has a surviving
+# endpoint: there are no unlink records and the live set zeroes.  With
+# one unit every established link is intra-unit.  The peak check only
+# runs when the live count grew — it cannot grow anywhere else.
+_FLUSH_LINKS_BODY = _MISS_PRELUDE + """\
+if fused_@i@ + size > cap_@i@:
+    inv_@i@ += 1
+    evb_@i@ += len(blocks_@i@)
+    evB_@i@ += fused_@i@
+    evo_@i@ += ev_s * fused_@i@ + ev_i
+    for v_@i@ in blocks_@i@:
+        residency[v_@i@] &= @nb@
+    res_@i@ = bytearray(n_blocks + 1)
+    blocks_@i@ = []
+    bapp_@i@ = blocks_@i@.append
+    fused_@i@ = 0
+    live_@i@ = 0
+bapp_@i@(sid)
+fused_@i@ += size
+res_@i@[sid] = 1
+if nbrs:
+    ln_@i@ = sf + _sum(nbr_get[sid](res_@i@))
+    if ln_@i@:
+        intra_@i@ += ln_@i@
+        live_@i@ += ln_@i@
+        if live_@i@ > plive_@i@:
+            plive_@i@ = live_@i@
+elif sf:
+    intra_@i@ += sf
+    live_@i@ += sf
+    if live_@i@ > plive_@i@:
+        plive_@i@ = live_@i@
+"""
+
+_FLUSH_LINKS_RET = """\
+dict(misses=misses_@i@, inserted_bytes=ins_@i@, miss_overhead=mo_@i@,
+     eviction_invocations=inv_@i@, evicted_blocks=evb_@i@,
+     evicted_bytes=evB_@i@, eviction_overhead=evo_@i@,
+     links_established_intra=intra_@i@,
+     peak_backpointer_bytes=plive_@i@ * bp_bytes)
+"""
+
+_UNIT_LINKS_INIT = _UNIT_INIT + _LINK_COUNTER_INIT + """\
+ua_@i@ = [-1] * (n_blocks + 1)
+"""
+
+# Multi-unit UnitCache semantics with LinkManager-equivalent
+# accounting.  A unit eviction is one event: the out-side dead-link
+# scan runs with every victim still flagged resident (links to
+# co-victims are live until the event drops them), the flags then
+# clear, and the in-side survivor counts — taken in set(victims)
+# iteration order, the order LinkManager.on_evict emits unlink records
+# in — become plain residency sums with the co-victim exclusion built
+# in.  ua_@i@[x] is the unit holding x, or -1 when absent, answering
+# residency and link classification with one load.
+_UNIT_LINKS_BODY = _MISS_PRELUDE + """\
+if used_@i@[fill_@i@] + size > ucap_@i@:
+    fill_@i@ += 1
+    if fill_@i@ == ucount_@i@:
+        fill_@i@ = 0
+    victims_@i@ = units_@i@[fill_@i@]
+    if victims_@i@:
+        inv_@i@ += 1
+        evb_@i@ += len(victims_@i@)
+        evB_@i@ += used_@i@[fill_@i@]
+        evo_@i@ += ev_s * used_@i@[fill_@i@] + ev_i
+        dead_@i@ = 0
+        for v_@i@ in victims_@i@:
+            dead_@i@ += self_flags[v_@i@] + _sum(
+                outns_get[v_@i@](res_@i@))
+        for v_@i@ in victims_@i@:
+            residency[v_@i@] &= @nb@
+            res_@i@[v_@i@] = 0
+            ua_@i@[v_@i@] = -1
+        ulo_l_@i@ = 0.0
+        for v_@i@ in set(victims_@i@):
+            sur_@i@ = _sum(in_get[v_@i@](res_@i@))
+            if sur_@i@:
+                ulops_@i@ += 1
+                ulrem_@i@ += sur_@i@
+                ulo_l_@i@ += ul_s * sur_@i@ + ul_i
+            dead_@i@ += sur_@i@
+        ulo_@i@ += ulo_l_@i@
+        live_@i@ -= dead_@i@
+        units_@i@[fill_@i@] = []
+        used_@i@[fill_@i@] = 0
+units_@i@[fill_@i@].append(sid)
+used_@i@[fill_@i@] += size
+f_@i@ = fill_@i@
+ua_@i@[sid] = f_@i@
+res_@i@[sid] = 1
+est_@i@ = sf + _sum(nbr_get[sid](res_@i@))
+if est_@i@:
+    li_@i@ = unit_nbr_get[sid](ua_@i@).count(f_@i@)
+    intra_@i@ += li_@i@
+    inter_@i@ += est_@i@ - li_@i@
+    live_@i@ += est_@i@
+    if live_@i@ > plive_@i@:
+        plive_@i@ = live_@i@
+"""
+
+_UNIT_LINKS_RET = """\
+dict(misses=misses_@i@, inserted_bytes=ins_@i@, miss_overhead=mo_@i@,
+     eviction_invocations=inv_@i@, evicted_blocks=evb_@i@,
+     evicted_bytes=evB_@i@, eviction_overhead=evo_@i@,
+     unlink_operations=ulops_@i@, links_removed=ulrem_@i@,
+     unlink_overhead=ulo_@i@, links_established_intra=intra_@i@,
+     links_established_inter=inter_@i@,
+     peak_backpointer_bytes=plive_@i@ * bp_bytes)
+"""
+
+_FIFO_LINKS_INIT = _FIFO_INIT + _LINK_COUNTER_INIT
+
+# CircularBlockBuffer semantics with link accounting.  Every victim is
+# its own event, processed sequentially: a later victim of the same
+# miss still counts as a surviving source for an earlier one (its links
+# have not dropped yet), which the residency flags reproduce because
+# each victim's flag clears only when its event is processed.  Event
+# costs for one miss are summed into locals and flushed with one +=
+# per field, matching _account_evictions.  Each block is its own unit,
+# so only self-loops are intra-unit.
+_FIFO_LINKS_BODY = _MISS_PRELUDE + """\
+if fused_@i@ + size > cap_@i@:
+    evo_l_@i@ = 0.0
+    ulo_l_@i@ = 0.0
+    while fused_@i@ + size > cap_@i@:
+        v_@i@ = popleft_@i@()
+        vs_@i@ = sizes[v_@i@]
+        fused_@i@ -= vs_@i@
+        nev_@i@ += 1
+        evB_@i@ += vs_@i@
+        evo_l_@i@ += ev_s * vs_@i@ + ev_i
+        sur_@i@ = _sum(in_get[v_@i@](res_@i@))
+        if sur_@i@:
+            ulops_@i@ += 1
+            ulrem_@i@ += sur_@i@
+            ulo_l_@i@ += ul_s * sur_@i@ + ul_i
+        live_@i@ -= sur_@i@ + self_flags[v_@i@] + _sum(
+            outns_get[v_@i@](res_@i@))
+        residency[v_@i@] &= @nb@
+        res_@i@[v_@i@] = 0
+    evo_@i@ += evo_l_@i@
+    ulo_@i@ += ulo_l_@i@
+append_@i@(sid)
+fused_@i@ += size
+res_@i@[sid] = 1
+if nbrs:
+    ln_@i@ = _sum(nbr_get[sid](res_@i@))
+    if ln_@i@ or sf:
+        inter_@i@ += ln_@i@
+        intra_@i@ += sf
+        live_@i@ += ln_@i@ + sf
+        if live_@i@ > plive_@i@:
+            plive_@i@ = live_@i@
+elif sf:
+    intra_@i@ += sf
+    live_@i@ += sf
+    if live_@i@ > plive_@i@:
+        plive_@i@ = live_@i@
+"""
+
+_FIFO_LINKS_RET = """\
+dict(misses=misses_@i@, inserted_bytes=ins_@i@, miss_overhead=mo_@i@,
+     eviction_invocations=nev_@i@, evicted_blocks=nev_@i@,
+     evicted_bytes=evB_@i@, eviction_overhead=evo_@i@,
+     unlink_operations=ulops_@i@, links_removed=ulrem_@i@,
+     unlink_overhead=ulo_@i@, links_established_intra=intra_@i@,
+     links_established_inter=inter_@i@,
+     peak_backpointer_bytes=plive_@i@ * bp_bytes)
+"""
+
+#: (kind, track_links) -> (extra params, init, body, return expression).
+_TEMPLATES = {
+    ("unit", False): (_UNIT_PARAMS, _UNIT_INIT, _UNIT_BODY, _UNIT_RET),
+    ("fifo", False): (_CAP_PARAMS, _FIFO_INIT, _FIFO_BODY, _FIFO_RET),
+    ("flush", True): (_CAP_PARAMS, _FLUSH_LINKS_INIT,
+                      _FLUSH_LINKS_BODY, _FLUSH_LINKS_RET),
+    ("unit", True): (_UNIT_PARAMS, _UNIT_LINKS_INIT,
+                     _UNIT_LINKS_BODY, _UNIT_LINKS_RET),
+    ("fifo", True): (_CAP_PARAMS, _FIFO_LINKS_INIT,
+                     _FIFO_LINKS_BODY, _FIFO_LINKS_RET),
+}
+
+_RUNNERS: dict[tuple, Callable] = {}
+
+
+def _expand(template: str, index: int) -> str:
+    return (template.replace("@i@", str(index))
+            .replace("@nb@", str(~(1 << index))))
+
+
+def render_runner_source(kinds: tuple[str, ...],
+                         track_links: bool) -> str:
+    """Render the one-pass runner for a geometry shape (public for
+    tests and debugging — ``python -m repro.analysis kernel-check``
+    exercises the compiled result)."""
+    params = list(_SHARED_PARAMS)
+    if track_links:
+        params.extend(_LINK_PARAMS)
+    inits, dispatch, rets = [], [], []
+    for index, kind in enumerate(kinds):
+        extra, init, body, ret = _TEMPLATES[(kind, track_links)]
+        params.extend(_expand(param, index) for param in extra)
+        inits.append(indent(_expand(init, index), "    "))
+        dispatch.append(f"        if not mask & {1 << index}:\n"
+                        + indent(_expand(body, index), "            "))
+        rets.append(indent(_expand(ret.rstrip(), index),
+                           "        ").lstrip())
+    full = (1 << len(kinds)) - 1
+    if track_links:
+        prelude = ["        size, mcs, nbrs, sf = pre[sid]"]
+    else:
+        prelude = ["        size, mcs = pre[sid]"]
+    return "\n".join([
+        f"def _kernel_run({', '.join(params)}):",
+        "".join(inits),
+        "    for sid in trace:",
+        "        mask = residency[sid]",
+        f"        if mask == {full}:",
+        "            continue",
+        *prelude,
+        "".join(dispatch).rstrip(),
+        f"        residency[sid] = {full}",
+        "    return (",
+        "        " + ",\n        ".join(rets) + ",",
+        "    )",
+    ])
+
+
+def _runner(kinds: tuple[str, ...], track_links: bool) -> Callable:
+    key = (kinds, track_links)
+    runner = _RUNNERS.get(key)
+    if runner is None:
+        source = render_runner_source(kinds, track_links)
+        namespace: dict = {}
+        exec(compile(source, "<one-pass-kernel>", "exec"), namespace)
+        runner = namespace["_kernel_run"]
+        _RUNNERS[key] = runner
+    return runner

@@ -42,12 +42,17 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro import faults
 from repro.analysis import sweepcache
+from repro.analysis.kernel import classify_policy, one_pass_grid
 from repro.core.metrics import SimulationStats
 from repro.core.overhead import PAPER_MODEL, OverheadModel
 from repro.core.policies import STANDARD_UNIT_COUNTS, granularity_ladder
 from repro.core.pressure import STANDARD_PRESSURE_FACTORS, pressured_capacity
 from repro.core.simulator import CodeCacheSimulator
-from repro.workloads.registry import BenchmarkSpec, build_workload
+from repro.workloads.registry import (
+    BenchmarkSpec,
+    build_workload,
+    default_trace_accesses,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.analysis.checkpoint import CheckpointStore
@@ -62,7 +67,16 @@ ENV_RETRIES = "REPRO_SWEEP_RETRIES"
 
 @dataclass(frozen=True)
 class SweepTask:
-    """One worker's unit: a benchmark's full (policy x pressure) slab."""
+    """One worker's unit: a benchmark's (policy x pressure) slab.
+
+    Under slice sharding (:func:`plan_tasks` with ``shard="pressure"``)
+    a task carries a single pressure instead of the whole row, which
+    load-balances better and lets the one-pass kernel keep one task per
+    trace traversal.  ``one_pass`` and ``label`` are execution hints:
+    they never change the simulated statistics, so neither participates
+    in :func:`task_key` (a one-pass slab checkpoints interchangeably
+    with a replayed one).
+    """
 
     spec: BenchmarkSpec
     scale: float = 1.0
@@ -72,6 +86,14 @@ class SweepTask:
     include_fine: bool = True
     overhead_model: OverheadModel = PAPER_MODEL
     track_links: bool = True
+    #: Route eligible ladder rungs through the one-pass kernel.
+    one_pass: bool = False
+    #: Display name in fault reports; empty means the spec's name.
+    label: str = ""
+
+    @property
+    def display_name(self) -> str:
+        return self.label or self.spec.name
 
 
 def task_key(task: SweepTask) -> str:
@@ -254,14 +276,174 @@ def resolve_jobs(jobs: int | None, task_count: int | None = None) -> int:
     return resolved
 
 
+#: Below this many simulated accesses per task, process fan-out costs
+#: more than it saves (fork + import + pickle round trips), so the
+#: planner degrades to the inline engine.
+MIN_ACCESSES_PER_TASK = 100_000
+
+
+def estimate_task_accesses(task: SweepTask) -> int:
+    """Rough simulated-access count for one task: trace length times
+    the number of (policy, pressure) cells its slab covers.
+
+    Used only for planning (is this task worth shipping to a worker
+    process?), so the trace-length estimate mirrors
+    :func:`~repro.workloads.registry.default_trace_accesses` without
+    materializing the workload.
+    """
+    if task.trace_accesses is not None:
+        per_cell = task.trace_accesses
+    else:
+        blocks = max(1, round(task.spec.superblock_count * task.scale))
+        per_cell = default_trace_accesses(blocks)
+    rungs = len(task.unit_counts) + (1 if task.include_fine else 0)
+    return per_cell * len(task.pressures) * max(1, rungs)
+
+
+def plan_jobs(
+    jobs: int | None,
+    task_count: int | None = None,
+    per_task_accesses: int | None = None,
+    cpus: int | None = None,
+) -> int:
+    """Pick the effective worker count for a sharded sweep.
+
+    Starts from :func:`resolve_jobs` (same ``None``/``0``/N semantics,
+    same task-count cap) and then *refuses* to fan out when the pool
+    cannot win: on a single-CPU machine the workers just time-slice the
+    one core while paying process startup and pickling, and below
+    :data:`MIN_ACCESSES_PER_TASK` simulated accesses per task the
+    fan-out overhead outweighs the simulation itself.  Both degrade to
+    the inline engine (returns 1), keeping parallel speedup >= ~1.0
+    instead of silently regressing.  Callers that explicitly want a
+    pool regardless (fault-injection tests, for instance) should call
+    :func:`resolve_jobs` directly.
+    """
+    resolved = resolve_jobs(jobs, task_count=task_count)
+    if resolved <= 1:
+        return resolved
+    if (cpus if cpus is not None else os.cpu_count() or 1) <= 1:
+        return 1
+    if (per_task_accesses is not None
+            and per_task_accesses < MIN_ACCESSES_PER_TASK):
+        return 1
+    return resolved
+
+
+def plan_tasks(
+    specs: Sequence[BenchmarkSpec],
+    scale: float = 1.0,
+    trace_accesses: int | None = None,
+    pressures: tuple[float, ...] = STANDARD_PRESSURE_FACTORS,
+    unit_counts: tuple[int, ...] = STANDARD_UNIT_COUNTS,
+    include_fine: bool = True,
+    overhead_model: OverheadModel = PAPER_MODEL,
+    track_links: bool = True,
+    one_pass: bool = False,
+    shard: str = "benchmark",
+) -> list[SweepTask]:
+    """Materialize the task list for a sweep over *specs*.
+
+    ``shard="benchmark"`` is the classic one-task-per-benchmark slab.
+    ``shard="pressure"`` splits each benchmark into one task per
+    (trace x pressure) slice — more, smaller shards that load-balance
+    a pool better and map one-to-one onto one-pass kernel invocations;
+    slice tasks are labelled ``name@pN`` in fault reports.  Tasks are
+    ordered spec-major, so per-benchmark consumers can treat the last
+    slice of a spec as that benchmark's completion.
+    """
+    if shard not in ("benchmark", "pressure"):
+        raise ValueError(
+            f"unknown shard mode {shard!r}; "
+            "expected 'benchmark' or 'pressure'"
+        )
+    shared = dict(
+        scale=scale,
+        trace_accesses=trace_accesses,
+        unit_counts=tuple(unit_counts),
+        include_fine=include_fine,
+        overhead_model=overhead_model,
+        track_links=track_links,
+        one_pass=one_pass,
+    )
+    pressures = tuple(pressures)
+    tasks: list[SweepTask] = []
+    for spec in specs:
+        if shard == "pressure" and len(pressures) > 1:
+            tasks.extend(
+                SweepTask(spec=spec, pressures=(pressure,),
+                          label=f"{spec.name}@p{pressure:g}", **shared)
+                for pressure in pressures
+            )
+        else:
+            tasks.append(SweepTask(spec=spec, pressures=pressures, **shared))
+    return tasks
+
+
+#: Worker-local workload memo.  Under slice sharding one worker runs
+#: several slices of the same benchmark back to back; rebuilding the
+#: (seeded, deterministic) workload per slice would spend more time in
+#: construction than simulation.  Tiny and FIFO-bounded because traces
+#: are the big allocation.
+_WORKLOAD_MEMO: dict[tuple, object] = {}
+_WORKLOAD_MEMO_MAX = 4
+
+
+def _task_workload(task: SweepTask):
+    key = (tuple(task.spec.cache_token()), float(task.scale),
+           task.trace_accesses)
+    workload = _WORKLOAD_MEMO.get(key)
+    if workload is None:
+        workload = build_workload(task.spec, scale=task.scale,
+                                  trace_accesses=task.trace_accesses)
+        while len(_WORKLOAD_MEMO) >= _WORKLOAD_MEMO_MAX:
+            _WORKLOAD_MEMO.pop(next(iter(_WORKLOAD_MEMO)))
+        _WORKLOAD_MEMO[key] = workload
+    return workload
+
+
+def _simulate_one_pass(task: SweepTask, workload) -> list[GridRecord] | None:
+    """Simulate the slab through the one-pass kernel, or ``None``.
+
+    Returns ``None`` when any ladder rung is ineligible (a stateful
+    policy needs replay); the caller then replays the whole slab so the
+    slab stays internally consistent.  Record order is identical to
+    replay: pressure-outer, ladder-order inner.
+    """
+    configs = []
+    for policy in granularity_ladder(include_fine=task.include_fine,
+                                     unit_counts=task.unit_counts):
+        config = classify_policy(policy.name, lambda policy=policy: policy)
+        if config is None:
+            return None
+        configs.append(config)
+    capacities = [pressured_capacity(workload.superblocks, pressure)
+                  for pressure in task.pressures]
+    grid = one_pass_grid(workload.superblocks, workload.trace, capacities,
+                         configs, overhead_model=task.overhead_model,
+                         track_links=task.track_links,
+                         benchmark=workload.name)
+    return [
+        (workload.name, config.name, pressure, cell[config.name])
+        for pressure, cell in zip(task.pressures, grid)
+        for config in configs
+    ]
+
+
 def simulate_task(task: SweepTask) -> list[GridRecord]:
     """Rebuild the task's workload and simulate its whole grid slab.
 
     Runs inside a worker process (or inline for the serial path); the
     loop order matches the serial engine's per-workload order exactly.
+    With ``task.one_pass`` the slab goes through the one-pass kernel
+    when every ladder rung is eligible, falling back to full replay
+    otherwise — either way the records are field-identical.
     """
-    workload = build_workload(task.spec, scale=task.scale,
-                              trace_accesses=task.trace_accesses)
+    workload = _task_workload(task)
+    if task.one_pass:
+        records = _simulate_one_pass(task, workload)
+        if records is not None:
+            return records
     records: list[GridRecord] = []
     for pressure in task.pressures:
         capacity = pressured_capacity(workload.superblocks, pressure)
@@ -319,7 +501,7 @@ def imap_tasks(
     tolerance = tolerance if tolerance is not None else FaultTolerance()
     report = failure if failure is not None else SweepFailure()
     keys = [task_key(task) for task in tasks]
-    names = [task.spec.name for task in tasks]
+    names = [task.display_name for task in tasks]
     results: dict[int, list[GridRecord]] = {}
     pending: list[int] = []
     for index, task in enumerate(tasks):

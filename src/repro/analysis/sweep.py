@@ -24,16 +24,20 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.analysis import sweepcache
 from repro.analysis.checkpoint import CheckpointStore, resume_enabled_by_env
+from repro.analysis.kernel import KernelConfig, classify_policy, one_pass_grid
 from repro.analysis.parallel import (
     FaultTolerance,
     SweepFailure,
-    SweepTask,
+    estimate_task_accesses,
     imap_tasks,
     jobs_from_env,
-    resolve_jobs,
+    plan_jobs,
+    plan_tasks,
     retries_from_env,
     timeout_from_env,
 )
+from repro.core.invariants import resolve_check_level
+from repro.core.lru import LruPolicy
 from repro.core.metrics import SimulationStats, unified_miss_rate
 from repro.core.overhead import PAPER_MODEL, OverheadModel
 from repro.core.policies import (
@@ -58,12 +62,28 @@ PolicyFactory = Callable[[], EvictionPolicy]
 FINE_NAME = "FIFO"
 FLUSH_NAME = "FLUSH"
 
+ENV_ONE_PASS = "REPRO_SWEEP_ONE_PASS"
+
+
+def one_pass_from_env() -> bool:
+    """Whether ``REPRO_SWEEP_ONE_PASS`` permits the one-pass kernel
+    (default yes; the kernel is field-identical to replay, so the knob
+    exists for A/B timing and debugging, not correctness)."""
+    flag = os.environ.get(ENV_ONE_PASS, "1").strip().lower()
+    return flag not in ("0", "false", "no", "off")
+
 
 def ladder_policy_factories(
     unit_counts: Sequence[int] = STANDARD_UNIT_COUNTS,
     include_fine: bool = True,
+    include_lru: bool = False,
 ) -> list[tuple[str, PolicyFactory]]:
-    """(name, factory) pairs for the standard policy ladder."""
+    """(name, factory) pairs for the standard policy ladder.
+
+    ``include_lru`` appends the Section 3.3 LRU arena last (off by
+    default: it is a fragmentation study policy, not a rung of the
+    paper's granularity ladder).
+    """
     factories: list[tuple[str, PolicyFactory]] = []
     for count in unit_counts:
         if count == 1:
@@ -74,6 +94,8 @@ def ladder_policy_factories(
             )
     if include_fine:
         factories.append((FINE_NAME, FineGrainedFifoPolicy))
+    if include_lru:
+        factories.append(("LRU", LruPolicy))
     return factories
 
 
@@ -155,6 +177,22 @@ class SweepResult:
         return fractions
 
 
+def _split_ladder(
+    policy_factories: Sequence[tuple[str, PolicyFactory]],
+) -> tuple[list[KernelConfig], list[tuple[str, PolicyFactory]]]:
+    """Partition a policy ladder into one-pass-eligible kernel configs
+    and (name, factory) pairs that genuinely need replay."""
+    kernel_configs: list[KernelConfig] = []
+    replay: list[tuple[str, PolicyFactory]] = []
+    for name, factory in policy_factories:
+        config = classify_policy(name, factory)
+        if config is None:
+            replay.append((name, factory))
+        else:
+            kernel_configs.append(config)
+    return kernel_configs, replay
+
+
 def run_sweep(
     workloads: Sequence[Workload],
     policy_factories: Sequence[tuple[str, PolicyFactory]],
@@ -163,6 +201,7 @@ def run_sweep(
     track_links: bool = True,
     progress: Callable[[str], None] | None = None,
     check_level: str | None = None,
+    one_pass: bool | None = None,
 ) -> SweepResult:
     """Simulate every (workload, policy, pressure) combination.
 
@@ -173,15 +212,45 @@ def run_sweep(
     workers of the parallel engine pick the level up.  Results served
     from the sweep cache were validated when first simulated, not per
     hit.
+
+    ``one_pass`` routes the ladder rungs the one-pass kernel can
+    express (FLUSH, N-unit, FIFO) through
+    :func:`repro.analysis.kernel.one_pass_grid`, which evaluates the
+    whole (pressure x rung) grid per workload in a single trace
+    traversal; stateful policies still replay.  ``None`` defers to
+    :func:`configure` / ``REPRO_SWEEP_ONE_PASS`` (default on).  The
+    kernel is field-identical to replay, but it has no invariant hooks,
+    so any active check level forces full replay.
     """
     pressures = tuple(pressures)
     started = time.perf_counter()
+    kernel_configs: list[KernelConfig] = []
+    replay_factories = list(policy_factories)
+    if (_default_one_pass(one_pass)
+            and resolve_check_level(check_level) == "off"):
+        kernel_configs, replay_factories = _split_ladder(policy_factories)
     stats: dict[tuple[str, str, float], SimulationStats] = {}
     for workload in workloads:
         superblocks = workload.superblocks
-        for pressure in pressures:
-            capacity = pressured_capacity(superblocks, pressure)
-            for name, factory in policy_factories:
+        capacities = [pressured_capacity(superblocks, pressure)
+                      for pressure in pressures]
+        if kernel_configs:
+            grid = one_pass_grid(
+                superblocks,
+                workload.trace,
+                capacities,
+                kernel_configs,
+                overhead_model=overhead_model,
+                track_links=track_links,
+                benchmark=workload.name,
+            )
+            for pressure, cell in zip(pressures, grid):
+                for config in kernel_configs:
+                    stats[(workload.name, config.name, pressure)] = (
+                        cell[config.name]
+                    )
+        for pressure, capacity in zip(pressures, capacities):
+            for name, factory in replay_factories:
                 simulator = CodeCacheSimulator(
                     superblocks,
                     factory(),
@@ -224,14 +293,22 @@ def run_sweep_parallel(
     task_timeout: float | None = None,
     max_retries: int | None = None,
     checkpoints: CheckpointStore | None = None,
+    one_pass: bool | None = None,
+    shard: str = "benchmark",
 ) -> SweepResult:
     """Parallel counterpart of :func:`run_sweep`, over registry *specs*.
 
-    The grid is sharded one benchmark per task across a process pool
-    (``jobs=0`` means one worker per core, ``jobs<=1`` runs inline).
-    Workers rebuild their workload from the spec's seed rather than
-    receiving a pickled trace, so the resulting grid is field-for-field
-    identical to the serial engine's on the same specs.
+    The grid is sharded across a process pool (``jobs=0`` means one
+    worker per core, ``jobs<=1`` runs inline): one benchmark slab per
+    task by default, or one (benchmark, pressure) slice per task with
+    ``shard="pressure"`` (see :func:`~repro.analysis.parallel.
+    plan_tasks`).  Workers rebuild their workload from the spec's seed
+    rather than receiving a pickled trace, so the resulting grid is
+    field-for-field identical to the serial engine's on the same specs.
+    ``one_pass`` (default: :func:`configure` / ``REPRO_SWEEP_ONE_PASS``)
+    lets workers batch eligible ladder rungs through the one-pass
+    kernel; an active ``REPRO_CHECK_LEVEL`` forces replay, exactly as
+    in :func:`run_sweep`.
 
     Execution is fault tolerant: attempts that fail or exceed
     *task_timeout* seconds are retried up to *max_retries* times
@@ -245,19 +322,20 @@ def run_sweep_parallel(
     pressures = tuple(pressures)
     unit_counts = tuple(unit_counts)
     started = time.perf_counter()
-    tasks = [
-        SweepTask(
-            spec=spec,
-            scale=scale,
-            trace_accesses=trace_accesses,
-            pressures=pressures,
-            unit_counts=unit_counts,
-            include_fine=include_fine,
-            overhead_model=overhead_model,
-            track_links=track_links,
-        )
-        for spec in specs
-    ]
+    use_kernel = (_default_one_pass(one_pass)
+                  and resolve_check_level(None) == "off")
+    tasks = plan_tasks(
+        specs,
+        scale=scale,
+        trace_accesses=trace_accesses,
+        pressures=pressures,
+        unit_counts=unit_counts,
+        include_fine=include_fine,
+        overhead_model=overhead_model,
+        track_links=track_links,
+        one_pass=use_kernel,
+        shard=shard,
+    )
     tolerance_kwargs = {}
     if task_timeout is not None:
         tolerance_kwargs["task_timeout"] = task_timeout
@@ -266,12 +344,16 @@ def run_sweep_parallel(
     tolerance = FaultTolerance(**tolerance_kwargs)
     failure = SweepFailure()
     stats: dict[tuple[str, str, float], SimulationStats] = {}
+    # Progress stays per benchmark even under slice sharding: tasks are
+    # spec-major, so a spec is complete when its last slice arrives.
+    last_for_spec = {task.spec.name: index
+                     for index, task in enumerate(tasks)}
     batches = imap_tasks(tasks, jobs, tolerance=tolerance,
                          checkpoints=checkpoints, failure=failure)
-    for task, batch in zip(tasks, batches):
+    for index, (task, batch) in enumerate(zip(tasks, batches)):
         for benchmark, policy, pressure, record in batch:
             stats[(benchmark, policy, pressure)] = record
-        if progress is not None:
+        if progress is not None and last_for_spec[task.spec.name] == index:
             progress(f"swept {task.spec.name}")
     return SweepResult(
         policy_names=tuple(
@@ -279,7 +361,9 @@ def run_sweep_parallel(
                                                         include_fine)
         ),
         pressures=pressures,
-        benchmark_names=tuple(task.spec.name for task in tasks),
+        benchmark_names=tuple(
+            dict.fromkeys(task.spec.name for task in tasks)
+        ),
         stats=stats,
         elapsed_seconds=time.perf_counter() - started,
         fault_report=failure,
@@ -301,6 +385,7 @@ _DEFAULTS: dict[str, int | float | bool | None] = {
     "task_timeout": None,
     "max_retries": None,
     "resume": None,
+    "one_pass": None,
 }
 
 
@@ -310,19 +395,21 @@ def configure(
     task_timeout: float | None = None,
     max_retries: int | None = None,
     resume: bool | None = None,
+    one_pass: bool | None = None,
 ) -> None:
     """Set process-wide defaults for :func:`full_sweep`.
 
     ``None`` for any knob restores environment-driven resolution for
     it (``REPRO_SWEEP_JOBS``, ``REPRO_SWEEP_CACHE``,
     ``REPRO_SWEEP_TIMEOUT``, ``REPRO_SWEEP_RETRIES``,
-    ``REPRO_SWEEP_RESUME`` respectively).
+    ``REPRO_SWEEP_RESUME``, ``REPRO_SWEEP_ONE_PASS`` respectively).
     """
     _DEFAULTS["jobs"] = jobs
     _DEFAULTS["use_cache"] = use_cache
     _DEFAULTS["task_timeout"] = task_timeout
     _DEFAULTS["max_retries"] = max_retries
     _DEFAULTS["resume"] = resume
+    _DEFAULTS["one_pass"] = one_pass
 
 
 def _default_jobs(jobs: int | None) -> int | None:
@@ -365,6 +452,14 @@ def _default_resume(resume: bool | None) -> bool:
     return resume_enabled_by_env()
 
 
+def _default_one_pass(one_pass: bool | None) -> bool:
+    if one_pass is not None:
+        return one_pass
+    if _DEFAULTS["one_pass"] is not None:
+        return bool(_DEFAULTS["one_pass"])
+    return one_pass_from_env()
+
+
 def full_sweep(
     scale: float = 1.0,
     pressures: tuple[float, ...] = STANDARD_PRESSURE_FACTORS,
@@ -375,6 +470,7 @@ def full_sweep(
     task_timeout: float | None = None,
     max_retries: int | None = None,
     resume: bool | None = None,
+    one_pass: bool | None = None,
 ) -> SweepResult:
     """The all-benchmarks, all-policies grid, cached per configuration.
 
@@ -398,6 +494,14 @@ def full_sweep(
     checkpoints under the cache directory, so an interrupted sweep
     re-simulates only its unfinished benchmarks.  Checkpoints are
     discarded once the full grid completes.
+
+    Both engines route eligible ladder rungs through the one-pass
+    kernel unless ``one_pass`` (or ``REPRO_SWEEP_ONE_PASS`` /
+    ``--no-one-pass``) disables it.  Parallel runs shard one
+    (benchmark, pressure) slice per task, and the worker count is
+    chosen by :func:`~repro.analysis.parallel.plan_jobs`: a pool that
+    cannot beat the inline engine (single CPU, or tiny per-task work)
+    silently degrades to serial instead of regressing.
     """
     pressures = tuple(pressures)
     unit_counts = tuple(unit_counts)
@@ -421,7 +525,22 @@ def full_sweep(
         if cached is not None:
             _SWEEP_CACHE[key] = cached
             return cached
-    effective_jobs = resolve_jobs(_default_jobs(jobs))
+    task_kwargs = dict(
+        scale=scale,
+        trace_accesses=trace_accesses,
+        pressures=pressures,
+        unit_counts=unit_counts,
+        include_fine=True,
+        overhead_model=PAPER_MODEL,
+        track_links=True,
+        shard="pressure",
+    )
+    planned = plan_tasks(specs, **task_kwargs)
+    per_task = (sum(estimate_task_accesses(task) for task in planned)
+                // len(planned)) if planned else None
+    effective_jobs = plan_jobs(_default_jobs(jobs),
+                               task_count=len(planned),
+                               per_task_accesses=per_task)
     if effective_jobs > 1:
         checkpoints = (CheckpointStore.default()
                        if _default_resume(resume) else None)
@@ -435,24 +554,16 @@ def full_sweep(
             task_timeout=_default_task_timeout(task_timeout),
             max_retries=_default_max_retries(max_retries),
             checkpoints=checkpoints,
+            one_pass=one_pass,
+            shard="pressure",
         )
         if checkpoints is not None:
             # The finished grid supersedes its per-task checkpoints
             # (and is about to be stored whole in the sweep cache);
             # drop them so the checkpoint directory stays bounded.
-            checkpoints.discard([
-                SweepTask(
-                    spec=spec,
-                    scale=scale,
-                    trace_accesses=trace_accesses,
-                    pressures=pressures,
-                    unit_counts=unit_counts,
-                    include_fine=True,
-                    overhead_model=PAPER_MODEL,
-                    track_links=True,
-                )
-                for spec in specs
-            ])
+            # ``planned`` carries the identical sharding, so its keys
+            # match what the run just stored.
+            checkpoints.discard(planned)
     else:
         workloads = build_suite(specs, scale=scale,
                                 trace_accesses=trace_accesses)
@@ -461,6 +572,7 @@ def full_sweep(
             ladder_policy_factories(unit_counts),
             pressures=pressures,
             track_links=True,
+            one_pass=one_pass,
         )
     if disk_key is not None:
         sweepcache.store(disk_key, result, extra_meta={

@@ -80,6 +80,9 @@ class _ReferenceUnitStore:
     def resident_ids(self) -> set[int]:
         return {sid for unit in self.units for sid in unit}
 
+    def touch(self, sid: int) -> None:
+        """Unit position is fixed at insertion; recency is ignored."""
+
     def unit_key(self, sid: int) -> int:
         for idx, unit in enumerate(self.units):
             if sid in unit:
@@ -116,6 +119,9 @@ class _ReferenceFifoStore:
     def resident_ids(self) -> set[int]:
         return set(self.queue)
 
+    def touch(self, sid: int) -> None:
+        """Queue position is fixed at insertion; recency is ignored."""
+
     def unit_key(self, sid: int) -> int:
         # Every block is its own eviction unit; the id is the unit key.
         if sid not in self.queue:
@@ -132,6 +138,71 @@ class _ReferenceFifoStore:
             victim = self.queue.pop(0)
             evictions.append((victim,))
         self.queue.append(sid)
+        return evictions
+
+
+class _ReferenceLruStore:
+    """True-LRU byte arena, recomputed-from-scratch flavour.
+
+    Mirrors the Section 3.3 study's :class:`~repro.core.lru.LruPolicy`
+    (without compaction): victims leave in strict least-recently-used
+    order, and placement is first-fit over a byte arena, so scattered
+    holes can force extra evictions even when enough *total* free space
+    exists.  Instead of maintaining a free list incrementally, the hole
+    set is re-derived from the block placements on every allocation.
+    """
+
+    def __init__(self, capacity_bytes: int, sizes: dict[int, int]) -> None:
+        self.capacity = capacity_bytes
+        #: Most-recent last; victims pop from the front.
+        self.recency: list[int] = []
+        #: sid -> (offset, size) placements.
+        self.placed: dict[int, tuple[int, int]] = {}
+        self.sizes = sizes
+
+    def resident(self, sid: int) -> bool:
+        return sid in self.placed
+
+    def resident_ids(self) -> set[int]:
+        return set(self.placed)
+
+    def unit_key(self, sid: int) -> int:
+        # Every block is its own eviction unit; the id is the unit key.
+        if sid not in self.placed:
+            raise KeyError(sid)
+        return sid
+
+    def touch(self, sid: int) -> None:
+        self.recency.remove(sid)
+        self.recency.append(sid)
+
+    def _holes(self) -> list[tuple[int, int]]:
+        """(offset, size) gaps between placed blocks, in address order."""
+        holes: list[tuple[int, int]] = []
+        cursor = 0
+        for offset, size in sorted(self.placed.values()):
+            if offset > cursor:
+                holes.append((cursor, offset - cursor))
+            cursor = offset + size
+        if cursor < self.capacity:
+            holes.append((cursor, self.capacity - cursor))
+        return holes
+
+    def _allocate(self, sid: int, size: int) -> bool:
+        for offset, hole_size in self._holes():
+            if hole_size >= size:
+                self.placed[sid] = (offset, size)
+                return True
+        return False
+
+    def insert(self, sid: int, size: int) -> list[tuple[int, ...]]:
+        assert sid not in self.placed, f"double insert of {sid}"
+        evictions: list[tuple[int, ...]] = []
+        while not self._allocate(sid, size):
+            victim = self.recency.pop(0)
+            del self.placed[victim]
+            evictions.append((victim,))
+        self.recency.append(sid)
         return evictions
 
 
@@ -200,6 +271,24 @@ class ReferenceSimulator:
         return cls(superblocks, capacity_bytes, store, "FIFO",
                    overhead_model=overhead_model, track_links=track_links)
 
+    @classmethod
+    def for_lru(cls, superblocks: SuperblockSet, capacity_bytes: int,
+                overhead_model: OverheadModel = PAPER_MODEL,
+                track_links: bool = True) -> "ReferenceSimulator":
+        if capacity_bytes <= 0:
+            raise ConfigurationError("capacity_bytes must be positive")
+        max_block = superblocks.max_block_bytes
+        if max_block > capacity_bytes:
+            # Same wording as LruPolicy.configure, so both sides reject
+            # an impossible geometry identically.
+            raise ConfigurationError(
+                f"cache capacity {capacity_bytes} B cannot hold the "
+                f"largest superblock ({max_block} B)"
+            )
+        store = _ReferenceLruStore(capacity_bytes, dict(superblocks.sizes()))
+        return cls(superblocks, capacity_bytes, store, "LRU",
+                   overhead_model=overhead_model, track_links=track_links)
+
     # -- Link semantics (from the spec, not from LinkManager) ---------------
 
     def _establish_links(self, sid: int) -> None:
@@ -264,6 +353,7 @@ class ReferenceSimulator:
             stats.accesses += 1
             if store.resident(sid):
                 stats.hits += 1
+                store.touch(sid)
                 outcomes.append(AccessOutcome(index, sid, True))
                 continue
             stats.misses += 1
@@ -298,12 +388,15 @@ class ReferenceSimulator:
 
 def reference_ladder(include_fine: bool = True,
                      unit_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32,
-                                                     64, 128, 256, 512)):
+                                                     64, 128, 256, 512),
+                     include_lru: bool = False):
     """Factories mirroring :func:`repro.core.policies.granularity_ladder`.
 
     Returns ``(name, build)`` pairs where ``build(superblocks, capacity,
     model, track_links)`` yields the matching :class:`ReferenceSimulator`;
     names match the production ladder's so results join on policy name.
+    ``include_lru`` appends the Section 3.3 LRU arena last (off by
+    default: it is a study policy, not a rung of the paper's ladder).
     """
     rungs = []
     for count in unit_counts:
@@ -324,4 +417,12 @@ def reference_ladder(include_fine: bool = True,
                 overhead_model=model, track_links=track_links)
 
         rungs.append(("FIFO", build_fine))
+    if include_lru:
+        def build_lru(superblocks, capacity, model=PAPER_MODEL,
+                      track_links=True):
+            return ReferenceSimulator.for_lru(
+                superblocks, capacity,
+                overhead_model=model, track_links=track_links)
+
+        rungs.append(("LRU", build_lru))
     return rungs

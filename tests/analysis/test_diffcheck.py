@@ -137,3 +137,40 @@ class TestCli:
         with pytest.raises(SystemExit) as excinfo:
             main(argv)
         assert excinfo.value.code == 2
+
+
+class TestLruDiff:
+    def test_lru_ladder_diffs_clean(self):
+        report = diff_check(benchmarks=("gzip",), scale=0.2,
+                            trace_accesses=1200, pressures=(2.0,),
+                            unit_counts=(1,), include_lru=True)
+        # FLUSH + FIFO + LRU on one benchmark at one pressure.
+        assert report.runs == 3
+        assert report.ok, report.render()
+
+    def test_lru_stays_out_of_the_default_ladder(self):
+        report = diff_check(benchmarks=("gzip",), scale=0.1,
+                            trace_accesses=400, pressures=(2.0,),
+                            unit_counts=(1,))
+        assert report.runs == 2  # FLUSH + FIFO, no LRU
+
+
+class TestKernelCheck:
+    def test_kernel_check_passes(self):
+        from repro.analysis.diffcheck import kernel_check
+        report = kernel_check(benchmarks=("gzip",), scale=0.2,
+                              trace_accesses=1500, pressures=(2.0, 10.0),
+                              unit_counts=(1, 8))
+        # 2 engines x 2 link modes per benchmark; 3 rungs x 2 pressures.
+        assert report.runs == 4
+        assert report.cells == 12
+        assert report.ok, report.render()
+
+    def test_kernel_check_command_passes(self, capsys):
+        code = main(["kernel-check", "--scale", "0.15",
+                     "--trace-accesses", "800",
+                     "--diff-benchmarks", "gzip"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        assert "kernel-check" in out

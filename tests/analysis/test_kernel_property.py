@@ -1,0 +1,121 @@
+"""Property tests: the one-pass kernel IS replay, field for field.
+
+The kernel's whole contract is that batching every (capacity, rung)
+geometry into one trace traversal changes nothing observable.  These
+tests drive randomized populations, link graphs, traces, capacity sets,
+and unit ladders through both engines of
+:func:`repro.analysis.kernel.one_pass_grid` and through
+:class:`~repro.core.simulator.CodeCacheSimulator` replay — including
+replay under the paranoid invariant checker — and require bit-identical
+statistics everywhere.
+"""
+
+import dataclasses
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ckernel
+from repro.analysis.kernel import ladder_kernel_configs, one_pass_grid
+from repro.core.policies import granularity_ladder
+from repro.core.simulator import CodeCacheSimulator
+from repro.core.superblock import Superblock, SuperblockSet
+
+
+@st.composite
+def _scenario(draw):
+    """A random population + trace + geometry grid the kernel accepts."""
+    count = draw(st.integers(3, 20))
+    blocks = []
+    for sid in range(count):
+        degree = draw(st.integers(0, 3))
+        links = tuple(
+            dict.fromkeys(
+                draw(st.integers(0, count - 1)) for _ in range(degree)
+            )
+        )
+        blocks.append(Superblock(sid, draw(st.integers(16, 200)),
+                                 links=links))
+    population = SuperblockSet(blocks)
+    trace = draw(
+        st.lists(st.integers(0, count - 1), min_size=1, max_size=250)
+    )
+    # Any capacity >= the largest block is legal: one_pass_grid clamps
+    # unit counts exactly like UnitFifoPolicy.configure does.
+    low = population.max_block_bytes
+    high = max(population.total_bytes, low + 1)
+    capacities = sorted({
+        draw(st.integers(low, high))
+        for _ in range(draw(st.integers(1, 3)))
+    })
+    unit_counts = (1, draw(st.integers(2, 8)), 64)
+    track_links = draw(st.booleans())
+    return population, trace, capacities, unit_counts, track_links
+
+
+def _replay_grid(population, trace, capacities, unit_counts, track_links,
+                 check_level=None):
+    grid = []
+    for capacity in capacities:
+        cell = {}
+        # Fresh ladder per capacity: policies are stateful once
+        # configured.
+        for policy in granularity_ladder(unit_counts=unit_counts):
+            simulator = CodeCacheSimulator(
+                population, policy, capacity,
+                track_links=track_links, check_level=check_level,
+            )
+            record = simulator.process(trace)
+            record.policy_name = policy.name
+            cell[policy.name] = dataclasses.asdict(record)
+        grid.append(cell)
+    return grid
+
+
+@given(_scenario())
+@settings(max_examples=40, deadline=None)
+def test_kernel_matches_replay_bit_for_bit(scenario):
+    population, trace, capacities, unit_counts, track_links = scenario
+    configs = ladder_kernel_configs(unit_counts)
+    want = _replay_grid(population, trace, capacities, unit_counts,
+                        track_links)
+    engines = ["py"] + (["c"] if ckernel.available() else [])
+    for engine in engines:
+        grid = one_pass_grid(population, trace, capacities, configs,
+                             track_links=track_links, engine=engine)
+        for cell, want_cell in zip(grid, want):
+            for name, want_record in want_cell.items():
+                got = dataclasses.asdict(cell[name])
+                assert got == want_record, (engine, name)
+
+
+@given(_scenario())
+@settings(max_examples=12, deadline=None)
+def test_kernel_matches_paranoid_checked_replay(scenario):
+    """The kernel agrees with replay even when replay runs under the
+    paranoid invariant checker — so a checked run certifies the same
+    numbers the fast path produces.
+
+    Counters must match exactly; overhead floats to relative 1e-9,
+    because the checked simulator legally sums the same per-event
+    charges in a different order than the unchecked batched loop (the
+    same tolerance the differential oracle uses).
+    """
+    population, trace, capacities, unit_counts, track_links = scenario
+    configs = ladder_kernel_configs(unit_counts)
+    grid = one_pass_grid(population, trace, capacities, configs,
+                         track_links=track_links)
+    want = _replay_grid(population, trace, capacities, unit_counts,
+                        track_links, check_level="paranoid")
+    for cell, want_cell in zip(grid, want):
+        for name, want_record in want_cell.items():
+            got = dataclasses.asdict(cell[name])
+            for field_name, want_value in want_record.items():
+                got_value = got[field_name]
+                if isinstance(want_value, float):
+                    assert math.isclose(got_value, want_value,
+                                        rel_tol=1e-9, abs_tol=1e-6), (
+                        name, field_name)
+                else:
+                    assert got_value == want_value, (name, field_name)

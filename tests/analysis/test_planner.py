@@ -1,0 +1,98 @@
+"""Tests for sweep planning: task sharding and worker-count selection.
+
+``plan_tasks``/``plan_jobs`` decide how a sweep is cut up and whether a
+process pool is worth paying for; ``estimate_task_accesses`` feeds the
+latter.  The key regression pinned here: a pool that cannot win (single
+CPU, or tiny tasks) degrades to the inline engine instead of shipping
+overhead-dominated work to workers.
+"""
+
+import pytest
+
+from repro.analysis.parallel import (
+    MIN_ACCESSES_PER_TASK,
+    SweepTask,
+    estimate_task_accesses,
+    plan_jobs,
+    plan_tasks,
+    resolve_jobs,
+    task_key,
+)
+from repro.workloads.registry import default_trace_accesses, spec_benchmarks
+
+SPECS = spec_benchmarks()[:3]
+
+
+class TestPlanTasks:
+    def test_benchmark_shard_is_whole_slab(self):
+        tasks = plan_tasks(SPECS, pressures=(2.0, 10.0))
+        assert len(tasks) == len(SPECS)
+        assert all(task.pressures == (2.0, 10.0) for task in tasks)
+        assert all(task.label == "" for task in tasks)
+        assert [task.display_name for task in tasks] == [
+            spec.name for spec in SPECS
+        ]
+
+    def test_pressure_shard_slices_spec_major(self):
+        tasks = plan_tasks(SPECS, pressures=(2.0, 10.0), shard="pressure")
+        assert len(tasks) == len(SPECS) * 2
+        assert [task.display_name for task in tasks] == [
+            f"{spec.name}@p{p:g}" for spec in SPECS for p in (2, 10)
+        ]
+        assert all(len(task.pressures) == 1 for task in tasks)
+
+    def test_single_pressure_is_not_sliced(self):
+        tasks = plan_tasks(SPECS, pressures=(2.0,), shard="pressure")
+        assert len(tasks) == len(SPECS)
+        assert all(task.label == "" for task in tasks)
+
+    def test_unknown_shard_rejected(self):
+        with pytest.raises(ValueError, match="shard"):
+            plan_tasks(SPECS, shard="policy")
+
+    def test_execution_hints_do_not_change_task_key(self):
+        base = plan_tasks(SPECS, pressures=(2.0, 10.0), shard="pressure")
+        hinted = plan_tasks(SPECS, pressures=(2.0, 10.0), shard="pressure",
+                            one_pass=True)
+        assert [task_key(t) for t in base] == [task_key(t) for t in hinted]
+        # ...but the slicing itself does: a slice is a different slab.
+        whole = plan_tasks(SPECS, pressures=(2.0, 10.0))
+        assert task_key(whole[0]) != task_key(base[0])
+
+
+class TestEstimate:
+    def test_explicit_trace_length(self):
+        task = SweepTask(spec=SPECS[0], trace_accesses=1000,
+                         pressures=(2.0, 10.0), unit_counts=(1, 8),
+                         include_fine=True)
+        assert estimate_task_accesses(task) == 1000 * 2 * 3
+
+    def test_default_trace_length_mirrors_registry(self):
+        task = SweepTask(spec=SPECS[0], scale=0.5, pressures=(2.0,),
+                         unit_counts=(1,), include_fine=False)
+        blocks = max(1, round(SPECS[0].superblock_count * 0.5))
+        assert estimate_task_accesses(task) == default_trace_accesses(blocks)
+
+
+class TestPlanJobs:
+    def test_serial_requests_stay_serial(self):
+        assert plan_jobs(None) == 1
+        assert plan_jobs(1, cpus=16) == 1
+
+    def test_single_cpu_degrades_to_inline(self):
+        assert plan_jobs(8, cpus=1, per_task_accesses=10**9) == 1
+
+    def test_tiny_tasks_degrade_to_inline(self):
+        assert plan_jobs(8, cpus=16,
+                         per_task_accesses=MIN_ACCESSES_PER_TASK - 1) == 1
+
+    def test_worthwhile_pool_fans_out(self):
+        assert plan_jobs(8, cpus=16,
+                         per_task_accesses=MIN_ACCESSES_PER_TASK) == 8
+
+    def test_task_count_cap_matches_resolve_jobs(self):
+        assert plan_jobs(8, task_count=3, cpus=16,
+                         per_task_accesses=10**6) == resolve_jobs(8, 3)
+
+    def test_unknown_estimate_trusts_the_caller(self):
+        assert plan_jobs(4, cpus=16) == 4

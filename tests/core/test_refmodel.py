@@ -133,3 +133,48 @@ class TestGeometryParity:
             ReferenceSimulator.for_unit_policy(blocks, 0, 1)
         with pytest.raises(ConfigurationError):
             ReferenceSimulator.for_fine_fifo(blocks, 5)
+
+
+class TestLruSemantics:
+    def test_true_lru_victim_order(self):
+        blocks = _population({0: 50, 1: 50, 2: 50, 3: 50})
+        ref = ReferenceSimulator.for_lru(blocks, 150, track_links=False)
+        result = ref.run([0, 1, 2, 0, 3])
+        # 0,1,2 fill the arena (150 B); the hit on 0 refreshes it, so
+        # inserting 3 evicts the least-recent survivor: 1.
+        assert [o.hit for o in result.outcomes] == [
+            False, False, False, True, False,
+        ]
+        assert result.outcomes[4].evictions == ((1,),)
+
+    def test_fragmentation_forces_extra_eviction(self):
+        # Arena 100: 40 + 30 + 30 placed at offsets 0/40/70.  Evicting
+        # block 1 (30 B at offset 40) leaves a hole too small for a
+        # 40 B insertion even though free space (30) grows to 60 after
+        # the next eviction; first-fit then places at offset 0.
+        blocks = _population({0: 40, 1: 30, 2: 30, 3: 40})
+        ref = ReferenceSimulator.for_lru(blocks, 100, track_links=False)
+        result = ref.run([0, 1, 2, 3])
+        # 3 (40 B) cannot fit: evict 0 (LRU) -> hole (0, 40) fits.
+        assert result.outcomes[3].evictions == ((0,),)
+        result2 = ReferenceSimulator.for_lru(
+            blocks, 100, track_links=False).run([1, 0, 2, 3])
+        # Now 1 (30 B at offset 0) is LRU: evicting it leaves a 30 B
+        # hole that cannot take 40 B, so a second eviction (0) must
+        # follow -- the Section 3.3 fragmentation effect.
+        assert result2.outcomes[3].evictions == ((1,), (0,))
+
+    def test_lru_geometry_rejections_match_production(self):
+        blocks = _population({0: 200})
+        with pytest.raises(ConfigurationError):
+            ReferenceSimulator.for_lru(blocks, 100)
+        with pytest.raises(ConfigurationError):
+            ReferenceSimulator.for_lru(blocks, 0)
+
+    def test_ladder_with_lru_matches_production(self):
+        from repro.analysis.sweep import ladder_policy_factories
+        ref_names = [name for name, _ in reference_ladder(include_lru=True)]
+        prod_names = [name for name, _ in
+                      ladder_policy_factories(include_lru=True)]
+        assert ref_names == prod_names
+        assert ref_names[-1] == "LRU"
