@@ -126,6 +126,62 @@ class CheckpointStore:
         self.stored += 1
         return path
 
+    # -- Named blobs ---------------------------------------------------------
+    #
+    # The sweep checkpoints above are keyed by task content hash; other
+    # subsystems (the service tier's arena snapshots) reuse the same
+    # atomic-write and quarantine machinery through a generic named-blob
+    # face.  A blob is opaque bytes — validation is the caller's job —
+    # but unreadable files still get quarantined, never silently lost.
+
+    def blob_path(self, name: str) -> Path:
+        return self.root / name
+
+    def load_blob(self, name: str) -> bytes | None:
+        """The raw bytes stored under *name*, or None when absent.
+
+        An unreadable file is quarantined and reported as absent, the
+        same contract the task checkpoints honour.
+        """
+        path = self.blob_path(name)
+        try:
+            payload = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self._quarantine(path, f"unreadable ({exc})")
+            return None
+        self.loaded += 1
+        return payload
+
+    def store_blob(self, name: str, payload: bytes) -> Path | None:
+        """Atomically persist *payload* under *name*; never raises.
+
+        Returns the written path, or None (with a warning) when the
+        write failed — callers degrade to running without the blob.
+        """
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self.blob_path(name)
+            sweepcache.atomic_write(path, payload)
+        except Exception as exc:
+            warnings.warn(
+                f"checkpoint blob {name!r} could not be written "
+                f"({exc!r}); continuing without it",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        self.stored += 1
+        return path
+
+    def quarantine_blob(self, name: str, reason: str) -> None:
+        """Move the blob stored under *name* into quarantine (corrupt
+        content detected by the caller's own validation)."""
+        path = self.blob_path(name)
+        if path.exists():
+            self._quarantine(path, reason)
+
     def _quarantine(self, path: Path, reason: str) -> None:
         """Move a bad checkpoint aside instead of silently deleting it."""
         quarantine = self.root / QUARANTINE_DIR

@@ -139,4 +139,31 @@ def render_service_report(report: Mapping) -> str:
         f"{unified['accesses']} accesses, "
         f"{unified['evicted_bytes']} bytes evicted"
     )
+    scaling = report.get("scaling")
+    if scaling:
+        text += "\n" + format_table(
+            ("shards", "tenants", "accesses/s", "speedup"),
+            [(row["shards"], row["tenants"],
+              f"{row['accesses_per_second']:.0f}",
+              f"{row['speedup']:.2f}x")
+             for row in scaling["rows"]],
+            title=f"weak scaling ({scaling.get('cpu_count', '?')} "
+                  f"core(s))",
+        )
+    recovery = report.get("recovery")
+    if recovery:
+        verdict = ("field-identical" if recovery["field_identical"]
+                   else f"MISMATCH: {recovery['mismatched_tenants']}")
+        restart = recovery.get("restart_seconds")
+        text += (
+            f"\ncrash drill: killed {recovery['killed_shard']} of "
+            f"{recovery['shards']}, restart+recovery "
+            f"{restart:.2f}s, " if restart is not None else
+            f"\ncrash drill: killed {recovery['killed_shard']} of "
+            f"{recovery['shards']}, "
+        )
+        text += (
+            f"{recovery['reconnects']} reconnect(s), recovered stats "
+            f"{verdict}"
+        )
     return text

@@ -19,8 +19,12 @@ from.  This module is the sanitizer for that bookkeeping — a tiered
     ordering inside every unit and circular buffer, stable unit keys,
     bidirectional :class:`~repro.core.links.LinkManager` consistency
     (no dangling links to evicted blocks, every incoming record mirrored
-    by an outgoing one), and generational promote-count / membership
-    consistency, every :data:`PARANOID_CADENCE` accesses.
+    by an outgoing one), generational promote-count / membership
+    consistency, and — for the Section 3.3 LRU study — byte-arena
+    free-list soundness (holes sorted, positive, coalesced; placed
+    blocks and holes partitioning the capacity exactly; placement,
+    recency order and ground-truth sizes all agreeing), every
+    :data:`PARANOID_CADENCE` accesses.
 
 The level comes from the ``--check`` CLI flag or the
 ``REPRO_CHECK_LEVEL`` environment variable (which process-pool sweep
@@ -222,6 +226,7 @@ class InvariantChecker:
             self._check_fifo_order(violations)
             self._check_links(resident, violations)
             self._check_generations(violations)
+            self._check_arena(resident, violations)
         if violations:
             raise InvariantViolation(
                 violations,
@@ -399,6 +404,90 @@ class InvariantChecker:
                 f"{len(persistent)} persistent resident(s) it must cover"
             )
 
+    def _check_arena(self, resident: set[int],
+                     violations: list[str]) -> None:
+        """LRU byte-arena soundness: free-list shape and fragmentation
+        accounting.
+
+        The free list must be sorted by offset with positive,
+        non-overlapping, fully-coalesced holes (an uncoalesced pair
+        inflates :attr:`~repro.core.lru.LruPolicy.external_fragmentation`
+        and can force phantom fragmentation evictions); placed blocks
+        plus holes must partition the capacity byte-exactly; and the
+        placement map, the LRU recency order and the workload's
+        ground-truth sizes must all agree.
+        """
+        from repro.core.lru import LruPolicy
+
+        policy = self.policy
+        if not isinstance(policy, LruPolicy) or policy._arena is None:
+            return
+        arena = policy._arena
+        holes = list(arena.holes)
+        if holes != sorted(holes):
+            violations.append("arena free list is not sorted by offset")
+            holes.sort()
+        bad_sizes = [(o, s) for o, s in holes if s <= 0]
+        if bad_sizes:
+            violations.append(
+                f"arena hole(s) with non-positive size: {bad_sizes[:4]}"
+            )
+        for (o1, s1), (o2, _) in zip(holes, holes[1:]):
+            if o1 + s1 > o2:
+                violations.append(
+                    f"arena holes overlap: ({o1}, {s1}) runs into "
+                    f"offset {o2}"
+                )
+            elif o1 + s1 == o2:
+                violations.append(
+                    f"adjacent arena holes not coalesced: ({o1}, {s1}) "
+                    f"and ({o2}, ...)"
+                )
+        segments = sorted(
+            [(offset, size, f"block {sid}")
+             for sid, (offset, size) in arena.placed.items()]
+            + [(offset, size, "hole") for offset, size in holes]
+        )
+        cursor = 0
+        for offset, size, what in segments:
+            if offset != cursor:
+                kind = "gap" if offset > cursor else "overlap"
+                violations.append(
+                    f"arena {kind} at byte {cursor}: next segment "
+                    f"({what}) starts at {offset}"
+                )
+                break
+            cursor = offset + size
+        else:
+            if cursor != arena.capacity:
+                violations.append(
+                    f"arena segments cover {cursor} of "
+                    f"{arena.capacity} bytes"
+                )
+        size_drift = [
+            (sid, size, self._sizes[sid])
+            for sid, (_, size) in arena.placed.items()
+            if sid in self._sizes and size != self._sizes[sid]
+        ]
+        if size_drift:
+            violations.append(
+                f"arena placement size disagrees with ground truth: "
+                f"{size_drift[:4]}"
+            )
+        placed_ids = set(arena.placed)
+        if placed_ids != set(policy._recency):
+            drift = placed_ids.symmetric_difference(policy._recency)
+            violations.append(
+                f"arena placement and LRU recency disagree on "
+                f"{sorted(drift)[:8]}"
+            )
+        if placed_ids != resident:
+            drift = placed_ids.symmetric_difference(resident)
+            violations.append(
+                f"arena placement and resident_ids() disagree on "
+                f"{sorted(drift)[:8]}"
+            )
+
     def _check_metrics(self, stats: SimulationStats, resident: set[int],
                        violations: list[str]) -> None:
         """Counter conservation and Equation 1 re-derivability."""
@@ -486,6 +575,7 @@ class InvariantChecker:
             ("cache.links", self._find_link_corruption),
             ("cache.metrics", lambda: self._find_metrics_corruption(stats)),
             ("cache.generation", self._find_generation_corruption),
+            ("cache.arena", self._find_arena_corruption),
         ):
             corrupt = find()
             if corrupt is None:
@@ -546,6 +636,35 @@ class InvariantChecker:
         def corrupt():
             stats.hits += 1
         return corrupt
+
+    def _find_arena_corruption(self):
+        from repro.core.lru import LruPolicy
+
+        policy = self.policy
+        if not isinstance(policy, LruPolicy) or policy._arena is None:
+            return None
+        arena = policy._arena
+        if arena.holes:
+            def corrupt(arena=arena):
+                offset, size = arena.holes[0]
+                if size > 1:
+                    # Split one hole into two adjacent, uncoalesced ones
+                    # — total free bytes unchanged, free list malformed.
+                    arena.holes[0:1] = [(offset, 1),
+                                        (offset + 1, size - 1)]
+                else:
+                    # Inflate the hole so placed + free no longer
+                    # partition the capacity.
+                    arena.holes[0] = (offset, size + 1)
+            return corrupt
+        if arena.placed:
+            def corrupt(arena=arena):
+                # Stretch one placement past its ground-truth size.
+                sid = next(iter(arena.placed))
+                offset, size = arena.placed[sid]
+                arena.placed[sid] = (offset, size + 1)
+            return corrupt
+        return None
 
     def _find_generation_corruption(self):
         from repro.core.policies import GenerationalPolicy

@@ -58,6 +58,10 @@ class CodeCacheSimulator:
     check_context:
         Extra identity (spec seed, scale, ...) for the repro bundle an
         :class:`~repro.core.invariants.InvariantViolation` carries.
+    configure_policy:
+        When false, *policy* arrives already configured — the service
+        tier's snapshot restore hands over a policy whose cache state
+        was deserialized and must not be reset.
     """
 
     def __init__(
@@ -69,6 +73,7 @@ class CodeCacheSimulator:
         track_links: bool = True,
         check_level: str | None = None,
         check_context: Mapping | None = None,
+        configure_policy: bool = True,
     ) -> None:
         if capacity_bytes <= 0:
             raise ConfigurationError("capacity_bytes must be positive")
@@ -76,7 +81,8 @@ class CodeCacheSimulator:
         self.policy = policy
         self.capacity_bytes = capacity_bytes
         self.overhead_model = overhead_model
-        policy.configure(capacity_bytes, superblocks.max_block_bytes)
+        if configure_policy:
+            policy.configure(capacity_bytes, superblocks.max_block_bytes)
         self.links = LinkManager(superblocks, policy) if track_links else None
         level = resolve_check_level(check_level)
         self.check_level = level

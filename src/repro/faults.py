@@ -39,12 +39,19 @@ Named fault points wired into production code:
 ``cache.links``           simulator cache state: one-sided link record
 ``cache.metrics``         simulator stats: hits/misses conservation break
 ``cache.generation``      generational policy: promote-count membership break
+``cache.arena``           LRU byte arena: free-list/placement accounting break
 ``service.accept``        service connection accept / session admission
 ``service.session``       one queued access batch in a session's consumer
-``service.flush``         a session's queue flush (stats/close/drain)
+``service.flush``         a session's queue flush (stats/close/drain); in
+                          ``corrupt`` mode, the serialized stats payload a
+                          flush reports (the session must quarantine the
+                          damaged bytes and recover from the arena record)
+``service.snapshot``      bytes of an arena snapshot, before write / unpickle
+``service.replay``        one write-ahead-log record during arena recovery
+``router.route``          the router's shard-selection step for one tenant
 ========================  ====================================================
 
-The four ``cache.*`` state points are consumed by the invariant checker
+The ``cache.*`` state points are consumed by the invariant checker
 (:mod:`repro.core.invariants`): arming a ``raise`` spec at one of them
 makes the checker *corrupt the live simulator state* deterministically
 at its next check boundary, which the checker must then detect — the
@@ -82,9 +89,13 @@ POINTS = (
     "cache.links",
     "cache.metrics",
     "cache.generation",
+    "cache.arena",
     "service.accept",
     "service.session",
     "service.flush",
+    "service.snapshot",
+    "service.replay",
+    "router.route",
 )
 
 #: The simulator-state corruption points the invariant checker services.
@@ -94,6 +105,7 @@ STATE_POINTS = (
     "cache.links",
     "cache.metrics",
     "cache.generation",
+    "cache.arena",
 )
 
 

@@ -1,18 +1,27 @@
-"""The service CLI: ``python -m repro.service {serve,load}``.
+"""The service CLI: ``python -m repro.service {serve,load,route,scale,recovery}``.
 
-``serve`` runs the TCP server in the foreground until interrupted (then
-drains gracefully).  ``load`` drives N concurrent tenants against a
-server — an already-running one via ``--connect HOST:PORT``, or a
-self-contained in-process server on an ephemeral port by default — and
-writes the throughput/miss-rate report to ``BENCH_service.json``.
+``serve`` runs one worker in the foreground until interrupted (then
+drains gracefully — with ``--snapshot-dir`` that includes a final
+snapshot, and startup includes snapshot + write-ahead-log recovery).
+``load`` drives N concurrent tenants against a server.  ``route``
+spawns a shard fleet plus the consistent-hashing router in front of it.
+``scale`` and ``recovery`` are the fleet benchmarks: weak scaling
+across shard counts, and the kill-one-worker crash drill; both merge
+their sections into ``BENCH_service.json``.
+
+Defaults for the persistence and hardening knobs also come from the
+environment (flags win): ``REPRO_SERVICE_SNAPSHOT_DIR``,
+``REPRO_SERVICE_SNAPSHOT_INTERVAL``, ``REPRO_SERVICE_RATE_LIMIT``,
+``REPRO_SERVICE_RATE_BURST`` and ``REPRO_SERVICE_SHARDS``.
 
 Examples::
 
-    python -m repro.service serve --policy 8-unit --capacity 262144 \
-        --port 7401 --check light
-    python -m repro.service load --tenants 4 --policy fifo \
-        --accesses 20000
-    python -m repro.service load --tenants 2 --connect 127.0.0.1:7401
+    python -m repro.service serve --policy 8-unit --port 7401 \
+        --snapshot-dir /var/tmp/shard-0 --rate-limit 200000
+    python -m repro.service load --tenants 4 --accesses 20000
+    python -m repro.service route --shards 2 --snapshot-root /var/tmp/fleet
+    python -m repro.service scale --shard-counts 1 2 4
+    python -m repro.service recovery --shards 2 --tenants 4
 """
 
 from __future__ import annotations
@@ -20,10 +29,25 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import sys
+import tempfile
 
+from repro.service.bench import run_recovery_bench, run_scale_bench
 from repro.service.client import run_load, write_report
+from repro.service.pool import WorkerPool
+from repro.service.router import RouterConfig, ServiceRouter
 from repro.service.server import CacheService, ServiceConfig
+
+
+def _env(name: str, cast, default=None):
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return cast(raw)
+    except (TypeError, ValueError):
+        raise SystemExit(f"bad {name}={raw!r}: expected {cast.__name__}")
 
 
 def _add_server_options(parser: argparse.ArgumentParser) -> None:
@@ -45,6 +69,25 @@ def _add_server_options(parser: argparse.ArgumentParser) -> None:
                         choices=("off", "light", "paranoid"),
                         help="invariant check level (default: "
                              "REPRO_CHECK_LEVEL or off)")
+    parser.add_argument("--snapshot-dir", default=_env(
+                            "REPRO_SERVICE_SNAPSHOT_DIR", str),
+                        help="arena snapshot + write-ahead-log directory; "
+                             "enables crash recovery (default: "
+                             "REPRO_SERVICE_SNAPSHOT_DIR or off)")
+    parser.add_argument("--snapshot-interval", type=int, default=_env(
+                            "REPRO_SERVICE_SNAPSHOT_INTERVAL", int, 50_000),
+                        help="arena accesses between snapshots "
+                             "(default: REPRO_SERVICE_SNAPSHOT_INTERVAL "
+                             "or 50000)")
+    parser.add_argument("--rate-limit", type=float, default=_env(
+                            "REPRO_SERVICE_RATE_LIMIT", float),
+                        help="per-tenant token-bucket rate in accesses/s "
+                             "(default: REPRO_SERVICE_RATE_LIMIT or off)")
+    parser.add_argument("--rate-burst", type=float, default=_env(
+                            "REPRO_SERVICE_RATE_BURST", float),
+                        help="token-bucket depth in accesses (default: "
+                             "REPRO_SERVICE_RATE_BURST or one second's "
+                             "worth)")
 
 
 def _config(args: argparse.Namespace, host: str, port: int) -> ServiceConfig:
@@ -57,16 +100,37 @@ def _config(args: argparse.Namespace, host: str, port: int) -> ServiceConfig:
         queue_batches=args.queue_batches,
         pressure_threshold=args.pressure,
         check_level=args.check,
+        snapshot_dir=args.snapshot_dir,
+        snapshot_interval=args.snapshot_interval,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
     )
+
+
+def _merge_section(path: str, section: str, report: dict) -> None:
+    """Fold *report* into ``path`` under *section*, keeping the rest."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if not isinstance(existing, dict):
+            existing = {}
+    except (FileNotFoundError, json.JSONDecodeError):
+        existing = {}
+    existing[section] = report
+    write_report(existing, path)
 
 
 async def _serve(args: argparse.Namespace) -> int:
     service = CacheService(_config(args, args.host, args.port))
     await service.start()
-    print(f"serving on {args.host}:{service.port} "
-          f"(policy={service.arena.policy.name}, "
-          f"capacity={service.arena.capacity_bytes} B, "
-          f"check={service.arena.check_level})")
+    line = (f"serving on {args.host}:{service.port} "
+            f"(policy={service.arena.policy.name}, "
+            f"capacity={service.arena.capacity_bytes} B, "
+            f"check={service.arena.check_level}")
+    if service.persister is not None:
+        line += (f", snapshots={service.persister.root}, "
+                 f"recovered={service.recovery['recovered']}")
+    print(line + ")", flush=True)
     try:
         await service.serve_forever()
     except (KeyboardInterrupt, asyncio.CancelledError):
@@ -103,6 +167,15 @@ async def _load(args: argparse.Namespace) -> int:
         report["arena"] = service.arena.to_dict()
     else:
         report["server"] = f"{host}:{port}"
+    # Keep the fleet-benchmark sections a previous run merged in.
+    try:
+        with open(args.output, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        for section in ("scaling", "recovery"):
+            if isinstance(existing, dict) and section in existing:
+                report[section] = existing[section]
+    except (FileNotFoundError, json.JSONDecodeError):
+        pass
     write_report(report, args.output)
     unified = report["unified"]
     print(f"{args.tenants} tenants, {report['total_accesses']} accesses "
@@ -116,15 +189,106 @@ async def _load(args: argparse.Namespace) -> int:
     return 0
 
 
+async def _route(args: argparse.Namespace) -> int:
+    pool = None
+    if args.connect_shards:
+        shards = {}
+        for index, spec in enumerate(args.connect_shards.split(",")):
+            host, _, port_text = spec.strip().rpartition(":")
+            shards[f"shard-{index}"] = (host or "127.0.0.1",
+                                        int(port_text))
+    else:
+        root = args.snapshot_root or tempfile.mkdtemp(
+            prefix="repro-fleet-"
+        )
+        pool = WorkerPool(
+            args.shards, root, policy=args.policy,
+            capacity_bytes=args.capacity,
+            snapshot_interval=args.snapshot_interval,
+            rate_limit=args.rate_limit, check_level=args.check,
+            max_sessions=args.max_sessions,
+        )
+        await pool.start()
+        shards = pool.endpoints()
+        print(f"pool of {args.shards} worker(s) under {root}:")
+        for shard, (host, port) in sorted(shards.items()):
+            print(f"  {shard} on {host}:{port}")
+    router = ServiceRouter(RouterConfig(
+        host=args.host, port=args.port, shards=shards,
+    ))
+    await router.start()
+    print(f"routing on {args.host}:{router.port} "
+          f"({len(shards)} shard(s))", flush=True)
+    try:
+        await router.serve_forever()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    finally:
+        await router.aclose()
+        if pool is not None:
+            await pool.stop()
+        print("router stopped:", json.dumps(router.describe()))
+    return 0
+
+
+async def _scale(args: argparse.Namespace) -> int:
+    root = args.snapshot_root or tempfile.mkdtemp(prefix="repro-scale-")
+    report = await run_scale_bench(
+        root, shard_counts=tuple(args.shard_counts),
+        tenants_per_shard=args.tenants_per_shard,
+        accesses=args.accesses, scale=args.scale, batch=args.batch,
+        policy=args.policy, capacity_bytes=args.capacity,
+        benchmarks=args.benchmarks,
+    )
+    _merge_section(args.output, "scaling", report)
+    for row in report["rows"]:
+        print(f"{row['shards']} shard(s): {row['tenants']} tenants, "
+              f"{row['accesses_per_second']:.0f}/s "
+              f"(speedup {row['speedup']:.2f}x)")
+    cores = report["cpu_count"] or 1
+    if cores < max(args.shard_counts):
+        print(f"note: only {cores} core(s) — worker processes "
+              f"serialize past that, so speedups are bounded by the "
+              f"hardware, not the fleet")
+    print(f"scaling section merged into {args.output}")
+    return 0
+
+
+async def _recovery(args: argparse.Namespace) -> int:
+    root = args.snapshot_root or tempfile.mkdtemp(
+        prefix="repro-recovery-"
+    )
+    report = await run_recovery_bench(
+        root, shards=args.shards, tenants=args.tenants,
+        accesses=args.accesses, scale=args.scale, batch=args.batch,
+        policy=args.policy, capacity_bytes=args.capacity,
+        benchmarks=args.benchmarks,
+        snapshot_interval=args.snapshot_interval,
+        kill_fraction=args.kill_fraction,
+    )
+    _merge_section(args.output, "recovery", report)
+    verdict = ("field-identical" if report["field_identical"]
+               else f"MISMATCH on {report['mismatched_tenants']}")
+    print(f"killed {report['killed_shard']} at batch round "
+          f"{report['killed_at_batch_round']}; restart+recovery took "
+          f"{report['restart_seconds']:.2f}s; "
+          f"{report['reconnects']} reconnect(s), "
+          f"{report['resends_skipped']} resend(s) deduplicated; "
+          f"recovered stats {verdict}")
+    print(f"recovery section merged into {args.output}")
+    return 0 if report["field_identical"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
-        description="Multi-tenant code-cache service and load harness.",
+        description="Multi-tenant code-cache service, router and "
+                    "fleet harnesses.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
     serve = commands.add_parser(
-        "serve", help="run the TCP server in the foreground"
+        "serve", help="run one worker in the foreground"
     )
     _add_server_options(serve)
     serve.add_argument("--host", default="127.0.0.1")
@@ -153,8 +317,62 @@ def main(argv: list[str] | None = None) -> int:
     load.add_argument("--output", default="BENCH_service.json",
                       help="report path (default: BENCH_service.json)")
 
+    route = commands.add_parser(
+        "route", help="run the consistent-hashing router (spawning a "
+                      "worker pool unless --connect-shards)"
+    )
+    _add_server_options(route)
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=7400)
+    route.add_argument("--shards", type=int,
+                       default=_env("REPRO_SERVICE_SHARDS", int, 2),
+                       help="workers to spawn (default: "
+                            "REPRO_SERVICE_SHARDS or 2)")
+    route.add_argument("--snapshot-root", default=None,
+                       help="parent directory for per-shard snapshot "
+                            "dirs (default: a temp dir)")
+    route.add_argument("--connect-shards", default=None,
+                       metavar="HOST:PORT,...",
+                       help="front already-running workers instead of "
+                            "spawning a pool")
+
+    scale = commands.add_parser(
+        "scale", help="weak-scaling benchmark across shard counts"
+    )
+    _add_server_options(scale)
+    scale.add_argument("--shard-counts", type=int, nargs="+",
+                       default=[1, 2, 4])
+    scale.add_argument("--tenants-per-shard", type=int, default=4)
+    scale.add_argument("--benchmarks", nargs="*", default=None)
+    scale.add_argument("--scale", type=float, default=0.25)
+    scale.add_argument("--accesses", type=int, default=20_000)
+    scale.add_argument("--batch", type=int, default=256)
+    scale.add_argument("--snapshot-root", default=None)
+    scale.add_argument("--output", default="BENCH_service.json")
+
+    recovery = commands.add_parser(
+        "recovery", help="kill-one-worker crash drill vs a reference run"
+    )
+    _add_server_options(recovery)
+    recovery.add_argument("--shards", type=int,
+                          default=_env("REPRO_SERVICE_SHARDS", int, 2))
+    recovery.add_argument("--tenants", type=int, default=4)
+    recovery.add_argument("--benchmarks", nargs="*", default=None)
+    recovery.add_argument("--scale", type=float, default=0.25)
+    recovery.add_argument("--accesses", type=int, default=12_000)
+    recovery.add_argument("--batch", type=int, default=256)
+    recovery.add_argument("--kill-fraction", type=float, default=0.4)
+    recovery.add_argument("--snapshot-root", default=None)
+    recovery.add_argument("--output", default="BENCH_service.json")
+
     args = parser.parse_args(argv)
-    runner = _serve if args.command == "serve" else _load
+    runner = {
+        "serve": _serve,
+        "load": _load,
+        "route": _route,
+        "scale": _scale,
+        "recovery": _recovery,
+    }[args.command]
     try:
         return asyncio.run(runner(args))
     except KeyboardInterrupt:

@@ -1,0 +1,278 @@
+"""Fleet benchmarks: shard scaling and kill-and-recover timing.
+
+Two harnesses, both running *real* worker processes from
+:class:`~repro.service.pool.WorkerPool`:
+
+* :func:`run_scale_bench` — weak scaling: N shards serve N×T tenants
+  (balanced round-robin placement, so the measurement is worker
+  throughput rather than hash-ring luck on a handful of names) and the
+  aggregate accesses/second is compared against the 1-shard baseline.
+  Near-linear speedup is the point of sharding: every worker owns its
+  arena outright, so there is no cross-shard lock to serialize on.
+* :func:`run_recovery_bench` — the crash drill: the same deterministic
+  round-robin driver is run twice over identical seeded traces, once
+  uninterrupted (the reference) and once with one worker SIGKILLed
+  mid-run and restarted over its snapshot + write-ahead log while the
+  resilient clients ride through on retry/backoff + resume.  The run
+  reports the restart-to-ready wall time, the worker's own recovery
+  breakdown, and — the acceptance bar — whether every tenant's final
+  Equation 1 stats came out *field-identical* to the reference run.
+
+Determinism note: the drivers send batches in ``sync`` mode,
+round-robin across tenants from a single task, so the arena applies
+batches in one fixed interleaving.  That is what makes the
+field-identical comparison meaningful — and it is exactly the
+interleaving the write-ahead log re-creates on replay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from pathlib import Path
+
+from repro.service.client import ResilientClient
+from repro.service.pool import WorkerPool
+from repro.service.router import HashRing
+from repro.workloads.registry import (
+    build_workload,
+    get_benchmark,
+    spec_benchmarks,
+)
+
+DEFAULT_SHARD_COUNTS = (1, 2, 4)
+
+
+def _tenant_traces(tenants: int, benchmarks: list[str] | None,
+                   scale: float, accesses: int) -> list[dict]:
+    """Seeded per-tenant traces; identical across harness runs."""
+    if benchmarks:
+        names = [benchmarks[i % len(benchmarks)] for i in range(tenants)]
+    else:
+        suite = [spec.name for spec in spec_benchmarks()]
+        names = [suite[i % len(suite)] for i in range(tenants)]
+    out = []
+    for index in range(tenants):
+        workload = build_workload(
+            get_benchmark(names[index]), scale=scale,
+            trace_accesses=accesses, seed=1000 + index,
+        )
+        sizes = workload.superblocks.sizes()
+        out.append({
+            "tenant": f"tenant-{index}:{names[index]}",
+            "benchmark": names[index],
+            "block_sizes": [sizes[sid] for sid in range(len(sizes))],
+            "trace": workload.trace.tolist(),
+        })
+    return out
+
+
+async def run_scale_bench(root: str | Path,
+                          shard_counts=DEFAULT_SHARD_COUNTS,
+                          tenants_per_shard: int = 4,
+                          accesses: int = 20_000, scale: float = 0.25,
+                          batch: int = 256, policy: str = "8-unit",
+                          capacity_bytes: int = 256 * 1024,
+                          benchmarks: list[str] | None = None,
+                          snapshot_interval: int = 1_000_000) -> dict:
+    """Weak-scaling sweep; returns rows plus speedup vs one shard."""
+    root = Path(root)
+    rows = []
+    for count in shard_counts:
+        pool = WorkerPool(
+            count, root / f"scale-{count}", policy=policy,
+            capacity_bytes=capacity_bytes,
+            snapshot_interval=snapshot_interval,
+        )
+        await pool.start()
+        try:
+            shard_ids = sorted(pool.workers)
+            endpoints = pool.endpoints()
+            tenants = count * tenants_per_shard
+            specs = _tenant_traces(tenants, benchmarks, scale, accesses)
+
+            async def drive(index: int, spec: dict) -> dict:
+                shard = shard_ids[index % len(shard_ids)]
+                client = ResilientClient(
+                    [endpoints[shard]], spec["tenant"],
+                    block_sizes=spec["block_sizes"],
+                )
+                try:
+                    await client.connect()
+                    trace = spec["trace"]
+                    for start in range(0, len(trace), batch):
+                        await client.access(trace[start:start + batch])
+                    farewell = await client.close_session()
+                    return {"accesses": len(trace),
+                            "stats": farewell["tenant"]}
+                finally:
+                    await client.aclose()
+
+            started = time.monotonic()
+            results = await asyncio.gather(*(
+                drive(i, spec) for i, spec in enumerate(specs)
+            ))
+            elapsed = time.monotonic() - started
+        finally:
+            await pool.stop()
+        total = sum(r["accesses"] for r in results)
+        rows.append({
+            "shards": count,
+            "tenants": tenants,
+            "total_accesses": total,
+            "elapsed_seconds": elapsed,
+            "accesses_per_second": total / elapsed if elapsed else 0.0,
+        })
+    baseline = rows[0]["accesses_per_second"] or 1.0
+    for row in rows:
+        row["speedup"] = row["accesses_per_second"] / baseline
+    return {
+        "harness": "repro.service scale",
+        # Worker processes only run in parallel up to the core count;
+        # on a 1-core box this sweep measures fleet overhead, not
+        # scaling, so record the hardware the numbers came from.
+        "cpu_count": os.cpu_count(),
+        "policy": policy,
+        "capacity_bytes": capacity_bytes,
+        "tenants_per_shard": tenants_per_shard,
+        "accesses_per_tenant": accesses,
+        "batch": batch,
+        "rows": rows,
+    }
+
+
+async def _drive_round_robin(clients: list[ResilientClient],
+                             traces: list[list[int]], batch: int,
+                             kill_at_batch: int | None = None,
+                             on_kill=None) -> None:
+    """One task, one fixed interleaving: batch k of every tenant, in
+    tenant order, before batch k+1 of anyone."""
+    longest = max(len(trace) for trace in traces)
+    batch_round = 0
+    for start in range(0, longest, batch):
+        if kill_at_batch is not None and batch_round == kill_at_batch:
+            await on_kill()
+        batch_round += 1
+        for client, trace in zip(clients, traces):
+            chunk = trace[start:start + batch]
+            if chunk:
+                await client.access(chunk)
+
+
+async def _run_fleet(root: Path, shards: int, specs: list[dict],
+                     batch: int, policy: str, capacity_bytes: int,
+                     snapshot_interval: int,
+                     kill_shard: str | None = None,
+                     kill_at_batch: int | None = None) -> dict:
+    """One recovery-drill run; optionally kill + restart one shard."""
+    pool = WorkerPool(
+        shards, root, policy=policy, capacity_bytes=capacity_bytes,
+        snapshot_interval=snapshot_interval,
+    )
+    await pool.start()
+    timings: dict = {}
+    try:
+        ring = HashRing(sorted(pool.workers))
+        endpoints = pool.endpoints()
+        clients = [
+            ResilientClient(
+                [endpoints[ring.lookup(spec["tenant"])]], spec["tenant"],
+                block_sizes=spec["block_sizes"], sync=True,
+            )
+            for spec in specs
+        ]
+        for client in clients:
+            await client.connect()
+
+        restart_task: asyncio.Task | None = None
+
+        async def kill_and_restart() -> None:
+            await pool.kill(kill_shard)
+            timings["killed_at"] = time.monotonic()
+
+            async def restart() -> None:
+                await pool.restart(kill_shard)
+                timings["ready_at"] = time.monotonic()
+
+            nonlocal restart_task
+            restart_task = asyncio.get_running_loop().create_task(
+                restart()
+            )
+
+        await _drive_round_robin(
+            clients, [spec["trace"] for spec in specs], batch,
+            kill_at_batch=kill_at_batch,
+            on_kill=kill_and_restart if kill_shard else None,
+        )
+        if restart_task is not None:
+            await restart_task
+        stats = {}
+        reconnects = 0
+        resends_skipped = 0
+        for client, spec in zip(clients, specs):
+            farewell = await client.close_session()
+            stats[spec["tenant"]] = farewell["tenant"]
+            reconnects += client.reconnects
+            resends_skipped += client.resends_skipped
+        return {
+            "stats": stats,
+            "reconnects": reconnects,
+            "resends_skipped": resends_skipped,
+            "restart_seconds": (
+                timings["ready_at"] - timings["killed_at"]
+                if "ready_at" in timings else None
+            ),
+        }
+    finally:
+        await pool.stop()
+
+
+async def run_recovery_bench(root: str | Path, shards: int = 2,
+                             tenants: int = 4, accesses: int = 12_000,
+                             scale: float = 0.25, batch: int = 256,
+                             policy: str = "8-unit",
+                             capacity_bytes: int = 256 * 1024,
+                             benchmarks: list[str] | None = None,
+                             snapshot_interval: int = 2_000,
+                             kill_fraction: float = 0.4) -> dict:
+    """The crash drill: reference run vs kill-one-worker run.
+
+    Returns the restart wall time, the recovered worker's own recovery
+    report, and the per-tenant field-identity verdict.
+    """
+    root = Path(root)
+    specs = _tenant_traces(tenants, benchmarks, scale, accesses)
+    total_batches = (accesses + batch - 1) // batch
+    kill_at = max(1, int(total_batches * kill_fraction))
+
+    reference = await _run_fleet(
+        root / "reference", shards, specs, batch, policy,
+        capacity_bytes, snapshot_interval,
+    )
+    drill = await _run_fleet(
+        root / "drill", shards, specs, batch, policy,
+        capacity_bytes, snapshot_interval,
+        kill_shard="shard-0", kill_at_batch=kill_at,
+    )
+    mismatches = []
+    for spec in specs:
+        tenant = spec["tenant"]
+        if reference["stats"][tenant] != drill["stats"][tenant]:
+            mismatches.append(tenant)
+    return {
+        "harness": "repro.service recovery",
+        "cpu_count": os.cpu_count(),
+        "shards": shards,
+        "tenants": tenants,
+        "accesses_per_tenant": accesses,
+        "batch": batch,
+        "snapshot_interval": snapshot_interval,
+        "killed_shard": "shard-0",
+        "killed_at_batch_round": kill_at,
+        "restart_seconds": drill["restart_seconds"],
+        "reconnects": drill["reconnects"],
+        "resends_skipped": drill["resends_skipped"],
+        "field_identical": not mismatches,
+        "mismatched_tenants": mismatches,
+    }

@@ -1,10 +1,20 @@
-"""The service client and the multi-tenant load harness.
+"""The service clients and the multi-tenant load harness.
 
 :class:`ServiceClient` speaks the JSON-lines protocol over one TCP
 connection (one session per connection), with automatic bounded retry
-on the two retryable rejections — admission (``overloaded`` /
-``draining``) and backpressure — honouring the server's ``retry_after``
-hint.
+on the retryable rejections — admission (``overloaded`` /
+``draining``), backpressure and ``rate-limited`` — honouring the
+server's ``retry_after`` hint.
+
+:class:`ResilientClient` layers crash-survival on top: every access
+batch carries a monotonically-increasing per-tenant sequence number,
+and when the connection dies (worker killed, shard restarted) the
+client walks its endpoint list, reconnects, re-hellos with ``resume``,
+learns the server's ``applied_seq`` watermark from the greeting, and
+resends the in-flight batch only if the crash actually lost it.
+Combined with the server-side write-ahead log this is exactly-once
+end to end: a batch the worker logged before dying is skipped on
+resend, and one it never saw is replayed.
 
 :func:`run_load` is the harness behind ``python -m repro.service load``:
 N concurrent tenants, each replaying a registry benchmark's access
@@ -77,21 +87,28 @@ class ServiceClient:
                     block_sizes: list[int] | None = None,
                     scale: float | None = None,
                     quota_bytes: int | None = None,
-                    weight: float | None = None) -> dict:
+                    weight: float | None = None,
+                    resume: bool | None = None) -> dict:
         message = {"op": "hello", "tenant": tenant}
         for key, value in (("benchmark", benchmark),
                            ("block_sizes", block_sizes), ("scale", scale),
-                           ("quota_bytes", quota_bytes), ("weight", weight)):
+                           ("quota_bytes", quota_bytes), ("weight", weight),
+                           ("resume", resume)):
             if value is not None:
                 message[key] = value
         return await self._request_retrying(
             message, (protocol.ERR_OVERLOADED,)
         )
 
-    async def access(self, sids: list[int]) -> dict:
+    async def access(self, sids: list[int], seq: int | None = None,
+                     sync: bool | None = None) -> dict:
+        message = {"op": "access", "sids": list(sids)}
+        if seq is not None:
+            message["seq"] = seq
+        if sync is not None:
+            message["sync"] = sync
         return await self._request_retrying(
-            {"op": "access", "sids": list(sids)},
-            (protocol.ERR_BACKPRESSURE,),
+            message, (protocol.ERR_BACKPRESSURE, protocol.ERR_RATE_LIMITED),
         )
 
     async def stats(self) -> dict:
@@ -111,32 +128,245 @@ class ServiceClient:
             pass
 
 
+#: Rejections worth sleeping on and retrying in place.
+_RETRYABLE = (
+    protocol.ERR_OVERLOADED,
+    protocol.ERR_DRAINING,
+    protocol.ERR_BACKPRESSURE,
+    protocol.ERR_RATE_LIMITED,
+    protocol.ERR_SHARD_UNAVAILABLE,
+)
+
+
+class ResilientClient:
+    """One tenant's session that survives worker restarts and failover.
+
+    *endpoints* is an ordered list of ``(host, port)`` pairs — shard
+    workers, or routers fronting them.  The client sticks to one
+    endpoint until it fails, then walks the list with backoff.  After
+    every (re)connect it hellos with ``resume``: a persistence-enabled
+    worker that recovered (or parked) the tenant re-adopts it and
+    reports its ``applied_seq`` watermark, which decides whether the
+    batch in flight when the connection died must be resent or was
+    already applied and write-ahead logged.  The server deduplicates by
+    sequence number regardless, so a conservative resend is safe.
+    """
+
+    def __init__(self, endpoints: list[tuple[str, int]], tenant: str,
+                 block_sizes: list[int] | None = None,
+                 benchmark: str | None = None, scale: float | None = None,
+                 quota_bytes: int | None = None,
+                 weight: float | None = None,
+                 max_retries: int = DEFAULT_RETRIES,
+                 reconnect_backoff: float = 0.05,
+                 sync: bool = False) -> None:
+        if not endpoints:
+            raise ValueError("ResilientClient needs at least one endpoint")
+        self.endpoints = list(endpoints)
+        self.tenant = tenant
+        self.block_sizes = block_sizes
+        self.benchmark = benchmark
+        self.scale = scale
+        self.quota_bytes = quota_bytes
+        self.weight = weight
+        self.max_retries = max_retries
+        self.reconnect_backoff = reconnect_backoff
+        self.sync = sync
+        self.next_seq = 1
+        #: The server-confirmed exactly-once watermark.
+        self.applied_seq = 0
+        self.reconnects = 0
+        self.resends_skipped = 0
+        self.retried = 0
+        self.endpoint: tuple[str, int] | None = None
+        self._client: ServiceClient | None = None
+        self._endpoint_index = 0
+
+    @property
+    def retried_requests(self) -> int:
+        inner = self._client.retries if self._client is not None else 0
+        return self.retried + inner
+
+    async def connect(self) -> dict:
+        """Connect (or reconnect) and open/resume the session."""
+        return await self._ensure()
+
+    async def _ensure(self) -> dict:
+        if self._client is not None:
+            return {"ok": True, "op": "hello", "cached": True}
+        last_error: Exception | None = None
+        for attempt in range(self.max_retries):
+            host, port = self.endpoints[
+                self._endpoint_index % len(self.endpoints)
+            ]
+            try:
+                client = await ServiceClient.connect(
+                    host, port, max_retries=self.max_retries
+                )
+            except (ConnectionError, OSError) as error:
+                last_error = error
+                self._endpoint_index += 1
+                await asyncio.sleep(
+                    self.reconnect_backoff * min(attempt + 1, 8)
+                )
+                continue
+            try:
+                greeting = await client.hello(
+                    self.tenant, benchmark=self.benchmark,
+                    block_sizes=self.block_sizes, scale=self.scale,
+                    quota_bytes=self.quota_bytes, weight=self.weight,
+                    resume=True,
+                )
+            except (ConnectionError, OSError, ServiceUnavailable) as error:
+                last_error = error
+                await client.aclose()
+                self._endpoint_index += 1
+                await asyncio.sleep(
+                    self.reconnect_backoff * min(attempt + 1, 8)
+                )
+                continue
+            if not greeting.get("ok"):
+                await client.aclose()
+                last_error = ServiceUnavailable(
+                    f"hello rejected: {greeting.get('detail')}"
+                )
+                self.retried += 1
+                self._endpoint_index += 1
+                await asyncio.sleep(greeting.get(
+                    "retry_after",
+                    self.reconnect_backoff * min(attempt + 1, 8),
+                ))
+                continue
+            self._client = client
+            self.endpoint = (host, port)
+            self.applied_seq = max(
+                self.applied_seq, greeting.get("applied_seq", 0)
+            )
+            return greeting
+        raise ServiceUnavailable(
+            f"tenant {self.tenant!r} could not reach any of "
+            f"{len(self.endpoints)} endpoint(s) in {self.max_retries} "
+            f"attempts: {last_error}"
+        )
+
+    async def _drop(self) -> None:
+        if self._client is not None:
+            self.retried += self._client.retries
+            await self._client.aclose()
+            self._client = None
+            self.reconnects += 1
+            self._endpoint_index += 1
+
+    async def access(self, sids: list[int]) -> dict:
+        """Send one sequenced batch, riding through crashes."""
+        seq = self.next_seq
+        self.next_seq += 1
+        reconnected = False
+        for _ in range(self.max_retries):
+            if self._client is None:
+                await self._ensure()
+                reconnected = True
+            if reconnected and self.applied_seq >= seq:
+                # The worker logged this batch before dying; the ack was
+                # what the crash ate.  Resending would be deduplicated
+                # server-side anyway, so just skip the round trip.
+                self.resends_skipped += 1
+                return {"ok": True, "op": "access", "deduped": True}
+            message = {"op": "access", "sids": list(sids), "seq": seq}
+            if self.sync:
+                message["sync"] = True
+            try:
+                response = await self._client.request(message)
+            except (ConnectionError, OSError):
+                await self._drop()
+                continue
+            if response.get("ok"):
+                return response
+            error = response.get("error")
+            if error == protocol.ERR_NO_SESSION:
+                # The server parked the session (an earlier connection
+                # loss it noticed before we did); re-adopt it.
+                await self._drop()
+                continue
+            if error in _RETRYABLE:
+                self.retried += 1
+                await asyncio.sleep(response.get("retry_after", 0.05))
+                if error == protocol.ERR_SHARD_UNAVAILABLE:
+                    await self._drop()
+                continue
+            raise ServiceUnavailable(
+                f"access rejected ({error}): {response.get('detail')}"
+            )
+        raise ServiceUnavailable(
+            f"access batch seq={seq} still failing after "
+            f"{self.max_retries} attempts"
+        )
+
+    async def _simple(self, op: str) -> dict:
+        for _ in range(self.max_retries):
+            if self._client is None:
+                await self._ensure()
+            try:
+                response = await self._client.request({"op": op})
+            except (ConnectionError, OSError):
+                await self._drop()
+                continue
+            error = response.get("error")
+            if error == protocol.ERR_NO_SESSION:
+                await self._drop()
+                continue
+            if not response.get("ok") and error in _RETRYABLE:
+                self.retried += 1
+                await asyncio.sleep(response.get("retry_after", 0.05))
+                if error == protocol.ERR_SHARD_UNAVAILABLE:
+                    await self._drop()
+                continue
+            return response
+        raise ServiceUnavailable(
+            f"{op} still failing after {self.max_retries} attempts"
+        )
+
+    async def stats(self) -> dict:
+        return await self._simple("stats")
+
+    async def close_session(self) -> dict:
+        response = await self._simple("close")
+        await self.aclose()
+        return response
+
+    async def aclose(self) -> None:
+        if self._client is not None:
+            self.retried += self._client.retries
+            await self._client.aclose()
+            self._client = None
+
+
 async def run_tenant(host: str, port: int, tenant: str, benchmark: str,
                      scale: float, accesses: int, batch: int,
                      quota_bytes: int | None = None,
-                     weight: float = 1.0, seed: int | None = None) -> dict:
-    """One load-generator tenant: replay a registry trace end to end."""
+                     weight: float = 1.0, seed: int | None = None,
+                     endpoints: list[tuple[str, int]] | None = None,
+                     sync: bool = False) -> dict:
+    """One load-generator tenant: replay a registry trace end to end.
+
+    Runs on the resilient client, so a worker kill-and-restart mid-run
+    is ridden through: the sequence numbers plus the server's WAL make
+    the replay exactly-once despite the reconnects.  *endpoints* (when
+    given) supersedes ``host``/``port`` as the failover list.
+    """
     workload = build_workload(get_benchmark(benchmark), scale=scale,
                               trace_accesses=accesses, seed=seed)
     sizes = workload.superblocks.sizes()
     block_sizes = [sizes[sid] for sid in range(len(sizes))]
-    client = await ServiceClient.connect(host, port)
+    client = ResilientClient(
+        endpoints or [(host, port)], tenant, block_sizes=block_sizes,
+        quota_bytes=quota_bytes, weight=weight, sync=sync,
+    )
     try:
-        greeting = await client.hello(
-            tenant, block_sizes=block_sizes,
-            quota_bytes=quota_bytes, weight=weight,
-        )
-        if not greeting.get("ok"):
-            raise ServiceUnavailable(
-                f"hello rejected: {greeting.get('detail')}"
-            )
+        await client.connect()
         trace = workload.trace.tolist()
         for start in range(0, len(trace), batch):
-            response = await client.access(trace[start:start + batch])
-            if not response.get("ok"):
-                raise ServiceUnavailable(
-                    f"access rejected: {response.get('detail')}"
-                )
+            await client.access(trace[start:start + batch])
         farewell = await client.close_session()
         if not farewell.get("ok"):
             raise ServiceUnavailable(
@@ -148,7 +378,9 @@ async def run_tenant(host: str, port: int, tenant: str, benchmark: str,
             "accesses": len(trace),
             "stats": farewell["tenant"],
             "unified_after": farewell["unified"],
-            "retried_requests": client.retries,
+            "retried_requests": client.retried_requests,
+            "reconnects": client.reconnects,
+            "resends_skipped": client.resends_skipped,
         }
     finally:
         await client.aclose()
@@ -158,7 +390,9 @@ async def run_load(host: str, port: int, tenants: int,
                    benchmarks: list[str] | None = None,
                    scale: float = 0.25, accesses: int = 20_000,
                    batch: int = DEFAULT_BATCH,
-                   quota_bytes: int | None = None) -> dict:
+                   quota_bytes: int | None = None,
+                   endpoints: list[tuple[str, int]] | None = None,
+                   sync: bool = False) -> dict:
     """Drive *tenants* concurrent sessions; returns the load report."""
     if benchmarks:
         names = [benchmarks[i % len(benchmarks)] for i in range(tenants)]
@@ -169,7 +403,8 @@ async def run_load(host: str, port: int, tenants: int,
     results = await asyncio.gather(*(
         run_tenant(host, port, f"tenant-{i}:{names[i]}", names[i],
                    scale=scale, accesses=accesses, batch=batch,
-                   quota_bytes=quota_bytes, seed=1000 + i)
+                   quota_bytes=quota_bytes, seed=1000 + i,
+                   endpoints=endpoints, sync=sync)
         for i in range(tenants)
     ))
     elapsed = time.monotonic() - started
@@ -188,6 +423,8 @@ async def run_load(host: str, port: int, tenants: int,
             total_accesses / elapsed if elapsed > 0 else 0.0
         ),
         "unified": unified,
+        "reconnects": sum(r["reconnects"] for r in results),
+        "resends_skipped": sum(r["resends_skipped"] for r in results),
         "per_tenant": [
             {
                 "tenant": r["tenant"],

@@ -1,0 +1,371 @@
+"""Arena persistence: periodic snapshots plus a write-ahead access log.
+
+The service tier used to die with its process: one crash lost every
+tenant's arena residency, stats and session state.  This module gives a
+worker a durable spine built from two pieces, both flowing through the
+sweep engine's :class:`~repro.analysis.checkpoint.CheckpointStore`
+machinery (atomic temp-file-and-replace writes, quarantine instead of
+silent deletion):
+
+* **Snapshots** — a pickle of the whole arena (the configured policy
+  object with its live cache state, the tenant table with per-tenant
+  Equation 1 stats and exactly-once watermarks, the unified counters),
+  written every ``snapshot_interval`` arena accesses and atomically
+  replaced.  A snapshot records the write-ahead-log sequence it covers,
+  so replay after a crash between "snapshot written" and "log
+  truncated" simply skips the already-covered records.
+* **Write-ahead log** — one JSON line per arena mutation (attach,
+  access batch, detach), appended and flushed *inside the same critical
+  section that applies it*, so the log's record order is exactly the
+  arena's apply order and replay reproduces the identical cross-tenant
+  interleaving.  A SIGKILL can tear at most the final line; the torn
+  tail is detected by the JSON parser and dropped, which is the bounded
+  data loss the resumed clients' sequence numbers paper over.
+
+Recovery (:func:`recover_arena`) loads the latest snapshot — verifying
+it against the worker's configuration fingerprint, quarantining a
+corrupt or mismatched one — then replays the log tail on top.  The
+result is an arena whose per-tenant stats are field-identical to the
+moment each logged batch was applied; a resumed session learns its
+``applied_seq`` watermark from the hello response and resends
+everything after it.
+
+Fault points: ``service.snapshot`` covers the snapshot bytes on both
+the store and load sides (``corrupt`` mode damages them, which the
+loader must catch and quarantine); ``service.replay`` fires once per
+replayed record, so a ``raise`` spec proves a poisoned log is
+quarantined rather than half-applied in a loop forever.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+import warnings
+from pathlib import Path
+
+from repro import faults
+from repro.analysis.checkpoint import CheckpointStore
+
+#: Blob name of the arena snapshot inside the persister's store.
+SNAPSHOT_BLOB = "arena-snapshot.pkl"
+
+#: File name of the write-ahead log (JSON lines) next to the snapshot.
+WAL_NAME = "arena-wal.jsonl"
+
+#: Default accesses between snapshots.
+DEFAULT_SNAPSHOT_INTERVAL = 50_000
+
+#: WAL record types recovery understands.
+_RECORD_TYPES = ("attach", "access", "detach")
+
+
+class RecoveryError(RuntimeError):
+    """Recovery could not produce a usable arena at all."""
+
+
+class ArenaPersister:
+    """One worker's durable spine: a snapshot blob plus a WAL file.
+
+    Thread-safety: every mutating entry point is called by the arena
+    while it holds its own lock, so the persister needs none of its own.
+    """
+
+    def __init__(self, root: str | Path,
+                 snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL) -> None:
+        self.root = Path(root)
+        self.store = CheckpointStore(self.root)
+        self.snapshot_interval = max(1, int(snapshot_interval))
+        self.wal_path = self.root / WAL_NAME
+        self._wal_file = None
+        #: Last global sequence number assigned (or observed in replay).
+        self.wal_seq = 0
+        #: Sequence covered by the last snapshot; replay skips <= this.
+        self.snapshot_seq = 0
+        self._accesses_at_snapshot = 0
+        #: True while recovery replays the log — suppresses re-logging.
+        self.replaying = False
+        self.records_logged = 0
+        self.snapshots_written = 0
+        self.records_replayed = 0
+        self.records_skipped = 0
+        self.replay_truncated = 0
+        self.replay_quarantined = 0
+        self.recovered = False
+        self.recovery_seconds: float | None = None
+
+    # -- The write-ahead log -------------------------------------------------
+
+    def _wal(self):
+        if self._wal_file is None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._wal_file = open(self.wal_path, "ab")
+        return self._wal_file
+
+    def _log(self, record: dict) -> None:
+        if self.replaying:
+            return
+        self.wal_seq += 1
+        record["seq"] = self.wal_seq
+        line = json.dumps(record, separators=(",", ":"),
+                          sort_keys=True).encode("utf-8") + b"\n"
+        handle = self._wal()
+        handle.write(line)
+        # Flush to the OS so a SIGKILLed worker loses nothing it
+        # acknowledged as applied; surviving an OS crash would need an
+        # fsync here, which the service tier does not promise.
+        handle.flush()
+        self.records_logged += 1
+
+    def log_attach(self, name: str, block_sizes, quota) -> None:
+        self._log({
+            "type": "attach",
+            "tenant": name,
+            "block_sizes": [int(size) for size in block_sizes],
+            "quota_bytes": quota.quota_bytes,
+            "weight": quota.weight,
+        })
+
+    def log_access(self, name: str, sids, tseq: int | None) -> None:
+        self._log({
+            "type": "access",
+            "tenant": name,
+            "sids": [int(sid) for sid in sids],
+            "tseq": tseq,
+        })
+
+    def log_detach(self, name: str) -> None:
+        self._log({"type": "detach", "tenant": name})
+
+    def read_wal(self) -> list[dict]:
+        """Every well-formed WAL record, in order.
+
+        Parsing stops at the first undecodable or structurally-invalid
+        line: a crash can tear the final append, and nothing after a
+        damaged record can be trusted to be in apply order.
+        """
+        try:
+            raw = self.wal_path.read_bytes()
+        except FileNotFoundError:
+            return []
+        records: list[dict] = []
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if (not isinstance(record, dict)
+                        or record.get("type") not in _RECORD_TYPES
+                        or not isinstance(record.get("seq"), int)):
+                    raise ValueError("malformed WAL record")
+            except Exception:
+                self.replay_truncated += 1
+                break
+            records.append(record)
+        return records
+
+    # -- Snapshots -----------------------------------------------------------
+
+    def snapshot_due(self, total_accesses: int) -> bool:
+        if self.replaying:
+            return False
+        return (total_accesses - self._accesses_at_snapshot
+                >= self.snapshot_interval)
+
+    def write_snapshot(self, state: dict, total_accesses: int) -> bool:
+        """Persist *state* atomically; True when the blob was written.
+
+        On success the WAL is truncated — every record the snapshot
+        covers is identified by ``wal_seq`` inside the blob, so a crash
+        between the two steps only means replay skips covered records.
+        """
+        state = dict(state)
+        state["wal_seq"] = self.wal_seq
+        try:
+            payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            warnings.warn(
+                f"arena snapshot could not be pickled ({exc!r}); "
+                f"continuing on the write-ahead log alone",
+                RuntimeWarning, stacklevel=2,
+            )
+            return False
+        payload = faults.fire("service.snapshot", key="store", data=payload)
+        if self.store.store_blob(SNAPSHOT_BLOB, payload) is None:
+            return False
+        self.snapshot_seq = self.wal_seq
+        self._accesses_at_snapshot = total_accesses
+        self.snapshots_written += 1
+        self._truncate_wal()
+        return True
+
+    def _truncate_wal(self) -> None:
+        if self._wal_file is not None:
+            self._wal_file.close()
+            self._wal_file = None
+        try:
+            self.wal_path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def load_snapshot(self, expected_fingerprint: dict) -> dict | None:
+        """The latest snapshot state, or None (quarantining bad blobs).
+
+        A snapshot that cannot be unpickled, has the wrong shape, or
+        was taken under a different configuration fingerprint is moved
+        into quarantine for post-mortem inspection and reported absent —
+        recovery then proceeds from the write-ahead log alone.
+        """
+        payload = self.store.load_blob(SNAPSHOT_BLOB)
+        if payload is None:
+            return None
+        try:
+            payload = faults.fire("service.snapshot", key="load",
+                                  data=payload)
+            state = pickle.loads(payload)
+            if not isinstance(state, dict) or "by_slot" not in state:
+                raise TypeError(
+                    f"snapshot holds {type(state).__name__}, expected an "
+                    f"arena state dict"
+                )
+            if state.get("fingerprint") != expected_fingerprint:
+                raise ValueError(
+                    f"snapshot fingerprint {state.get('fingerprint')} does "
+                    f"not match this worker's {expected_fingerprint}"
+                )
+        except Exception as exc:
+            self.store.quarantine_blob(SNAPSHOT_BLOB, f"corrupt ({exc})")
+            return None
+        return state
+
+    def close(self) -> None:
+        if self._wal_file is not None:
+            self._wal_file.close()
+            self._wal_file = None
+
+    def to_dict(self) -> dict:
+        return {
+            "root": str(self.root),
+            "snapshot_interval": self.snapshot_interval,
+            "wal_seq": self.wal_seq,
+            "snapshot_seq": self.snapshot_seq,
+            "records_logged": self.records_logged,
+            "snapshots_written": self.snapshots_written,
+            "records_replayed": self.records_replayed,
+            "records_skipped": self.records_skipped,
+            "replay_truncated": self.replay_truncated,
+            "replay_quarantined": self.replay_quarantined,
+            "recovered": self.recovered,
+            "recovery_seconds": self.recovery_seconds,
+        }
+
+
+def recover_arena(
+    persister: ArenaPersister,
+    *,
+    policy: str,
+    capacity_bytes: int,
+    max_block_bytes: int,
+    pressure_threshold: float | None = None,
+    reclaim_fraction: float = 0.85,
+    check_level: str | None = None,
+    check_context: dict | None = None,
+):
+    """Build a worker's arena from snapshot + WAL replay (or fresh).
+
+    Returns ``(arena, report)``.  The arena is always usable: a missing
+    or quarantined snapshot degrades to WAL-only replay, a damaged WAL
+    record stops replay there (the remainder is quarantined with the
+    log file), and an empty directory yields a fresh arena.
+    """
+    from repro.service.tenancy import SharedArena, TenantQuota, make_policy
+
+    started = time.monotonic()
+    fresh_policy = make_policy(policy)
+    arena_kwargs = dict(
+        max_block_bytes=max_block_bytes,
+        pressure_threshold=pressure_threshold,
+        reclaim_fraction=reclaim_fraction,
+        check_level=check_level,
+        check_context=check_context,
+        persister=persister,
+    )
+    expected = {
+        "policy": fresh_policy.name,
+        "capacity_bytes": capacity_bytes,
+        "max_block_bytes": max_block_bytes,
+    }
+    state = persister.load_snapshot(expected)
+    if state is not None:
+        arena = SharedArena(state["policy_object"], capacity_bytes,
+                            restore_state=state, **arena_kwargs)
+        snapshot_seq = int(state.get("wal_seq", 0))
+    else:
+        arena = SharedArena(fresh_policy, capacity_bytes, **arena_kwargs)
+        snapshot_seq = 0
+    persister.snapshot_seq = snapshot_seq
+    persister._accesses_at_snapshot = arena.total_accesses
+
+    max_seq = snapshot_seq
+    persister.replaying = True
+    try:
+        for record in persister.read_wal():
+            seq = record["seq"]
+            if seq <= snapshot_seq:
+                persister.records_skipped += 1
+                continue
+            try:
+                faults.fire("service.replay", key=record.get("tenant"))
+                _apply_record(arena, record, TenantQuota)
+            except Exception as exc:
+                # Nothing after a record that will not apply can be
+                # trusted; keep the state built so far and move the log
+                # aside for post-mortem inspection.
+                persister.replay_quarantined += 1
+                persister.store.quarantine_blob(
+                    WAL_NAME, f"unreplayable record seq={seq} ({exc})"
+                )
+                warnings.warn(
+                    f"arena WAL replay stopped at record seq={seq} "
+                    f"({exc!r}); the remaining log was quarantined",
+                    RuntimeWarning, stacklevel=2,
+                )
+                break
+            persister.records_replayed += 1
+            max_seq = seq
+    finally:
+        persister.replaying = False
+    persister.wal_seq = max(max_seq, persister.wal_seq)
+    persister.recovered = state is not None or persister.records_replayed > 0
+    persister.recovery_seconds = time.monotonic() - started
+    report = {
+        "recovered": persister.recovered,
+        "snapshot_loaded": state is not None,
+        "records_replayed": persister.records_replayed,
+        "records_skipped": persister.records_skipped,
+        "replay_truncated": persister.replay_truncated,
+        "replay_quarantined": persister.replay_quarantined,
+        "recovery_seconds": persister.recovery_seconds,
+        "tenants": sorted(t.name for t in arena.tenants()
+                          if not t.detached),
+    }
+    return arena, report
+
+
+def _apply_record(arena, record: dict, quota_cls) -> None:
+    """Re-apply one WAL record to the recovering arena."""
+    kind = record["type"]
+    tenant = record["tenant"]
+    if kind == "attach":
+        if not arena.has_tenant(tenant):
+            arena.attach(
+                tenant, record["block_sizes"],
+                quota_cls(quota_bytes=record["quota_bytes"],
+                          weight=record["weight"]),
+            )
+    elif kind == "access":
+        arena.access_many(tenant, record["sids"], tseq=record.get("tseq"))
+    elif kind == "detach":
+        if arena.has_tenant(tenant):
+            arena.detach(tenant)

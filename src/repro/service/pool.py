@@ -1,0 +1,214 @@
+"""The worker pool: real shard processes under one supervisor.
+
+A shard is one ``python -m repro.service serve`` process with its own
+arena and its own snapshot + write-ahead-log directory.  The
+:class:`WorkerPool` spawns N of them on ephemeral ports, waits until
+each answers a protocol ``ping``, and exposes the endpoint map a
+:class:`~repro.service.router.ServiceRouter` is built from.
+
+The pool is also the crash lever the recovery harness pulls:
+:meth:`WorkerPool.kill` SIGKILLs a worker mid-run (no drain, no final
+snapshot — the honest failure mode), and :meth:`WorkerPool.restart`
+brings a fresh process up on the *same* port over the *same* snapshot
+directory, so recovery is exercised exactly the way an operator's
+process supervisor would: the replacement worker replays its WAL and
+resumed clients reconnect to the address they already know.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import socket
+import sys
+from pathlib import Path
+
+from repro.service import protocol
+
+#: Seconds to wait for a spawned worker to answer its first ping.
+DEFAULT_READY_TIMEOUT = 20.0
+
+
+class WorkerError(RuntimeError):
+    """A worker process failed to start or never became ready."""
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An ephemeral port that was free a moment ago.
+
+    The classic bind-then-close probe: racy in principle, fine in
+    practice for a localhost test fleet, and it lets a restarted worker
+    keep its original port (which clients already hold).
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+class WorkerHandle:
+    """One shard process: its identity, endpoint, durable root."""
+
+    def __init__(self, shard_id: str, host: str, port: int,
+                 snapshot_dir: Path) -> None:
+        self.shard_id = shard_id
+        self.host = host
+        self.port = port
+        self.snapshot_dir = snapshot_dir
+        self.process: asyncio.subprocess.Process | None = None
+        self.restarts = 0
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.returncode is None
+
+
+class WorkerPool:
+    """N shard processes with durable roots, ready-checked and killable."""
+
+    def __init__(self, shards: int, root: str | Path,
+                 policy: str = "8-unit", capacity_bytes: int = 256 * 1024,
+                 snapshot_interval: int | None = None,
+                 rate_limit: float | None = None,
+                 check_level: str | None = None,
+                 max_sessions: int = 64,
+                 host: str = "127.0.0.1",
+                 ready_timeout: float = DEFAULT_READY_TIMEOUT) -> None:
+        if shards < 1:
+            raise ValueError("a pool needs at least one shard")
+        self.root = Path(root)
+        self.policy = policy
+        self.capacity_bytes = capacity_bytes
+        self.snapshot_interval = snapshot_interval
+        self.rate_limit = rate_limit
+        self.check_level = check_level
+        self.max_sessions = max_sessions
+        self.host = host
+        self.ready_timeout = ready_timeout
+        self.workers: dict[str, WorkerHandle] = {}
+        for index in range(shards):
+            shard_id = f"shard-{index}"
+            self.workers[shard_id] = WorkerHandle(
+                shard_id, host, free_port(host),
+                self.root / shard_id,
+            )
+
+    def endpoints(self) -> dict[str, tuple[str, int]]:
+        """The ``{shard_id: (host, port)}`` map the router consumes."""
+        return {shard: handle.endpoint
+                for shard, handle in self.workers.items()}
+
+    def _command(self, handle: WorkerHandle) -> list[str]:
+        command = [
+            sys.executable, "-m", "repro.service", "serve",
+            "--host", handle.host, "--port", str(handle.port),
+            "--policy", self.policy,
+            "--capacity", str(self.capacity_bytes),
+            "--max-sessions", str(self.max_sessions),
+            "--snapshot-dir", str(handle.snapshot_dir),
+        ]
+        if self.snapshot_interval is not None:
+            command += ["--snapshot-interval", str(self.snapshot_interval)]
+        if self.rate_limit is not None:
+            command += ["--rate-limit", str(self.rate_limit)]
+        if self.check_level is not None:
+            command += ["--check", self.check_level]
+        return command
+
+    async def start(self) -> None:
+        """Spawn every worker and wait until each answers a ping."""
+        for handle in self.workers.values():
+            await self._spawn(handle)
+        for handle in self.workers.values():
+            await self._wait_ready(handle)
+
+    async def _spawn(self, handle: WorkerHandle) -> None:
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2])
+        path = env.get("PYTHONPATH", "")
+        if src not in path.split(os.pathsep):
+            env["PYTHONPATH"] = (f"{src}{os.pathsep}{path}" if path
+                                 else src)
+        handle.process = await asyncio.create_subprocess_exec(
+            *self._command(handle), env=env,
+            stdout=asyncio.subprocess.DEVNULL,
+            stderr=asyncio.subprocess.DEVNULL,
+        )
+
+    async def _wait_ready(self, handle: WorkerHandle) -> None:
+        deadline = (asyncio.get_running_loop().time()
+                    + self.ready_timeout)
+        while True:
+            if not handle.alive:
+                raise WorkerError(
+                    f"{handle.shard_id} exited with code "
+                    f"{handle.process.returncode} before becoming ready"
+                )
+            try:
+                reader, writer = await asyncio.open_connection(
+                    handle.host, handle.port
+                )
+                writer.write(protocol.encode({"op": "ping"}))
+                await writer.drain()
+                reply = protocol.decode_line(await reader.readline())
+                writer.close()
+                with contextlib.suppress(ConnectionError, OSError):
+                    await writer.wait_closed()
+                if reply.get("ok"):
+                    return
+            except (ConnectionError, OSError, protocol.ProtocolError):
+                pass
+            if asyncio.get_running_loop().time() >= deadline:
+                raise WorkerError(
+                    f"{handle.shard_id} not ready on "
+                    f"{handle.host}:{handle.port} within "
+                    f"{self.ready_timeout}s"
+                )
+            await asyncio.sleep(0.05)
+
+    async def kill(self, shard_id: str) -> None:
+        """SIGKILL a worker — the crash the recovery story is for."""
+        handle = self.workers[shard_id]
+        if handle.process is not None and handle.alive:
+            handle.process.kill()
+            await handle.process.wait()
+
+    async def restart(self, shard_id: str) -> None:
+        """Bring a (killed or dead) worker back on its original port
+        and snapshot directory; blocks until it answers a ping —
+        i.e. until recovery (snapshot load + WAL replay) finished."""
+        handle = self.workers[shard_id]
+        if handle.alive:
+            await self.kill(shard_id)
+        handle.restarts += 1
+        await self._spawn(handle)
+        await self._wait_ready(handle)
+
+    async def stop(self) -> None:
+        """Terminate the fleet (politely first, then SIGKILL)."""
+        for handle in self.workers.values():
+            if handle.alive:
+                handle.process.terminate()
+        for handle in self.workers.values():
+            if handle.process is not None:
+                try:
+                    await asyncio.wait_for(handle.process.wait(), 5.0)
+                except asyncio.TimeoutError:
+                    handle.process.kill()
+                    await handle.process.wait()
+
+    def describe(self) -> dict:
+        return {
+            shard: {
+                "endpoint": f"{handle.host}:{handle.port}",
+                "alive": handle.alive,
+                "restarts": handle.restarts,
+                "snapshot_dir": str(handle.snapshot_dir),
+            }
+            for shard, handle in sorted(self.workers.items())
+        }

@@ -12,11 +12,20 @@ Requests (``op`` selects the operation):
     "scale": float?, "quota_bytes": int?, "weight": float?}`` or, for
     non-registry tenants, ``"block_sizes": [int, ...]`` instead of
     ``benchmark``/``scale``.  Rejected with ``retry_after`` when the
-    server is at its admission limit.
+    server is at its admission limit.  ``"resume": true`` re-adopts a
+    tenant a persistence-enabled worker recovered (or parked on a lost
+    connection): the response's ``applied_seq`` is the exactly-once
+    watermark the client resends from.
 ``access``
-    Stream a batch: ``{"op": "access", "sids": [int, ...]}``.  The
-    batch is *queued*, not applied synchronously; a full session queue
-    rejects the batch with ``retry_after`` (backpressure).
+    Stream a batch: ``{"op": "access", "sids": [int, ...], "seq":
+    int?, "sync": bool?}``.  The batch is *queued*, not applied
+    synchronously; a full session queue rejects the batch with
+    ``retry_after`` (backpressure).  ``seq`` is the per-tenant batch
+    sequence number for exactly-once application after a failover;
+    ``sync`` asks the server to flush before acknowledging (the
+    deterministic mode recovery harnesses drive).  Over its per-tenant
+    token-bucket budget the batch is rejected ``rate-limited`` with the
+    exact ``retry_after`` the bucket needs to refill.
 ``stats``
     Flush the session's queue, then report per-tenant and unified
     stats.
@@ -52,6 +61,8 @@ ERR_NO_SESSION = "no-session"
 ERR_SESSION_FAILED = "session-failed"
 ERR_DRAINING = "draining"
 ERR_FAULT = "injected-fault"
+ERR_RATE_LIMITED = "rate-limited"
+ERR_SHARD_UNAVAILABLE = "shard-unavailable"
 
 
 class ProtocolError(ValueError):
@@ -116,6 +127,9 @@ def validate_request(message: dict) -> str:
             if value is not None and (
                     not isinstance(value, kind) or value <= 0):
                 raise ProtocolError(f"{field!r} must be a positive number")
+        resume = message.get("resume")
+        if resume is not None and not isinstance(resume, bool):
+            raise ProtocolError("'resume' must be a boolean")
     elif op == "access":
         sids = message.get("sids")
         if (not isinstance(sids, list) or not sids
@@ -123,6 +137,12 @@ def validate_request(message: dict) -> str:
             raise ProtocolError(
                 "'sids' must be a non-empty list of non-negative ints"
             )
+        seq = message.get("seq")
+        if seq is not None and (not isinstance(seq, int) or seq < 1):
+            raise ProtocolError("'seq' must be a positive int")
+        sync = message.get("sync")
+        if sync is not None and not isinstance(sync, bool):
+            raise ProtocolError("'sync' must be a boolean")
     return op
 
 

@@ -1,0 +1,398 @@
+"""The front-end router: consistent hashing, proxying, circuit breaking.
+
+One cache worker owns one arena; scaling past a single process means a
+fleet of workers (shards) with tenants partitioned across them.  The
+:class:`ServiceRouter` is the piece clients actually talk to:
+
+* **Placement** — a :class:`HashRing` (consistent hashing with virtual
+  nodes) maps each tenant name onto a shard.  Adding or removing a
+  shard remaps only ~1/N of the tenant space, so a scale-out does not
+  stampede every tenant's cache state onto new workers.
+* **Proxying** — the router speaks the same JSON-lines protocol as the
+  workers.  The first ``hello`` on a connection picks the shard; from
+  then on every line is relayed verbatim (one request in, one response
+  out — the protocol's strict ordering makes the relay loop trivial
+  and keeps the router stateless per connection).
+* **Failure containment** — a per-shard :class:`CircuitBreaker` opens
+  after consecutive connect/relay failures, so a dead worker costs its
+  clients one fast ``shard-unavailable`` rejection (with a
+  ``retry_after``) instead of a connect timeout each; the breaker
+  half-opens after its reset window and closes again on the first
+  success.  :meth:`ServiceRouter.check_shards` is the health probe the
+  CLI and the worker pool poll.
+
+The ``router.route`` fault point fires on every placement decision, so
+the fault suite can prove a misrouted or unroutable tenant surfaces as
+a clean protocol error rather than a hung connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import contextlib
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+from repro import faults
+from repro.service import protocol
+
+#: Virtual nodes per shard on the ring; more → smoother balance.
+DEFAULT_VNODES = 64
+
+#: Consecutive failures that open a shard's breaker.
+DEFAULT_BREAKER_THRESHOLD = 3
+
+#: Seconds an open breaker waits before letting a probe through.
+DEFAULT_BREAKER_RESET = 1.0
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    Each node is hashed at ``vnodes`` ring positions; a key maps to the
+    first node position at or after its own hash (wrapping).  Removing
+    a node hands only that node's arcs to its successors — the ~1/N
+    remap property the router's scale-out story depends on.
+    """
+
+    def __init__(self, nodes=(), vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._nodes: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int.from_bytes(
+            hashlib.md5(key.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            bisect.insort(self._points, (self._hash(f"{node}#{i}"), node))
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+
+    def lookup(self, key: str) -> str:
+        """The node responsible for *key*."""
+        if not self._points:
+            raise KeyError("hash ring is empty")
+        index = bisect.bisect_right(self._points, (self._hash(key), ""))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def nodes(self) -> set[str]:
+        return set(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+
+class CircuitBreaker:
+    """Per-shard failure gate: closed → open → half-open → closed."""
+
+    def __init__(self, threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                 reset_after: float = DEFAULT_BREAKER_RESET,
+                 clock=None) -> None:
+        self.threshold = max(1, threshold)
+        self.reset_after = reset_after
+        self._clock = clock or time.monotonic
+        self.failures = 0
+        self.opened_at: float | None = None
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        if self.opened_at is None:
+            return "closed"
+        if self._clock() - self.opened_at >= self.reset_after:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May a request try this shard right now?"""
+        return self.state != "open"
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.failures >= self.threshold and self.opened_at is None:
+            self.opened_at = self._clock()
+            self.trips += 1
+        elif self.opened_at is not None:
+            # A half-open probe failed: re-arm the full reset window.
+            self.opened_at = self._clock()
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+
+    def to_dict(self) -> dict:
+        return {"state": self.state, "failures": self.failures,
+                "trips": self.trips}
+
+
+@dataclass
+class RouterConfig:
+    """Everything the router needs, CLI-mappable."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: ``{shard_id: (host, port)}`` — shard_id is the ring node name.
+    shards: dict = field(default_factory=dict)
+    vnodes: int = DEFAULT_VNODES
+    breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD
+    breaker_reset: float = DEFAULT_BREAKER_RESET
+    retry_after: float = 0.05
+
+
+class ServiceRouter:
+    """A stateless-per-connection proxy over a shard fleet."""
+
+    def __init__(self, config: RouterConfig | None = None) -> None:
+        self.config = config or RouterConfig()
+        self.shards: dict[str, tuple[str, int]] = dict(self.config.shards)
+        self.ring = HashRing(self.shards, vnodes=self.config.vnodes)
+        self.breakers: dict[str, CircuitBreaker] = {
+            shard: self._breaker() for shard in self.shards
+        }
+        self.routed_connections = 0
+        self.rejected_connections = 0
+        self.relay_failures = 0
+        self._server: asyncio.Server | None = None
+
+    def _breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(self.config.breaker_threshold,
+                              self.config.breaker_reset)
+
+    # -- Topology ------------------------------------------------------------
+
+    def add_shard(self, shard_id: str, host: str, port: int) -> None:
+        """Join a shard; ~1/N of the tenant space remaps onto it."""
+        self.shards[shard_id] = (host, port)
+        self.breakers.setdefault(shard_id, self._breaker())
+        self.ring.add(shard_id)
+
+    def remove_shard(self, shard_id: str) -> None:
+        """Leave a shard; its arcs fall to the ring successors."""
+        self.shards.pop(shard_id, None)
+        self.breakers.pop(shard_id, None)
+        self.ring.remove(shard_id)
+
+    def route(self, tenant: str) -> str:
+        """The shard id serving *tenant* (fires ``router.route``)."""
+        faults.fire("router.route", key=tenant)
+        return self.ring.lookup(tenant)
+
+    # -- The TCP face --------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("router not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        shard_id: str | None = None
+        shard_reader: asyncio.StreamReader | None = None
+        shard_writer: asyncio.StreamWriter | None = None
+
+        async def respond(message: dict) -> bool:
+            writer.write(protocol.encode(message))
+            try:
+                await writer.drain()
+            except ConnectionError:
+                return False
+            return True
+
+        async def drop_shard() -> None:
+            nonlocal shard_id, shard_reader, shard_writer
+            if shard_writer is not None:
+                shard_writer.close()
+                with contextlib.suppress(ConnectionError, OSError):
+                    await shard_writer.wait_closed()
+            shard_id = shard_reader = shard_writer = None
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                try:
+                    message = protocol.decode_line(line)
+                    op = message.get("op")
+                except protocol.ProtocolError as error:
+                    if not await respond(protocol.error(
+                            "?", protocol.ERR_BAD_REQUEST, str(error))):
+                        break
+                    continue
+                if shard_writer is None:
+                    if op == "ping":
+                        if not await respond(protocol.ok(
+                                "ping",
+                                version=protocol.PROTOCOL_VERSION,
+                                router=self.describe())):
+                            break
+                        continue
+                    if op != "hello":
+                        if not await respond(protocol.error(
+                                op or "?", protocol.ERR_NO_SESSION,
+                                "no shard on this connection; "
+                                "send hello first")):
+                            break
+                        continue
+                    tenant = message.get("tenant")
+                    if not isinstance(tenant, str) or not tenant:
+                        if not await respond(protocol.error(
+                                op, protocol.ERR_BAD_REQUEST,
+                                "hello needs a non-empty string "
+                                "'tenant'")):
+                            break
+                        continue
+                    try:
+                        target = self.route(tenant)
+                    except (KeyError, faults.InjectedFault) as error:
+                        self.rejected_connections += 1
+                        if not await respond(protocol.error(
+                                op, protocol.ERR_SHARD_UNAVAILABLE,
+                                f"no shard for tenant {tenant!r}: "
+                                f"{error}",
+                                retry_after=self.config.retry_after)):
+                            break
+                        continue
+                    breaker = self.breakers[target]
+                    if not breaker.allow():
+                        self.rejected_connections += 1
+                        if not await respond(protocol.error(
+                                op, protocol.ERR_SHARD_UNAVAILABLE,
+                                f"shard {target!r} circuit open",
+                                retry_after=breaker.reset_after)):
+                            break
+                        continue
+                    host, port = self.shards[target]
+                    try:
+                        shard_reader, shard_writer = (
+                            await asyncio.open_connection(host, port)
+                        )
+                    except (ConnectionError, OSError) as error:
+                        breaker.record_failure()
+                        self.rejected_connections += 1
+                        if not await respond(protocol.error(
+                                op, protocol.ERR_SHARD_UNAVAILABLE,
+                                f"shard {target!r} unreachable: {error}",
+                                retry_after=self.config.retry_after)):
+                            break
+                        continue
+                    shard_id = target
+                    self.routed_connections += 1
+                # Relay: one request in, one response out, in order.
+                try:
+                    shard_writer.write(line)
+                    await shard_writer.drain()
+                    reply = await shard_reader.readline()
+                    if not reply:
+                        raise ConnectionError("shard closed mid-request")
+                except (ConnectionError, OSError) as error:
+                    failed = shard_id
+                    self.breakers[failed].record_failure()
+                    self.relay_failures += 1
+                    await drop_shard()
+                    if not await respond(protocol.error(
+                            op or "?", protocol.ERR_SHARD_UNAVAILABLE,
+                            f"shard {failed!r} failed mid-request: "
+                            f"{error}",
+                            retry_after=self.config.retry_after)):
+                        break
+                    continue
+                self.breakers[shard_id].record_success()
+                writer.write(reply)
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            await drop_shard()
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+                await writer.wait_closed()
+
+    # -- Health and reporting ------------------------------------------------
+
+    async def check_shards(self, timeout: float = 1.0) -> dict:
+        """Ping every shard; returns ``{shard_id: healthy_bool}`` and
+        feeds the circuit breakers."""
+        health: dict[str, bool] = {}
+        for shard_id, (host, port) in sorted(self.shards.items()):
+            healthy = False
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), timeout
+                )
+                writer.write(protocol.encode({"op": "ping"}))
+                await writer.drain()
+                reply = protocol.decode_line(
+                    await asyncio.wait_for(reader.readline(), timeout)
+                )
+                healthy = bool(reply.get("ok"))
+                writer.close()
+                with contextlib.suppress(ConnectionError, OSError):
+                    await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    protocol.ProtocolError):
+                healthy = False
+            breaker = self.breakers.get(shard_id)
+            if breaker is not None:
+                if healthy:
+                    breaker.record_success()
+                else:
+                    breaker.record_failure()
+            health[shard_id] = healthy
+        return health
+
+    def describe(self) -> dict:
+        return {
+            "shards": {
+                shard: {"endpoint": f"{host}:{port}",
+                        "breaker": self.breakers[shard].to_dict()}
+                for shard, (host, port) in sorted(self.shards.items())
+            },
+            "vnodes": self.config.vnodes,
+            "routed_connections": self.routed_connections,
+            "rejected_connections": self.rejected_connections,
+            "relay_failures": self.relay_failures,
+        }

@@ -24,11 +24,17 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import time
 from dataclasses import dataclass, field
 
 from repro import faults
 from repro.core.cache import ConfigurationError
 from repro.service import protocol
+from repro.service.persist import (
+    DEFAULT_SNAPSHOT_INTERVAL,
+    ArenaPersister,
+    recover_arena,
+)
 from repro.service.session import (
     DEFAULT_QUEUE_BATCHES,
     Session,
@@ -54,6 +60,42 @@ class ServiceConfig:
     reclaim_fraction: float = 0.85
     check_level: str | None = None
     check_context: dict = field(default_factory=dict)
+    #: Directory for arena snapshots + write-ahead log; ``None``
+    #: disables persistence (and crash recovery) entirely.
+    snapshot_dir: str | None = None
+    #: Arena accesses between snapshots.
+    snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL
+    #: Per-tenant token-bucket rate limit in accesses/second; ``None``
+    #: disables rate limiting.
+    rate_limit: float | None = None
+    #: Bucket depth in accesses; defaults to one second's worth.
+    rate_burst: float | None = None
+
+
+class TokenBucket:
+    """A per-tenant access budget: *rate* tokens/s, *burst* deep."""
+
+    def __init__(self, rate: float, burst: float | None = None) -> None:
+        if rate <= 0:
+            raise ConfigurationError("rate_limit must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else float(rate)
+        if self.burst <= 0:
+            raise ConfigurationError("rate_burst must be positive")
+        self.tokens = self.burst
+        self._refilled = time.monotonic()
+
+    def take(self, cost: int) -> float:
+        """Spend *cost* tokens; 0.0 on success, else seconds until the
+        bucket will hold them (the ``retry_after`` hint)."""
+        now = time.monotonic()
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self._refilled) * self.rate)
+        self._refilled = now
+        if cost <= self.tokens:
+            self.tokens -= cost
+            return 0.0
+        return (cost - self.tokens) / self.rate
 
 
 class CacheService:
@@ -61,16 +103,35 @@ class CacheService:
 
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
-        self.arena = SharedArena(
-            make_policy(self.config.policy),
-            self.config.capacity_bytes,
+        self.persister: ArenaPersister | None = None
+        self.recovery: dict | None = None
+        arena_kwargs = dict(
             max_block_bytes=self.config.max_block_bytes,
             pressure_threshold=self.config.pressure_threshold,
             reclaim_fraction=self.config.reclaim_fraction,
             check_level=self.config.check_level,
             check_context=self.config.check_context,
         )
+        if self.config.snapshot_dir is not None:
+            self.persister = ArenaPersister(
+                self.config.snapshot_dir,
+                snapshot_interval=self.config.snapshot_interval,
+            )
+            self.arena, self.recovery = recover_arena(
+                self.persister,
+                policy=self.config.policy,
+                capacity_bytes=self.config.capacity_bytes,
+                **arena_kwargs,
+            )
+        else:
+            self.arena = SharedArena(
+                make_policy(self.config.policy),
+                self.config.capacity_bytes,
+                **arena_kwargs,
+            )
         self.sessions: dict[str, Session] = {}
+        self.buckets: dict[str, TokenBucket] = {}
+        self.rate_limited_batches = 0
         self.draining = False
         self.sessions_admitted = 0
         self.sessions_rejected = 0
@@ -86,8 +147,14 @@ class CacheService:
         scale: float = 1.0,
         quota_bytes: int | None = None,
         weight: float = 1.0,
+        resume: bool = False,
     ) -> Session:
         """Admit *tenant* and attach it to the arena.
+
+        With ``resume``, a tenant the arena already holds — recovered
+        from snapshot + WAL replay, or parked when its connection was
+        lost — is re-adopted with its residency, stats and exactly-once
+        watermark intact instead of being attached fresh.
 
         Raises :class:`~repro.service.session.SessionError` with
         ``draining`` / ``overloaded`` (both carrying ``retry_after``)
@@ -115,31 +182,39 @@ class CacheService:
                 protocol.ERR_BAD_REQUEST,
                 f"tenant {tenant!r} already has a session",
             )
-        if block_sizes is None:
-            if benchmark is None:
-                raise ConfigurationError(
-                    "a session needs block_sizes or a benchmark name"
+        resumed = resume and self.arena.has_tenant(tenant)
+        if not resumed:
+            if block_sizes is None:
+                if benchmark is None:
+                    raise ConfigurationError(
+                        "a session needs block_sizes or a benchmark name"
+                    )
+                block_sizes = benchmark_sizes(benchmark, scale)
+            quota = None
+            if quota_bytes is not None:
+                quota = TenantQuota(quota_bytes=quota_bytes, weight=weight)
+            elif weight != 1.0:
+                quota = TenantQuota(
+                    quota_bytes=self.config.capacity_bytes, weight=weight
                 )
-            block_sizes = benchmark_sizes(benchmark, scale)
-        quota = None
-        if quota_bytes is not None:
-            quota = TenantQuota(quota_bytes=quota_bytes, weight=weight)
-        elif weight != 1.0:
-            quota = TenantQuota(
-                quota_bytes=self.config.capacity_bytes, weight=weight
-            )
-        self.arena.attach(tenant, block_sizes, quota)
+            self.arena.attach(tenant, block_sizes, quota)
         session = Session(
             self.arena, tenant,
             queue_batches=self.config.queue_batches,
             retry_after=self.config.retry_after,
         )
+        session.resumed = resumed
         try:
             session.start()
         except BaseException:
-            self.arena.detach(tenant)
+            if not resumed:
+                self.arena.detach(tenant)
             raise
         self.sessions[tenant] = session
+        if self.config.rate_limit is not None and tenant not in self.buckets:
+            self.buckets[tenant] = TokenBucket(
+                self.config.rate_limit, self.config.rate_burst
+            )
         self.sessions_admitted += 1
         return session
 
@@ -174,6 +249,8 @@ class CacheService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.persister is not None:
+            self.arena.snapshot_now()
         self.arena.check_now()
 
     async def serve_forever(self) -> None:
@@ -204,7 +281,12 @@ class CacheService:
                     session = None
         finally:
             if session is not None:
-                await session.abort()
+                if self.persister is not None:
+                    # Park, don't detach: the tenant's arena state stays
+                    # live so a reconnecting client can hello(resume).
+                    await session.park()
+                else:
+                    await session.abort()
                 self._release(session)
             with contextlib.suppress(ConnectionError):
                 writer.close()
@@ -251,6 +333,7 @@ class CacheService:
                 scale=message.get("scale", 1.0),
                 quota_bytes=message.get("quota_bytes"),
                 weight=message.get("weight", 1.0),
+                resume=message.get("resume", False),
             )
             return protocol.ok(
                 "hello", tenant=opened.tenant,
@@ -258,6 +341,8 @@ class CacheService:
                 blocks=len_blocks(self.arena, opened.tenant),
                 policy=self.arena.policy.name,
                 capacity_bytes=self.arena.capacity_bytes,
+                resumed=opened.resumed,
+                applied_seq=self.arena.applied_seq(opened.tenant),
             ), False
         if session is None:
             return protocol.error(
@@ -265,7 +350,22 @@ class CacheService:
                 "no session on this connection; send hello first",
             ), False
         if op == "access":
-            queued = session.submit(message["sids"])
+            sids = message["sids"]
+            bucket = self.buckets.get(session.tenant)
+            if bucket is not None:
+                wait = bucket.take(len(sids))
+                if wait > 0:
+                    self.rate_limited_batches += 1
+                    return protocol.error(
+                        op, protocol.ERR_RATE_LIMITED,
+                        f"tenant {session.tenant!r} over its "
+                        f"{bucket.rate:g} accesses/s budget",
+                        retry_after=wait,
+                    ), False
+            queued = session.submit(sids, seq=message.get("seq"))
+            if message.get("sync"):
+                await session.flush()
+                queued = 0
             return protocol.ok("access", queued_batches=queued), False
         if op == "stats":
             tenant_stats = await session.stats()
@@ -283,14 +383,19 @@ class CacheService:
         ), True
 
     def describe(self) -> dict:
-        return {
+        record = {
             "draining": self.draining,
             "sessions": sorted(self.sessions),
             "sessions_admitted": self.sessions_admitted,
             "sessions_rejected": self.sessions_rejected,
+            "rate_limited_batches": self.rate_limited_batches,
             "max_sessions": self.config.max_sessions,
             "arena": self.arena.to_dict(),
         }
+        if self.persister is not None:
+            record["persistence"] = self.persister.to_dict()
+            record["recovery"] = self.recovery
+        return record
 
 
 def benchmark_sizes(name: str, scale: float = 1.0) -> list[int]:

@@ -20,6 +20,8 @@ queue.  Other tenants' sessions never observe anything.
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import json
 
 from repro import faults
 from repro.service import protocol
@@ -27,9 +29,13 @@ from repro.service import protocol
 #: Default bound on queued (not yet simulated) batches per session.
 DEFAULT_QUEUE_BATCHES = 64
 
+#: Attempts to produce an uncorrupted stats payload before giving up.
+STATS_RECOVER_ATTEMPTS = 3
+
 OPEN = "open"
 FAILED = "failed"
 CLOSED = "closed"
+PARKED = "parked"
 
 
 class SessionError(Exception):
@@ -57,8 +63,9 @@ class Session:
         self.hits = 0
         self.accesses_applied = 0
         self.batches_applied = 0
-        self._queue: asyncio.Queue[list[int]] = asyncio.Queue(
-            maxsize=queue_batches
+        self.stats_quarantined = 0
+        self._queue: asyncio.Queue[tuple[list[int], int | None]] = (
+            asyncio.Queue(maxsize=queue_batches)
         )
         self._consumer: asyncio.Task | None = None
         self._detached = False
@@ -71,8 +78,12 @@ class Session:
 
     # -- The request side ---------------------------------------------------
 
-    def submit(self, sids: list[int]) -> int:
+    def submit(self, sids: list[int], seq: int | None = None) -> int:
         """Queue one access batch; returns the queue depth after it.
+
+        ``seq`` is the client's per-tenant batch sequence number; the
+        arena uses it for exactly-once application, so a batch resent
+        after a failover is acknowledged but not reapplied.
 
         Raises :class:`SessionError` with ``backpressure`` (and a
         ``retry_after``) when the bounded queue is full, or
@@ -80,7 +91,7 @@ class Session:
         """
         self._require_open()
         try:
-            self._queue.put_nowait(list(sids))
+            self._queue.put_nowait((list(sids), seq))
         except asyncio.QueueFull:
             raise SessionError(
                 protocol.ERR_BACKPRESSURE,
@@ -102,8 +113,42 @@ class Session:
     async def stats(self) -> dict:
         """Flush, then snapshot this tenant's stats record."""
         await self.flush()
-        record = self.arena.tenant_stats(self.tenant)
-        return record.to_dict()
+        return self._verified_stats(self.arena.tenant_stats(self.tenant))
+
+    def _verified_stats(self, record) -> dict:
+        """Serialize *record* through the ``service.flush`` fault point
+        with an integrity check: a ``corrupt``-mode fault damaging the
+        payload is detected by digest comparison, the damaged bytes are
+        quarantined (counted, and parked with the persister when one is
+        attached), and the reply is recovered from the authoritative
+        arena record instead of serving corrupted stats.
+        """
+        for _ in range(STATS_RECOVER_ATTEMPTS):
+            fields = record.to_dict()
+            payload = json.dumps(fields, sort_keys=True).encode("utf-8")
+            digest = hashlib.sha256(payload).hexdigest()
+            stamped = faults.fire("service.flush", key=self.tenant,
+                                  data=payload)
+            if hashlib.sha256(stamped).hexdigest() == digest:
+                return fields
+            self.stats_quarantined += 1
+            self._quarantine_stats_payload(stamped)
+        raise SessionError(
+            protocol.ERR_FAULT,
+            f"stats payload for tenant {self.tenant!r} corrupted on "
+            f"{STATS_RECOVER_ATTEMPTS} consecutive flushes; refusing to "
+            f"serve it",
+        )
+
+    def _quarantine_stats_payload(self, payload: bytes) -> None:
+        persister = getattr(self.arena, "persister", None)
+        if persister is None:
+            return
+        name = f"stats-{self.tenant}.corrupt"
+        if persister.store.store_blob(name, payload) is not None:
+            persister.store.quarantine_blob(
+                name, f"corrupt flush payload for tenant {self.tenant!r}"
+            )
 
     async def close(self) -> dict:
         """Flush, detach from the arena, and return final stats."""
@@ -121,7 +166,7 @@ class Session:
                 pass
         self._final_stats = self._detach()
         self.state = CLOSED
-        return self._final_stats.to_dict()
+        return self._verified_stats(self._final_stats)
 
     async def abort(self) -> None:
         """Tear the session down without flushing (connection lost)."""
@@ -137,6 +182,27 @@ class Session:
             self._final_stats = self._detach()
             self.state = CLOSED
 
+    async def park(self) -> None:
+        """Stop the pipeline but keep the tenant attached to the arena.
+
+        The persistence-enabled connection-loss path: queued batches are
+        dropped unapplied (the client resends everything past its
+        ``applied_seq`` watermark on resume), and the tenant's arena
+        state — residency, stats, watermark — stays live for the next
+        ``hello`` carrying ``resume``.
+        """
+        if self.state in (CLOSED, PARKED):
+            return
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+        self._drain_pending()
+        if self.state != FAILED:
+            self.state = PARKED
+
     def _require_open(self) -> None:
         if self.state == FAILED:
             raise SessionError(
@@ -144,24 +210,24 @@ class Session:
                 f"session for tenant {self.tenant!r} failed: "
                 f"{self.failure}",
             )
-        if self.state == CLOSED:
+        if self.state in (CLOSED, PARKED):
             raise SessionError(
                 protocol.ERR_NO_SESSION,
-                f"session for tenant {self.tenant!r} is closed",
+                f"session for tenant {self.tenant!r} is {self.state}",
             )
 
     # -- The consumer side --------------------------------------------------
 
-    def _apply(self, batch: list[int]) -> int:
+    def _apply(self, batch: list[int], seq: int | None) -> int:
         """Run in a worker thread: fire the fault point, then simulate."""
         faults.fire("service.session", key=self.tenant)
-        return self.arena.access_many(self.tenant, batch)
+        return self.arena.access_many(self.tenant, batch, tseq=seq)
 
     async def _consume(self) -> None:
         while True:
-            batch = await self._queue.get()
+            batch, seq = await self._queue.get()
             try:
-                hits = await asyncio.to_thread(self._apply, batch)
+                hits = await asyncio.to_thread(self._apply, batch, seq)
             except asyncio.CancelledError:
                 self._queue.task_done()
                 raise
@@ -206,4 +272,5 @@ class Session:
             "batches_applied": self.batches_applied,
             "accesses_applied": self.accesses_applied,
             "hits": self.hits,
+            "stats_quarantined": self.stats_quarantined,
         }

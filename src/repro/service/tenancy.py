@@ -148,6 +148,16 @@ class TenantState:
         self.quota_reclaims = 0
         self.quota_reclaimed_bytes = 0
         self.detached = False
+        #: Highest client-assigned batch sequence durably applied (and
+        #: write-ahead logged) for this tenant — the exactly-once
+        #: watermark resumed sessions restart from.
+        self.applied_seq = 0
+
+    def __setstate__(self, state: dict) -> None:
+        # Snapshots written before a field existed restore with its
+        # default, so old snapshots stay readable across upgrades.
+        self.applied_seq = 0
+        self.__dict__.update(state)
 
     @property
     def miss_rate(self) -> float:
@@ -176,6 +186,17 @@ class SharedArena:
         Invariant-checking level (explicit, else ``REPRO_CHECK_LEVEL``,
         else off).  The arena drives its own checker against *merged*
         stats — per-tenant records would break conservation checks.
+    persister:
+        An :class:`~repro.service.persist.ArenaPersister` (or ``None``).
+        When set, every attach/access/detach is write-ahead logged
+        before it mutates the arena, and a snapshot is taken every
+        ``persister.snapshot_interval`` accesses — the recovery story a
+        restarted worker replays.
+    restore_state:
+        A snapshot dict produced by :meth:`snapshot_state`.  When given,
+        *policy* must be the snapshot's own (already configured, state-
+        bearing) policy object, and the arena grafts the persisted
+        tenant table and counters instead of starting empty.
     """
 
     def __init__(
@@ -188,6 +209,8 @@ class SharedArena:
         reclaim_fraction: float = 0.85,
         check_level: str | None = None,
         check_context: dict | None = None,
+        persister=None,
+        restore_state: dict | None = None,
     ) -> None:
         if pressure_threshold is not None and not 0.0 < pressure_threshold <= 1.0:
             raise ConfigurationError(
@@ -204,12 +227,17 @@ class SharedArena:
                 "reclaim_fraction must not exceed pressure_threshold"
             )
         self._blocks = _ArenaBlocks(max_block_bytes)
+        if restore_state is not None:
+            self._blocks._sizes = dict(restore_state["sizes"])
         # The arena drives its own checker (against merged stats), so
-        # the simulator itself always runs unchecked.
+        # the simulator itself always runs unchecked.  A restored policy
+        # arrives with its cache state deserialized; configuring it
+        # again would wipe that state.
         self.simulator = CodeCacheSimulator(
             self._blocks, policy, capacity_bytes,
             overhead_model=overhead_model, track_links=False,
             check_level="off",
+            configure_policy=restore_state is None,
         )
         self.policy = policy
         self.capacity_bytes = capacity_bytes
@@ -238,6 +266,70 @@ class SharedArena:
         self.total_accesses = 0
         self.pressure_reclaims = 0
         self.pressure_reclaimed_bytes = 0
+        self.persister = persister
+        if restore_state is not None:
+            self._restore(restore_state)
+
+    def _restore(self, state: dict) -> None:
+        """Graft a snapshot's tenant table and counters (init-time)."""
+        self._by_slot = list(state["by_slot"])
+        self._tenants = {
+            tenant.name: tenant
+            for tenant in self._by_slot if not tenant.detached
+        }
+        self._closed_stats = list(state["closed_stats"])
+        self._resident_bytes = state["resident_bytes"]
+        self.total_accesses = state["total_accesses"]
+        self.pressure_reclaims = state["pressure_reclaims"]
+        self.pressure_reclaimed_bytes = state["pressure_reclaimed_bytes"]
+        if self.checker is not None:
+            for gid, size in self._blocks.sizes().items():
+                self.checker.register_block(gid, size)
+
+    # -- Snapshot state ------------------------------------------------------
+
+    #: Bumped when the snapshot layout changes incompatibly.
+    SNAPSHOT_VERSION = 1
+
+    def fingerprint(self) -> dict:
+        """The configuration identity a snapshot must match to be
+        restorable — a snapshot taken under a different policy or
+        geometry describes a different cache and is quarantined."""
+        return {
+            "policy": self.policy.name,
+            "capacity_bytes": self.capacity_bytes,
+            "max_block_bytes": self._blocks.max_block_bytes,
+        }
+
+    def snapshot_state(self) -> dict:
+        """A picklable snapshot of the whole arena (tenants, policy
+        cache state, counters) — everything recovery needs besides the
+        write-ahead log tail."""
+        with self._lock:
+            return self._snapshot_state_locked()
+
+    def _snapshot_state_locked(self) -> dict:
+        return {
+            "version": self.SNAPSHOT_VERSION,
+            "fingerprint": self.fingerprint(),
+            "policy_object": self.policy,
+            "sizes": dict(self._blocks.sizes()),
+            "by_slot": list(self._by_slot),
+            "closed_stats": list(self._closed_stats),
+            "resident_bytes": self._resident_bytes,
+            "total_accesses": self.total_accesses,
+            "pressure_reclaims": self.pressure_reclaims,
+            "pressure_reclaimed_bytes": self.pressure_reclaimed_bytes,
+        }
+
+    def snapshot_now(self) -> bool:
+        """Write a snapshot immediately (True when one was written)."""
+        if self.persister is None:
+            return False
+        with self._lock:
+            return self.persister.write_snapshot(
+                self._snapshot_state_locked(), self.total_accesses
+            )
 
     # -- Tenant lifecycle ---------------------------------------------------
 
@@ -278,6 +370,8 @@ class SharedArena:
                 )
             tenant = TenantState(name, len(self._by_slot), block_sizes,
                                  quota)
+            if self.persister is not None:
+                self.persister.log_attach(name, block_sizes, quota)
             sizes = self._blocks.sizes()
             for local_sid, size in enumerate(block_sizes):
                 gid = tenant.offset + local_sid
@@ -297,6 +391,8 @@ class SharedArena:
         """
         with self._lock:
             tenant = self._require(name)
+            if self.persister is not None:
+                self.persister.log_detach(name)
             if tenant.resident:
                 events = self.policy.evict_blocks(tenant.resident)
                 self._attribute_events(events, tenant.stats)
@@ -320,14 +416,34 @@ class SharedArena:
             tenant = self._require(name)
             return self._access_locked(tenant, local_sid)
 
-    def access_many(self, name: str, local_sids) -> int:
-        """Serve a batch under one lock acquisition; returns hit count."""
+    def access_many(self, name: str, local_sids, tseq: int | None = None) -> int:
+        """Serve a batch under one lock acquisition; returns hit count.
+
+        ``tseq`` is the client-assigned per-tenant batch sequence number
+        for exactly-once application: a batch at or below the tenant's
+        ``applied_seq`` watermark is a duplicate (a resend after a
+        failover) and is skipped without touching the cache.  The batch
+        is write-ahead logged *inside* the same critical section that
+        applies it, so the WAL's record order is exactly the arena's
+        apply order — replay reproduces the identical interleaving.
+        """
         with self._lock:
             tenant = self._require(name)
+            if tseq is not None and tseq <= tenant.applied_seq:
+                return 0  # duplicate resend; already applied and logged
+            if self.persister is not None:
+                self.persister.log_access(name, local_sids, tseq)
             hits = 0
             for local_sid in local_sids:
                 if self._access_locked(tenant, local_sid):
                     hits += 1
+            if tseq is not None:
+                tenant.applied_seq = tseq
+            if (self.persister is not None
+                    and self.persister.snapshot_due(self.total_accesses)):
+                self.persister.write_snapshot(
+                    self._snapshot_state_locked(), self.total_accesses
+                )
             return hits
 
     def _access_locked(self, tenant: TenantState, local_sid: int) -> bool:
@@ -458,6 +574,16 @@ class SharedArena:
     def tenant_stats(self, name: str) -> SimulationStats:
         with self._lock:
             return self._require(name).stats
+
+    def has_tenant(self, name: str) -> bool:
+        with self._lock:
+            return name in self._tenants
+
+    def applied_seq(self, name: str) -> int:
+        """The tenant's exactly-once watermark (0 before any sequenced
+        batch) — what a resumed session restarts from."""
+        with self._lock:
+            return self._require(name).applied_seq
 
     def unified_stats(self) -> SimulationStats:
         """All tenants merged — Equation 1 across the whole service."""

@@ -16,6 +16,7 @@ from repro.core.invariants import (
     InvariantViolation,
     resolve_check_level,
 )
+from repro.core.lru import LruPolicy
 from repro.core.policies import (
     FineGrainedFifoPolicy,
     GenerationalPolicy,
@@ -131,9 +132,10 @@ class TestCorruptionSelfTest:
 
     @pytest.mark.parametrize("point", faults.STATE_POINTS)
     def test_paranoid_detects_every_state_corruption(self, workload, point):
-        # The generational corruption only has meaning for the
-        # generational policy; every other point uses the ladder rung.
+        # The generational and arena corruptions only have meaning for
+        # their own policies; every other point uses the ladder rung.
         policy = (GenerationalPolicy() if point == "cache.generation"
+                  else LruPolicy() if point == "cache.arena"
                   else UnitFifoPolicy(8))
         with faults.plan(faults.FaultSpec(point=point)):
             simulator = _simulator(workload, policy, "paranoid",
@@ -152,7 +154,8 @@ class TestCorruptionSelfTest:
 
     @pytest.mark.parametrize(
         "point",
-        tuple(p for p in faults.STATE_POINTS if p != "cache.generation"),
+        tuple(p for p in faults.STATE_POINTS
+              if p not in ("cache.generation", "cache.arena")),
     )
     def test_fine_fifo_detects_state_corruption(self, workload, point):
         with faults.plan(faults.FaultSpec(point=point)):
@@ -248,4 +251,48 @@ class TestDirectChecks:
         simulator.policy.promotions = 0
         with pytest.raises(InvariantViolation,
                            match="promotions counter"):
+            simulator.checker.run_checks()
+
+    def _lru_simulator(self, workload):
+        simulator = _simulator(workload, LruPolicy(), "paranoid",
+                               pressure=4.0, track_links=False)
+        simulator.process(workload.trace[:1500], benchmark="gzip")
+        return simulator
+
+    def test_lru_clean_under_paranoid(self, workload):
+        simulator = self._lru_simulator(workload)
+        simulator.checker.run_checks()  # no violation on honest state
+        assert simulator.checker.checks_run > 0
+
+    def test_uncoalesced_free_list_caught(self, workload):
+        simulator = self._lru_simulator(workload)
+        arena = simulator.policy._arena
+        sid, (offset, size) = next(
+            (s, p) for s, p in arena.placed.items() if p[1] > 1
+        )
+        # Free a block by hand without coalescing: two adjacent holes.
+        del arena.placed[sid]
+        simulator.policy._recency.pop(sid)
+        arena.holes.append((offset, 1))
+        arena.holes.append((offset + 1, size - 1))
+        arena.holes.sort()
+        with pytest.raises(InvariantViolation, match="not coalesced"):
+            simulator.checker.run_checks()
+
+    def test_arena_partition_break_caught(self, workload):
+        simulator = self._lru_simulator(workload)
+        arena = simulator.policy._arena
+        sid = next(iter(arena.placed))
+        offset, size = arena.placed[sid]
+        arena.placed[sid] = (offset, size + 1)
+        with pytest.raises(InvariantViolation, match="arena"):
+            simulator.checker.run_checks()
+
+    def test_arena_recency_divergence_caught(self, workload):
+        simulator = self._lru_simulator(workload)
+        policy = simulator.policy
+        ghost = max(policy._recency) + 1
+        policy._recency[ghost] = None
+        with pytest.raises(InvariantViolation,
+                           match="placement and LRU recency"):
             simulator.checker.run_checks()

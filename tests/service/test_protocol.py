@@ -83,6 +83,35 @@ class TestValidation:
             {"op": "access", "sids": [0, 5, 2]}
         ) == "access"
 
+    def test_sequenced_sync_access_accepted(self):
+        assert protocol.validate_request(
+            {"op": "access", "sids": [0, 1], "seq": 7, "sync": True}
+        ) == "access"
+
+    @pytest.mark.parametrize("seq", (0, -3, 1.5, "1"))
+    def test_bad_seq_rejected(self, seq):
+        with pytest.raises(protocol.ProtocolError, match="seq"):
+            protocol.validate_request(
+                {"op": "access", "sids": [0], "seq": seq}
+            )
+
+    def test_bad_sync_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="sync"):
+            protocol.validate_request(
+                {"op": "access", "sids": [0], "sync": "yes"}
+            )
+
+    def test_hello_resume_flag(self):
+        assert protocol.validate_request(
+            {"op": "hello", "tenant": "t", "block_sizes": [64],
+             "resume": True}
+        ) == "hello"
+        with pytest.raises(protocol.ProtocolError, match="resume"):
+            protocol.validate_request(
+                {"op": "hello", "tenant": "t", "block_sizes": [64],
+                 "resume": 1}
+            )
+
 
 class TestResponses:
     def test_ok_shape(self):

@@ -195,3 +195,102 @@ class TestSessionFaults:
             await service.drain()
 
         asyncio.run(scenario())
+
+
+class TestFlushCorruption:
+    """The ``corrupt``-mode fault at ``service.flush``: a damaged stats
+    payload must be caught by digest, quarantined, and recomputed from
+    the authoritative arena record — never served."""
+
+    # Note on times: ``Session.flush`` fires the point once with no
+    # payload before ``_verified_stats`` fires it with one, so a spec
+    # must budget that extra call.
+
+    def test_corrupt_stats_quarantined_and_recovered(self, tmp_path):
+        async def scenario():
+            service = _service(snapshot_dir=str(tmp_path / "durable"))
+            session = service.open_session("t", block_sizes=[512] * 16)
+            session.submit(list(range(16)))
+            clean = await session.stats()
+            with faults.plan(faults.FaultSpec(point="service.flush",
+                                              mode="corrupt", times=2,
+                                              keys=("t",))):
+                recovered = await session.stats()
+            # The reply is the recomputed clean record, field for field.
+            assert recovered == clean
+            assert session.stats_quarantined == 1
+            quarantine = service.persister.store.root / "quarantine"
+            assert any("stats-t.corrupt" in p.name
+                       for p in quarantine.iterdir())
+            await service.drain()
+
+        asyncio.run(scenario())
+
+    def test_corruption_on_every_attempt_refuses_to_serve(self):
+        async def scenario():
+            service = _service()
+            session = service.open_session("t", block_sizes=[512] * 16)
+            session.submit(list(range(16)))
+            with faults.plan(faults.FaultSpec(point="service.flush",
+                                              mode="corrupt", times=10,
+                                              keys=("t",))):
+                with pytest.raises(SessionError) as excinfo:
+                    await session.stats()
+            assert excinfo.value.token == protocol.ERR_FAULT
+            assert session.stats_quarantined == 3
+            await service.drain()
+
+        asyncio.run(scenario())
+
+    def test_corrupt_flush_without_persister_still_recovers(self):
+        async def scenario():
+            service = _service()  # no snapshot_dir: nowhere to park bytes
+            session = service.open_session("t", block_sizes=[512] * 16)
+            session.submit(list(range(16)))
+            clean = await session.stats()
+            with faults.plan(faults.FaultSpec(point="service.flush",
+                                              mode="corrupt", times=2,
+                                              keys=("t",))):
+                assert await session.stats() == clean
+            assert session.stats_quarantined == 1
+            await service.drain()
+
+        asyncio.run(scenario())
+
+    def test_corrupt_flush_surfaces_clean_stats_over_tcp(self, tmp_path):
+        async def scenario():
+            service = _service(snapshot_dir=str(tmp_path / "durable"))
+            await service.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port
+            )
+            try:
+                writer.write(protocol.encode(
+                    {"op": "hello", "tenant": "t",
+                     "block_sizes": [512] * 16}
+                ))
+                await writer.drain()
+                assert (protocol.decode_line(
+                    await reader.readline()))["ok"]
+                writer.write(protocol.encode(
+                    {"op": "access", "sids": list(range(16)),
+                     "sync": True}
+                ))
+                await writer.drain()
+                assert (protocol.decode_line(
+                    await reader.readline()))["ok"]
+                with faults.plan(faults.FaultSpec(point="service.flush",
+                                                  mode="corrupt",
+                                                  times=2, keys=("t",))):
+                    writer.write(protocol.encode({"op": "stats"}))
+                    await writer.drain()
+                    reply = protocol.decode_line(await reader.readline())
+                assert reply["ok"]
+                assert reply["tenant"]["accesses"] == 16
+                assert reply["tenant"]["hits"] + reply["tenant"]["misses"] == 16
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            await service.drain()
+
+        asyncio.run(scenario())
