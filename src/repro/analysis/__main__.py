@@ -18,6 +18,8 @@ prints the rendered result.  Examples::
                                                        # invariant checker
     python -m repro.analysis diff-check --scale 0.25 # production vs
                                                      # reference simulator
+    python -m repro.analysis bench-gate              # fresh bench JSON vs
+                                                     # committed baselines
 
 Simulation figures share one sweep per invocation, so asking for
 several of them costs little more than asking for one; the sweep is
@@ -33,7 +35,7 @@ import os
 import sys
 import time
 
-from repro.analysis import diffcheck, experiments, sweep, sweepcache
+from repro.analysis import benchgate, diffcheck, experiments, sweep, sweepcache
 from repro.analysis.checkpoint import CheckpointStore
 from repro.core.invariants import CHECK_LEVELS, ENV_CHECK_LEVEL
 
@@ -49,6 +51,9 @@ _CACHE_COMMANDS = ("cache-stats", "cache-clear")
 
 #: Sanitizer commands (see repro.core.invariants / repro.analysis.diffcheck).
 _SANITY_COMMANDS = ("diff-check", "kernel-check")
+
+#: The benchmark-regression gate (see repro.analysis.benchgate).
+_GATE_COMMANDS = ("bench-gate",)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -115,6 +120,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--diff-lru", action="store_true",
                         help="extend diff-check's ladder with the "
                              "Section 3.3 LRU arena policy")
+    parser.add_argument("--baselines", default=benchgate.DEFAULT_BASELINES,
+                        help="bench-gate baselines file "
+                             "(default: %(default)s)")
+    parser.add_argument("--bench-dir", default=".",
+                        help="directory bench-gate reads the fresh "
+                             "BENCH_*.json reports from (default: .)")
+    parser.add_argument("--write-baselines", action="store_true",
+                        help="refresh the baselines file from the "
+                             "current bench reports instead of gating")
     return parser
 
 
@@ -222,6 +236,22 @@ def _run_kernel_check(args: argparse.Namespace) -> bool:
     return report.ok
 
 
+def _run_bench_gate(args: argparse.Namespace) -> bool:
+    """Run (or refresh) the benchmark-regression gate; True on pass."""
+    if args.write_baselines:
+        outcome = benchgate.write_baselines(args.baselines, args.bench_dir)
+        print(f"refreshed {len(outcome['updated'])} baseline(s) in "
+              f"{args.baselines}: {', '.join(outcome['updated']) or '-'}")
+        if outcome["missing"]:
+            print("unreadable (left untouched): "
+                  + ", ".join(outcome["missing"]))
+            return False
+        return True
+    report = benchgate.run_gate(args.baselines, args.bench_dir)
+    print(benchgate.render(report))
+    return report["ok"]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -229,7 +259,7 @@ def main(argv: list[str] | None = None) -> int:
         print("Available artifacts:")
         for name in _DRIVERS:
             print(f"  {name}")
-        for name in _CACHE_COMMANDS + _SANITY_COMMANDS:
+        for name in _CACHE_COMMANDS + _SANITY_COMMANDS + _GATE_COMMANDS:
             print(f"  {name}")
         return 0
     if args.scale <= 0:
@@ -268,12 +298,15 @@ def main(argv: list[str] | None = None) -> int:
     for raw in args.artifacts:
         name = _ALIASES.get(raw, raw)
         if raw == "all":
-            requested = [n for n in requested
-                         if n in _CACHE_COMMANDS + _SANITY_COMMANDS]
+            requested = [
+                n for n in requested
+                if n in _CACHE_COMMANDS + _SANITY_COMMANDS + _GATE_COMMANDS
+            ]
             requested += list(_DRIVERS)
             break
         if (name not in _DRIVERS and name not in _CACHE_COMMANDS
-                and name not in _SANITY_COMMANDS):
+                and name not in _SANITY_COMMANDS
+                and name not in _GATE_COMMANDS):
             parser.error(
                 f"unknown artifact {raw!r}; use --list to see choices"
             )
@@ -289,6 +322,10 @@ def main(argv: list[str] | None = None) -> int:
             runner = (_run_kernel_check if name == "kernel-check"
                       else _run_diff_check)
             if not runner(args):
+                failed = True
+            continue
+        if name in _GATE_COMMANDS:
+            if not _run_bench_gate(args):
                 failed = True
             continue
         result = _call_driver(name, args)

@@ -166,4 +166,18 @@ def render_service_report(report: Mapping) -> str:
             f"{recovery['reconnects']} reconnect(s), recovered stats "
             f"{verdict}"
         )
+        if recovery.get("sharing"):
+            text += " (cross-tenant sharing on)"
+    dedup = report.get("dedup")
+    if dedup:
+        on, off = dedup["sharing_on"], dedup["sharing_off"]
+        text += (
+            f"\ndedup A/B: {dedup['tenants']} identical "
+            f"{dedup['benchmark']} tenants, dedup ratio "
+            f"{dedup['dedup_ratio']:.2f}x, "
+            f"{dedup['bytes_saved']} peak bytes saved, miss rate "
+            f"{off['unified_miss_rate']:.4f} -> "
+            f"{on['unified_miss_rate']:.4f} "
+            f"({dedup['miss_rate_delta']:+.4f})"
+        )
     return text

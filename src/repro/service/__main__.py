@@ -1,18 +1,20 @@
-"""The service CLI: ``python -m repro.service {serve,load,route,scale,recovery}``.
+"""The service CLI: ``python -m repro.service {serve,load,route,scale,recovery,dedup}``.
 
 ``serve`` runs one worker in the foreground until interrupted (then
 drains gracefully — with ``--snapshot-dir`` that includes a final
 snapshot, and startup includes snapshot + write-ahead-log recovery).
 ``load`` drives N concurrent tenants against a server.  ``route``
 spawns a shard fleet plus the consistent-hashing router in front of it.
-``scale`` and ``recovery`` are the fleet benchmarks: weak scaling
-across shard counts, and the kill-one-worker crash drill; both merge
-their sections into ``BENCH_service.json``.
+``scale``, ``recovery`` and ``dedup`` are the fleet benchmarks: weak
+scaling across shard counts, the kill-one-worker crash drill, and the
+cross-tenant sharing A/B (identical tenants with dedup on vs off); all
+three merge their sections into ``BENCH_service.json``.
 
 Defaults for the persistence and hardening knobs also come from the
 environment (flags win): ``REPRO_SERVICE_SNAPSHOT_DIR``,
 ``REPRO_SERVICE_SNAPSHOT_INTERVAL``, ``REPRO_SERVICE_RATE_LIMIT``,
-``REPRO_SERVICE_RATE_BURST`` and ``REPRO_SERVICE_SHARDS``.
+``REPRO_SERVICE_RATE_BURST``, ``REPRO_SERVICE_SHARDS`` and
+``REPRO_SERVICE_SHARING`` (``on``/``off``).
 
 Examples::
 
@@ -21,7 +23,8 @@ Examples::
     python -m repro.service load --tenants 4 --accesses 20000
     python -m repro.service route --shards 2 --snapshot-root /var/tmp/fleet
     python -m repro.service scale --shard-counts 1 2 4
-    python -m repro.service recovery --shards 2 --tenants 4
+    python -m repro.service recovery --shards 2 --tenants 4 --sharing
+    python -m repro.service dedup --tenants 4 --benchmark gcc
 """
 
 from __future__ import annotations
@@ -33,7 +36,11 @@ import os
 import sys
 import tempfile
 
-from repro.service.bench import run_recovery_bench, run_scale_bench
+from repro.service.bench import (
+    run_dedup_bench,
+    run_recovery_bench,
+    run_scale_bench,
+)
 from repro.service.client import run_load, write_report
 from repro.service.pool import WorkerPool
 from repro.service.router import RouterConfig, ServiceRouter
@@ -48,6 +55,18 @@ def _env(name: str, cast, default=None):
         return cast(raw)
     except (TypeError, ValueError):
         raise SystemExit(f"bad {name}={raw!r}: expected {cast.__name__}")
+
+
+def _env_flag(name: str, default: bool = False) -> bool:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    text = raw.strip().lower()
+    if text in ("on", "1", "true", "yes"):
+        return True
+    if text in ("off", "0", "false", "no"):
+        return False
+    raise SystemExit(f"bad {name}={raw!r}: expected on/off")
 
 
 def _add_server_options(parser: argparse.ArgumentParser) -> None:
@@ -88,6 +107,11 @@ def _add_server_options(parser: argparse.ArgumentParser) -> None:
                         help="token-bucket depth in accesses (default: "
                              "REPRO_SERVICE_RATE_BURST or one second's "
                              "worth)")
+    parser.add_argument("--sharing", action=argparse.BooleanOptionalAction,
+                        default=_env_flag("REPRO_SERVICE_SHARING"),
+                        help="content-hash superblock dedup across "
+                             "tenants (default: REPRO_SERVICE_SHARING "
+                             "or off)")
 
 
 def _config(args: argparse.Namespace, host: str, port: int) -> ServiceConfig:
@@ -104,6 +128,7 @@ def _config(args: argparse.Namespace, host: str, port: int) -> ServiceConfig:
         snapshot_interval=args.snapshot_interval,
         rate_limit=args.rate_limit,
         rate_burst=args.rate_burst,
+        sharing=args.sharing,
     )
 
 
@@ -156,6 +181,8 @@ async def _load(args: argparse.Namespace) -> int:
             benchmarks=args.benchmarks, scale=args.scale,
             accesses=args.accesses, batch=args.batch,
             quota_bytes=args.quota_bytes,
+            share_content=args.sharing,
+            common_seed=1000 if args.sharing else None,
         )
     finally:
         if service is not None:
@@ -171,7 +198,7 @@ async def _load(args: argparse.Namespace) -> int:
     try:
         with open(args.output, "r", encoding="utf-8") as handle:
             existing = json.load(handle)
-        for section in ("scaling", "recovery"):
+        for section in ("scaling", "recovery", "dedup"):
             if isinstance(existing, dict) and section in existing:
                 report[section] = existing[section]
     except (FileNotFoundError, json.JSONDecodeError):
@@ -265,6 +292,7 @@ async def _recovery(args: argparse.Namespace) -> int:
         benchmarks=args.benchmarks,
         snapshot_interval=args.snapshot_interval,
         kill_fraction=args.kill_fraction,
+        sharing=args.sharing,
     )
     _merge_section(args.output, "recovery", report)
     verdict = ("field-identical" if report["field_identical"]
@@ -277,6 +305,25 @@ async def _recovery(args: argparse.Namespace) -> int:
           f"recovered stats {verdict}")
     print(f"recovery section merged into {args.output}")
     return 0 if report["field_identical"] else 1
+
+
+async def _dedup(args: argparse.Namespace) -> int:
+    report = await run_dedup_bench(
+        tenants=args.tenants, benchmark=args.benchmark,
+        scale=args.scale, accesses=args.accesses, batch=args.batch,
+        policy=args.policy, capacity_bytes=args.capacity,
+        check_level=args.check,
+    )
+    _merge_section(args.output, "dedup", report)
+    on, off = report["sharing_on"], report["sharing_off"]
+    print(f"{args.tenants} identical {args.benchmark} tenants: "
+          f"dedup ratio {report['dedup_ratio']:.2f}x, "
+          f"{report['bytes_saved']} peak bytes saved")
+    print(f"miss rate {off['unified_miss_rate']:.4f} -> "
+          f"{on['unified_miss_rate']:.4f} "
+          f"(delta {report['miss_rate_delta']:+.4f})")
+    print(f"dedup section merged into {args.output}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -365,6 +412,20 @@ def main(argv: list[str] | None = None) -> int:
     recovery.add_argument("--snapshot-root", default=None)
     recovery.add_argument("--output", default="BENCH_service.json")
 
+    dedup = commands.add_parser(
+        "dedup", help="cross-tenant sharing A/B: identical tenants "
+                      "with dedup on vs off"
+    )
+    _add_server_options(dedup)
+    dedup.add_argument("--tenants", type=int, default=4)
+    dedup.add_argument("--benchmark", default="gcc",
+                       help="registry benchmark every tenant replays "
+                            "(default: gcc)")
+    dedup.add_argument("--scale", type=float, default=0.25)
+    dedup.add_argument("--accesses", type=int, default=20_000)
+    dedup.add_argument("--batch", type=int, default=256)
+    dedup.add_argument("--output", default="BENCH_service.json")
+
     args = parser.parse_args(argv)
     runner = {
         "serve": _serve,
@@ -372,6 +433,7 @@ def main(argv: list[str] | None = None) -> int:
         "route": _route,
         "scale": _scale,
         "recovery": _recovery,
+        "dedup": _dedup,
     }[args.command]
     try:
         return asyncio.run(runner(args))

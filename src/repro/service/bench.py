@@ -1,6 +1,6 @@
-"""Fleet benchmarks: shard scaling and kill-and-recover timing.
+"""Fleet benchmarks: shard scaling, kill-and-recover timing, dedup A/B.
 
-Two harnesses, both running *real* worker processes from
+Two fleet harnesses, both running *real* worker processes from
 :class:`~repro.service.pool.WorkerPool`:
 
 * :func:`run_scale_bench` — weak scaling: N shards serve N×T tenants
@@ -17,6 +17,12 @@ Two harnesses, both running *real* worker processes from
   reports the restart-to-ready wall time, the worker's own recovery
   breakdown, and — the acceptance bar — whether every tenant's final
   Equation 1 stats came out *field-identical* to the reference run.
+
+Plus one in-process harness: :func:`run_dedup_bench`, the ShareJIT A/B
+— N tenants replaying one identical seeded workload against a sharing
+arena and a legacy arena, reporting dedup ratio, peak bytes saved and
+the unified miss-rate delta (the ``dedup`` section of
+``BENCH_service.json``).
 
 Determinism note: the drivers send batches in ``sync`` mode,
 round-robin across tenants from a single task, so the arena applies
@@ -45,8 +51,18 @@ DEFAULT_SHARD_COUNTS = (1, 2, 4)
 
 
 def _tenant_traces(tenants: int, benchmarks: list[str] | None,
-                   scale: float, accesses: int) -> list[dict]:
-    """Seeded per-tenant traces; identical across harness runs."""
+                   scale: float, accesses: int,
+                   share_content: bool = False,
+                   common_seed: int | None = None) -> list[dict]:
+    """Seeded per-tenant traces; identical across harness runs.
+
+    ``common_seed`` gives every tenant the same workload (the
+    identical-fleet shape dedup needs — the seed drives sizes and
+    links, not just the trace); ``share_content`` adds content digests
+    to each spec for sharing-enabled servers.
+    """
+    from repro.service.tenancy import content_digests
+
     if benchmarks:
         names = [benchmarks[i % len(benchmarks)] for i in range(tenants)]
     else:
@@ -54,17 +70,23 @@ def _tenant_traces(tenants: int, benchmarks: list[str] | None,
         names = [suite[i % len(suite)] for i in range(tenants)]
     out = []
     for index in range(tenants):
+        seed = common_seed if common_seed is not None else 1000 + index
         workload = build_workload(
             get_benchmark(names[index]), scale=scale,
-            trace_accesses=accesses, seed=1000 + index,
+            trace_accesses=accesses, seed=seed,
         )
         sizes = workload.superblocks.sizes()
-        out.append({
+        spec = {
             "tenant": f"tenant-{index}:{names[index]}",
             "benchmark": names[index],
             "block_sizes": [sizes[sid] for sid in range(len(sizes))],
             "trace": workload.trace.tolist(),
-        })
+        }
+        if share_content:
+            spec["block_digests"] = content_digests(
+                names[index], scale, seed, workload.superblocks
+            )
+        out.append(spec)
     return out
 
 
@@ -164,11 +186,12 @@ async def _run_fleet(root: Path, shards: int, specs: list[dict],
                      batch: int, policy: str, capacity_bytes: int,
                      snapshot_interval: int,
                      kill_shard: str | None = None,
-                     kill_at_batch: int | None = None) -> dict:
+                     kill_at_batch: int | None = None,
+                     sharing: bool = False) -> dict:
     """One recovery-drill run; optionally kill + restart one shard."""
     pool = WorkerPool(
         shards, root, policy=policy, capacity_bytes=capacity_bytes,
-        snapshot_interval=snapshot_interval,
+        snapshot_interval=snapshot_interval, sharing=sharing,
     )
     await pool.start()
     timings: dict = {}
@@ -179,6 +202,7 @@ async def _run_fleet(root: Path, shards: int, specs: list[dict],
             ResilientClient(
                 [endpoints[ring.lookup(spec["tenant"])]], spec["tenant"],
                 block_sizes=spec["block_sizes"], sync=True,
+                block_digests=spec.get("block_digests"),
             )
             for spec in specs
         ]
@@ -235,25 +259,34 @@ async def run_recovery_bench(root: str | Path, shards: int = 2,
                              capacity_bytes: int = 256 * 1024,
                              benchmarks: list[str] | None = None,
                              snapshot_interval: int = 2_000,
-                             kill_fraction: float = 0.4) -> dict:
+                             kill_fraction: float = 0.4,
+                             sharing: bool = False) -> dict:
     """The crash drill: reference run vs kill-one-worker run.
 
     Returns the restart wall time, the recovered worker's own recovery
-    report, and the per-tenant field-identity verdict.
+    report, and the per-tenant field-identity verdict.  With *sharing*
+    every worker dedups (all tenants get one common workload seed so
+    identical content actually exists), and the field-identity bar now
+    also covers the recovered shared state: refcounts, owner sets and
+    fractional attribution all flow through the snapshot + WAL.
     """
     root = Path(root)
-    specs = _tenant_traces(tenants, benchmarks, scale, accesses)
+    specs = _tenant_traces(
+        tenants, benchmarks, scale, accesses,
+        share_content=sharing,
+        common_seed=1000 if sharing else None,
+    )
     total_batches = (accesses + batch - 1) // batch
     kill_at = max(1, int(total_batches * kill_fraction))
 
     reference = await _run_fleet(
         root / "reference", shards, specs, batch, policy,
-        capacity_bytes, snapshot_interval,
+        capacity_bytes, snapshot_interval, sharing=sharing,
     )
     drill = await _run_fleet(
         root / "drill", shards, specs, batch, policy,
         capacity_bytes, snapshot_interval,
-        kill_shard="shard-0", kill_at_batch=kill_at,
+        kill_shard="shard-0", kill_at_batch=kill_at, sharing=sharing,
     )
     mismatches = []
     for spec in specs:
@@ -263,6 +296,7 @@ async def run_recovery_bench(root: str | Path, shards: int = 2,
     return {
         "harness": "repro.service recovery",
         "cpu_count": os.cpu_count(),
+        "sharing": sharing,
         "shards": shards,
         "tenants": tenants,
         "accesses_per_tenant": accesses,
@@ -275,4 +309,81 @@ async def run_recovery_bench(root: str | Path, shards: int = 2,
         "resends_skipped": drill["resends_skipped"],
         "field_identical": not mismatches,
         "mismatched_tenants": mismatches,
+    }
+
+
+async def _run_dedup_side(sharing: bool, tenants: int, benchmark: str,
+                          scale: float, accesses: int, batch: int,
+                          policy: str, capacity_bytes: int,
+                          check_level: str | None) -> dict:
+    """One side of the dedup A/B: an in-process server, N tenants all
+    replaying the *same* seeded workload (common seed — sizes, links
+    and trace identical), sharing on or off."""
+    from repro.service.client import run_load
+    from repro.service.server import CacheService, ServiceConfig
+
+    service = CacheService(ServiceConfig(
+        policy=policy, capacity_bytes=capacity_bytes,
+        max_sessions=max(16, tenants * 2), check_level=check_level,
+        sharing=sharing,
+    ))
+    await service.start()
+    try:
+        report = await run_load(
+            service.config.host, service.port, tenants,
+            benchmarks=[benchmark], scale=scale, accesses=accesses,
+            batch=batch, share_content=sharing, common_seed=1000,
+        )
+    finally:
+        await service.drain()
+    arena = service.arena.to_dict()
+    return {
+        "elapsed_seconds": report["elapsed_seconds"],
+        "accesses_per_second": report["accesses_per_second"],
+        "unified_miss_rate": report["unified"]["miss_rate"],
+        "peak_resident_bytes": arena["peak_resident_bytes"],
+        "peak_logical_bytes": arena["peak_logical_bytes"],
+        "per_tenant": report["per_tenant"],
+        "arena": arena,
+    }
+
+
+async def run_dedup_bench(tenants: int = 4, benchmark: str = "gcc",
+                          scale: float = 0.25, accesses: int = 20_000,
+                          batch: int = 256, policy: str = "8-unit",
+                          capacity_bytes: int = 256 * 1024,
+                          check_level: str | None = None) -> dict:
+    """The ShareJIT A/B: N identical-workload tenants with sharing off
+    (N private copies fighting over the arena) vs on (one refcounted
+    copy).  Reports the dedup ratio (peak logical over peak physical
+    bytes), the physical bytes saved at peak, and the unified miss-rate
+    delta the dedup buys back.
+    """
+    off = await _run_dedup_side(
+        False, tenants, benchmark, scale, accesses, batch, policy,
+        capacity_bytes, check_level,
+    )
+    on = await _run_dedup_side(
+        True, tenants, benchmark, scale, accesses, batch, policy,
+        capacity_bytes, check_level,
+    )
+    return {
+        "harness": "repro.service dedup",
+        "cpu_count": os.cpu_count(),
+        "tenants": tenants,
+        "benchmark": benchmark,
+        "scale": scale,
+        "accesses_per_tenant": accesses,
+        "batch": batch,
+        "policy": policy,
+        "capacity_bytes": capacity_bytes,
+        "check_level": check_level,
+        "sharing_off": off,
+        "sharing_on": on,
+        "dedup_ratio": (on["peak_logical_bytes"]
+                        / max(1, on["peak_resident_bytes"])),
+        "bytes_saved": (off["peak_resident_bytes"]
+                        - on["peak_resident_bytes"]),
+        "miss_rate_delta": (off["unified_miss_rate"]
+                            - on["unified_miss_rate"]),
     }

@@ -58,7 +58,9 @@ class ServiceClient:
     @classmethod
     async def connect(cls, host: str, port: int,
                       max_retries: int = DEFAULT_RETRIES) -> "ServiceClient":
-        reader, writer = await asyncio.open_connection(host, port)
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_LINE_BYTES
+        )
         return cls(reader, writer, max_retries=max_retries)
 
     async def request(self, message: dict) -> dict:
@@ -88,12 +90,14 @@ class ServiceClient:
                     scale: float | None = None,
                     quota_bytes: int | None = None,
                     weight: float | None = None,
-                    resume: bool | None = None) -> dict:
+                    resume: bool | None = None,
+                    block_digests: list[str] | None = None) -> dict:
         message = {"op": "hello", "tenant": tenant}
         for key, value in (("benchmark", benchmark),
                            ("block_sizes", block_sizes), ("scale", scale),
                            ("quota_bytes", quota_bytes), ("weight", weight),
-                           ("resume", resume)):
+                           ("resume", resume),
+                           ("block_digests", block_digests)):
             if value is not None:
                 message[key] = value
         return await self._request_retrying(
@@ -159,12 +163,14 @@ class ResilientClient:
                  weight: float | None = None,
                  max_retries: int = DEFAULT_RETRIES,
                  reconnect_backoff: float = 0.05,
-                 sync: bool = False) -> None:
+                 sync: bool = False,
+                 block_digests: list[str] | None = None) -> None:
         if not endpoints:
             raise ValueError("ResilientClient needs at least one endpoint")
         self.endpoints = list(endpoints)
         self.tenant = tenant
         self.block_sizes = block_sizes
+        self.block_digests = block_digests
         self.benchmark = benchmark
         self.scale = scale
         self.quota_bytes = quota_bytes
@@ -215,7 +221,7 @@ class ResilientClient:
                     self.tenant, benchmark=self.benchmark,
                     block_sizes=self.block_sizes, scale=self.scale,
                     quota_bytes=self.quota_bytes, weight=self.weight,
-                    resume=True,
+                    resume=True, block_digests=self.block_digests,
                 )
             except (ConnectionError, OSError, ServiceUnavailable) as error:
                 last_error = error
@@ -346,21 +352,35 @@ async def run_tenant(host: str, port: int, tenant: str, benchmark: str,
                      quota_bytes: int | None = None,
                      weight: float = 1.0, seed: int | None = None,
                      endpoints: list[tuple[str, int]] | None = None,
-                     sync: bool = False) -> dict:
+                     sync: bool = False,
+                     share_content: bool = False) -> dict:
     """One load-generator tenant: replay a registry trace end to end.
 
     Runs on the resilient client, so a worker kill-and-restart mid-run
     is ridden through: the sequence numbers plus the server's WAL make
     the replay exactly-once despite the reconnects.  *endpoints* (when
     given) supersedes ``host``/``port`` as the failover list.
+
+    With ``share_content`` the hello carries content digests derived
+    from the workload identity, so a sharing-enabled server dedups
+    identical populations across tenants.
     """
+    from repro.service.tenancy import content_digests
+
     workload = build_workload(get_benchmark(benchmark), scale=scale,
                               trace_accesses=accesses, seed=seed)
     sizes = workload.superblocks.sizes()
     block_sizes = [sizes[sid] for sid in range(len(sizes))]
+    block_digests = None
+    if share_content:
+        digest_seed = seed if seed is not None else \
+            get_benchmark(benchmark).seed
+        block_digests = content_digests(benchmark, scale, digest_seed,
+                                        workload.superblocks)
     client = ResilientClient(
         endpoints or [(host, port)], tenant, block_sizes=block_sizes,
         quota_bytes=quota_bytes, weight=weight, sync=sync,
+        block_digests=block_digests,
     )
     try:
         await client.connect()
@@ -392,8 +412,17 @@ async def run_load(host: str, port: int, tenants: int,
                    batch: int = DEFAULT_BATCH,
                    quota_bytes: int | None = None,
                    endpoints: list[tuple[str, int]] | None = None,
-                   sync: bool = False) -> dict:
-    """Drive *tenants* concurrent sessions; returns the load report."""
+                   sync: bool = False,
+                   share_content: bool = False,
+                   common_seed: int | None = None) -> dict:
+    """Drive *tenants* concurrent sessions; returns the load report.
+
+    ``common_seed`` gives every tenant the *same* workload (sizes,
+    links and trace all derive from the seed) — the identical-tenant
+    fleet the dedup bench measures; the default per-tenant seeds keep
+    workloads distinct.  ``share_content`` sends content digests so a
+    sharing server can dedup.
+    """
     if benchmarks:
         names = [benchmarks[i % len(benchmarks)] for i in range(tenants)]
     else:
@@ -403,8 +432,11 @@ async def run_load(host: str, port: int, tenants: int,
     results = await asyncio.gather(*(
         run_tenant(host, port, f"tenant-{i}:{names[i]}", names[i],
                    scale=scale, accesses=accesses, batch=batch,
-                   quota_bytes=quota_bytes, seed=1000 + i,
-                   endpoints=endpoints, sync=sync)
+                   quota_bytes=quota_bytes,
+                   seed=common_seed if common_seed is not None
+                   else 1000 + i,
+                   endpoints=endpoints, sync=sync,
+                   share_content=share_content)
         for i in range(tenants)
     ))
     elapsed = time.monotonic() - started
@@ -417,6 +449,7 @@ async def run_load(host: str, port: int, tenants: int,
         "accesses_per_tenant": accesses,
         "batch": batch,
         "quota_bytes": quota_bytes,
+        "share_content": share_content,
         "elapsed_seconds": elapsed,
         "total_accesses": total_accesses,
         "accesses_per_second": (

@@ -39,6 +39,7 @@ quarantined rather than half-applied in a loop forever.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pickle
 import time
@@ -46,10 +47,14 @@ import warnings
 from pathlib import Path
 
 from repro import faults
-from repro.analysis.checkpoint import CheckpointStore
+from repro.analysis.checkpoint import QUARANTINE_DIR, CheckpointStore
 
 #: Blob name of the arena snapshot inside the persister's store.
 SNAPSHOT_BLOB = "arena-snapshot.pkl"
+
+#: JSON sidecar written next to a quarantined snapshot with the full
+#: mismatch forensics (expected vs actual fingerprints and digests).
+QUARANTINE_RECORD = "arena-snapshot.quarantine.json"
 
 #: File name of the write-ahead log (JSON lines) next to the snapshot.
 WAL_NAME = "arena-wal.jsonl"
@@ -63,6 +68,15 @@ _RECORD_TYPES = ("attach", "access", "detach")
 
 class RecoveryError(RuntimeError):
     """Recovery could not produce a usable arena at all."""
+
+
+def fingerprint_digest(fingerprint: dict | None) -> str | None:
+    """A short stable digest of a configuration fingerprint, so a
+    quarantine record can name the mismatch compactly."""
+    if fingerprint is None:
+        return None
+    payload = json.dumps(fingerprint, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 class ArenaPersister:
@@ -94,6 +108,9 @@ class ArenaPersister:
         self.replay_quarantined = 0
         self.recovered = False
         self.recovery_seconds: float | None = None
+        #: Forensics of the last quarantined snapshot (see
+        #: :meth:`_quarantine_snapshot`), or None.
+        self.last_quarantine_record: dict | None = None
 
     # -- The write-ahead log -------------------------------------------------
 
@@ -118,14 +135,21 @@ class ArenaPersister:
         handle.flush()
         self.records_logged += 1
 
-    def log_attach(self, name: str, block_sizes, quota) -> None:
-        self._log({
+    def log_attach(self, name: str, block_sizes, quota,
+                   block_digests=None) -> None:
+        record = {
             "type": "attach",
             "tenant": name,
             "block_sizes": [int(size) for size in block_sizes],
             "quota_bytes": quota.quota_bytes,
             "weight": quota.weight,
-        })
+        }
+        if block_digests is not None:
+            # Sharing mode: replay must rebuild the identical
+            # digest -> shared-gid mapping, so the digests are part of
+            # the durable attach record.
+            record["block_digests"] = [str(d) for d in block_digests]
+        self._log(record)
 
     def log_access(self, name: str, sids, tseq: int | None) -> None:
         self._log({
@@ -215,11 +239,16 @@ class ArenaPersister:
         A snapshot that cannot be unpickled, has the wrong shape, or
         was taken under a different configuration fingerprint is moved
         into quarantine for post-mortem inspection and reported absent —
-        recovery then proceeds from the write-ahead log alone.
+        recovery then proceeds from the write-ahead log alone.  The
+        quarantine carries the full forensics: expected vs actual
+        fingerprints and their digests (actual ``None`` when the blob
+        would not even unpickle), both in the quarantine reason and in
+        a JSON sidecar next to the quarantined blob.
         """
         payload = self.store.load_blob(SNAPSHOT_BLOB)
         if payload is None:
             return None
+        actual_fingerprint: dict | None = None
         try:
             payload = faults.fire("service.snapshot", key="load",
                                   data=payload)
@@ -229,15 +258,47 @@ class ArenaPersister:
                     f"snapshot holds {type(state).__name__}, expected an "
                     f"arena state dict"
                 )
-            if state.get("fingerprint") != expected_fingerprint:
+            actual_fingerprint = state.get("fingerprint")
+            if actual_fingerprint != expected_fingerprint:
                 raise ValueError(
-                    f"snapshot fingerprint {state.get('fingerprint')} does "
+                    f"snapshot fingerprint {actual_fingerprint} does "
                     f"not match this worker's {expected_fingerprint}"
                 )
         except Exception as exc:
-            self.store.quarantine_blob(SNAPSHOT_BLOB, f"corrupt ({exc})")
+            self._quarantine_snapshot(payload, exc, expected_fingerprint,
+                                      actual_fingerprint)
             return None
         return state
+
+    def _quarantine_snapshot(self, payload: bytes, exc: Exception,
+                             expected_fingerprint: dict,
+                             actual_fingerprint: dict | None) -> None:
+        """Quarantine the snapshot blob with mismatch forensics."""
+        expected_digest = fingerprint_digest(expected_fingerprint)
+        actual_digest = fingerprint_digest(actual_fingerprint)
+        self.last_quarantine_record = {
+            "blob": SNAPSHOT_BLOB,
+            "reason": str(exc),
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "expected_fingerprint": expected_fingerprint,
+            "expected_digest": expected_digest,
+            "actual_fingerprint": actual_fingerprint,
+            "actual_digest": actual_digest,
+        }
+        self.store.quarantine_blob(
+            SNAPSHOT_BLOB,
+            f"corrupt ({exc}) [expected fingerprint {expected_digest}, "
+            f"actual {actual_digest}]",
+        )
+        record_path = self.root / QUARANTINE_DIR / QUARANTINE_RECORD
+        try:
+            record_path.parent.mkdir(parents=True, exist_ok=True)
+            record_path.write_text(json.dumps(
+                self.last_quarantine_record, indent=2, sort_keys=True,
+                default=str,
+            ))
+        except OSError:  # pragma: no cover - forensics are best-effort
+            pass
 
     def close(self) -> None:
         if self._wal_file is not None:
@@ -271,6 +332,7 @@ def recover_arena(
     reclaim_fraction: float = 0.85,
     check_level: str | None = None,
     check_context: dict | None = None,
+    sharing: bool = False,
 ):
     """Build a worker's arena from snapshot + WAL replay (or fresh).
 
@@ -290,11 +352,13 @@ def recover_arena(
         check_level=check_level,
         check_context=check_context,
         persister=persister,
+        sharing=sharing,
     )
     expected = {
         "policy": fresh_policy.name,
         "capacity_bytes": capacity_bytes,
         "max_block_bytes": max_block_bytes,
+        "sharing": sharing,
     }
     state = persister.load_snapshot(expected)
     if state is not None:
@@ -363,6 +427,7 @@ def _apply_record(arena, record: dict, quota_cls) -> None:
                 tenant, record["block_sizes"],
                 quota_cls(quota_bytes=record["quota_bytes"],
                           weight=record["weight"]),
+                block_digests=record.get("block_digests"),
             )
     elif kind == "access":
         arena.access_many(tenant, record["sids"], tseq=record.get("tseq"))

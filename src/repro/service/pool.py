@@ -78,7 +78,8 @@ class WorkerPool:
                  check_level: str | None = None,
                  max_sessions: int = 64,
                  host: str = "127.0.0.1",
-                 ready_timeout: float = DEFAULT_READY_TIMEOUT) -> None:
+                 ready_timeout: float = DEFAULT_READY_TIMEOUT,
+                 sharing: bool = False) -> None:
         if shards < 1:
             raise ValueError("a pool needs at least one shard")
         self.root = Path(root)
@@ -87,6 +88,7 @@ class WorkerPool:
         self.snapshot_interval = snapshot_interval
         self.rate_limit = rate_limit
         self.check_level = check_level
+        self.sharing = sharing
         self.max_sessions = max_sessions
         self.host = host
         self.ready_timeout = ready_timeout
@@ -118,6 +120,8 @@ class WorkerPool:
             command += ["--rate-limit", str(self.rate_limit)]
         if self.check_level is not None:
             command += ["--check", self.check_level]
+        if self.sharing:
+            command += ["--sharing"]
         return command
 
     async def start(self) -> None:

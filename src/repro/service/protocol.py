@@ -15,7 +15,10 @@ Requests (``op`` selects the operation):
     server is at its admission limit.  ``"resume": true`` re-adopts a
     tenant a persistence-enabled worker recovered (or parked on a lost
     connection): the response's ``applied_seq`` is the exactly-once
-    watermark the client resends from.
+    watermark the client resends from.  ``"block_digests":
+    [str, ...]`` (parallel to the block population) carries per-block
+    content digests for ShareJIT-style dedup on a sharing-enabled
+    server; the response's ``sharing`` flag reports the server's mode.
 ``access``
     Stream a batch: ``{"op": "access", "sids": [int, ...], "seq":
     int?, "sync": bool?}``.  The batch is *queued*, not applied
@@ -120,6 +123,19 @@ def validate_request(message: dict) -> str:
                     or not all(isinstance(s, int) and s > 0 for s in sizes)):
                 raise ProtocolError(
                     "'block_sizes' must be a non-empty list of positive ints"
+                )
+        digests = message.get("block_digests")
+        if digests is not None:
+            if (not isinstance(digests, list) or not digests
+                    or not all(isinstance(d, str) and d for d in digests)):
+                raise ProtocolError(
+                    "'block_digests' must be a non-empty list of "
+                    "non-empty strings"
+                )
+            if sizes is not None and len(digests) != len(sizes):
+                raise ProtocolError(
+                    f"'block_digests' ({len(digests)}) must parallel "
+                    f"'block_sizes' ({len(sizes)})"
                 )
         for field, kind in (("scale", (int, float)),
                             ("quota_bytes", int), ("weight", (int, float))):

@@ -203,7 +203,8 @@ class ServiceRouter:
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
+            self._handle_connection, self.config.host, self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
         )
 
     @property
@@ -307,7 +308,10 @@ class ServiceRouter:
                     host, port = self.shards[target]
                     try:
                         shard_reader, shard_writer = (
-                            await asyncio.open_connection(host, port)
+                            await asyncio.open_connection(
+                                host, port,
+                                limit=protocol.MAX_LINE_BYTES,
+                            )
                         )
                     except (ConnectionError, OSError) as error:
                         breaker.record_failure()

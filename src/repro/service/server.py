@@ -40,7 +40,12 @@ from repro.service.session import (
     Session,
     SessionError,
 )
-from repro.service.tenancy import SharedArena, TenantQuota, make_policy
+from repro.service.tenancy import (
+    SharedArena,
+    TenantQuota,
+    content_digests,
+    make_policy,
+)
 from repro.workloads.registry import build_workload, get_benchmark
 
 
@@ -70,6 +75,9 @@ class ServiceConfig:
     rate_limit: float | None = None
     #: Bucket depth in accesses; defaults to one second's worth.
     rate_burst: float | None = None
+    #: ShareJIT-style content-hash dedup across tenants
+    #: (``REPRO_SERVICE_SHARING`` on the CLI).
+    sharing: bool = False
 
 
 class TokenBucket:
@@ -111,6 +119,7 @@ class CacheService:
             reclaim_fraction=self.config.reclaim_fraction,
             check_level=self.config.check_level,
             check_context=self.config.check_context,
+            sharing=self.config.sharing,
         )
         if self.config.snapshot_dir is not None:
             self.persister = ArenaPersister(
@@ -148,6 +157,7 @@ class CacheService:
         quota_bytes: int | None = None,
         weight: float = 1.0,
         resume: bool = False,
+        block_digests: list[str] | None = None,
     ) -> Session:
         """Admit *tenant* and attach it to the arena.
 
@@ -155,6 +165,11 @@ class CacheService:
         from snapshot + WAL replay, or parked when its connection was
         lost — is re-adopted with its residency, stats and exactly-once
         watermark intact instead of being attached fresh.
+
+        ``block_digests`` are per-block content digests for a sharing
+        arena; a benchmark-named tenant on a sharing server derives
+        them automatically, so identical registry populations dedup
+        without client cooperation.
 
         Raises :class:`~repro.service.session.SessionError` with
         ``draining`` / ``overloaded`` (both carrying ``retry_after``)
@@ -189,7 +204,13 @@ class CacheService:
                     raise ConfigurationError(
                         "a session needs block_sizes or a benchmark name"
                     )
-                block_sizes = benchmark_sizes(benchmark, scale)
+                if (self.arena.sharing_enabled
+                        and block_digests is None):
+                    block_sizes, block_digests = benchmark_population(
+                        benchmark, scale
+                    )
+                else:
+                    block_sizes = benchmark_sizes(benchmark, scale)
             quota = None
             if quota_bytes is not None:
                 quota = TenantQuota(quota_bytes=quota_bytes, weight=weight)
@@ -197,7 +218,8 @@ class CacheService:
                 quota = TenantQuota(
                     quota_bytes=self.config.capacity_bytes, weight=weight
                 )
-            self.arena.attach(tenant, block_sizes, quota)
+            self.arena.attach(tenant, block_sizes, quota,
+                              block_digests=block_digests)
         session = Session(
             self.arena, tenant,
             queue_batches=self.config.queue_batches,
@@ -228,7 +250,8 @@ class CacheService:
     async def start(self) -> None:
         """Bind and start accepting connections."""
         self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
+            self._handle_connection, self.config.host, self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
         )
 
     @property
@@ -334,6 +357,7 @@ class CacheService:
                 quota_bytes=message.get("quota_bytes"),
                 weight=message.get("weight", 1.0),
                 resume=message.get("resume", False),
+                block_digests=message.get("block_digests"),
             )
             return protocol.ok(
                 "hello", tenant=opened.tenant,
@@ -343,6 +367,7 @@ class CacheService:
                 capacity_bytes=self.arena.capacity_bytes,
                 resumed=opened.resumed,
                 applied_seq=self.arena.applied_seq(opened.tenant),
+                sharing=self.arena.sharing_enabled,
             ), False
         if session is None:
             return protocol.error(
@@ -404,6 +429,20 @@ def benchmark_sizes(name: str, scale: float = 1.0) -> list[int]:
                               trace_accesses=1)
     sizes = workload.superblocks.sizes()
     return [sizes[sid] for sid in range(len(sizes))]
+
+
+def benchmark_population(name: str,
+                         scale: float = 1.0) -> tuple[list[int], list[str]]:
+    """Sizes plus content digests for a registry benchmark — what a
+    sharing server derives when a hello names a benchmark without
+    sending digests.  The digest seed is the spec's own, matching what
+    ``build_workload`` uses when no override is given."""
+    spec = get_benchmark(name)
+    workload = build_workload(spec, scale=scale, trace_accesses=1)
+    sizes = workload.superblocks.sizes()
+    digests = content_digests(name, scale, spec.seed,
+                              workload.superblocks)
+    return [sizes[sid] for sid in range(len(sizes))], digests
 
 
 def len_blocks(arena: SharedArena, tenant: str) -> int:

@@ -3,15 +3,18 @@ back with field-identical per-tenant stats, degrade gracefully on
 corrupt artifacts, and apply every sequenced batch exactly once."""
 
 import asyncio
+import json
 
 import pytest
 
 from repro import faults
 from repro.service import protocol
 from repro.service.persist import (
+    QUARANTINE_RECORD,
     SNAPSHOT_BLOB,
     WAL_NAME,
     ArenaPersister,
+    fingerprint_digest,
     recover_arena,
 )
 from repro.service.server import CacheService, ServiceConfig
@@ -167,6 +170,64 @@ class TestDegradedArtifacts:
             assert service.arena.snapshot_now()
             restarted = _service(tmp_path, capacity_bytes=32 * 1024)
             assert not restarted.recovery["snapshot_loaded"]
+            await restarted.drain()
+
+        asyncio.run(scenario())
+
+    def test_quarantine_record_carries_fingerprint_digests(self, tmp_path):
+        """The forensics bar: a fingerprint-mismatch quarantine must
+        record both fingerprints *and* their digests, in memory and in
+        the JSON sidecar next to the quarantined blob."""
+        async def scenario():
+            service = _service(tmp_path)
+            await _stream(service, "t", [list(range(16))])
+            assert service.arena.snapshot_now()
+            with pytest.warns(RuntimeWarning) as warned:
+                restarted = _service(tmp_path, capacity_bytes=32 * 1024)
+            record = restarted.persister.last_quarantine_record
+            assert record is not None
+            assert record["blob"] == SNAPSHOT_BLOB
+            expected = record["expected_fingerprint"]
+            actual = record["actual_fingerprint"]
+            assert expected["capacity_bytes"] == 32 * 1024
+            assert actual["capacity_bytes"] == 64 * 1024
+            assert record["expected_digest"] == fingerprint_digest(expected)
+            assert record["actual_digest"] == fingerprint_digest(actual)
+            assert record["expected_digest"] != record["actual_digest"]
+            assert len(record["payload_sha256"]) == 64
+            sidecar = (restarted.persister.root / "quarantine"
+                       / QUARANTINE_RECORD)
+            assert json.loads(sidecar.read_text()) == record
+            # The digests also surface in the quarantine warning humans
+            # read first.
+            messages = [str(w.message) for w in warned]
+            assert any(record["expected_digest"] in message
+                       and record["actual_digest"] in message
+                       for message in messages)
+            await restarted.drain()
+
+        asyncio.run(scenario())
+
+    def test_undecodable_snapshot_records_null_actual(self, tmp_path):
+        """A blob that will not unpickle has no actual fingerprint:
+        the record says so instead of guessing."""
+        async def scenario():
+            service = _service(tmp_path)
+            await _stream(service, "t", [list(range(16))])
+            assert service.arena.snapshot_now()
+            with faults.plan(faults.FaultSpec(point="service.snapshot",
+                                              mode="corrupt",
+                                              keys=("load",))):
+                with pytest.warns(RuntimeWarning,
+                                  match="quarantined corrupt"):
+                    restarted = _service(tmp_path)
+            record = restarted.persister.last_quarantine_record
+            assert record is not None
+            assert record["actual_fingerprint"] is None
+            assert record["actual_digest"] is None
+            assert record["expected_digest"] == fingerprint_digest(
+                record["expected_fingerprint"]
+            )
             await restarted.drain()
 
         asyncio.run(scenario())
