@@ -48,6 +48,9 @@ Named fault points wired into production code:
                           damaged bytes and recover from the arena record)
 ``service.snapshot``      bytes of an arena snapshot, before write / unpickle
 ``service.replay``        one write-ahead-log record during arena recovery
+``service.standby``       one WAL record as it is mirrored to the standby
+                          replica (``corrupt`` mode damages the standby copy
+                          only — the failover path must detect the torn line)
 ``router.route``          the router's shard-selection step for one tenant
 ========================  ====================================================
 
@@ -95,6 +98,7 @@ POINTS = (
     "service.flush",
     "service.snapshot",
     "service.replay",
+    "service.standby",
     "router.route",
 )
 

@@ -23,18 +23,32 @@ Layers, bottom up:
 * :mod:`repro.service.server` — :class:`CacheService`: the asyncio TCP
   server plus an equivalent in-process API, admission control, and
   graceful drain.
-* :mod:`repro.service.client` — :class:`ServiceClient` and the load
-  harness behind ``python -m repro.service load``.
+* :mod:`repro.service.client` — :class:`ServiceClient`,
+  :class:`ResilientClient` (crash resume + history replay) and the
+  load harness behind ``python -m repro.service load``.
+* :mod:`repro.service.persist` — snapshots, the write-ahead log and
+  the standby replica (mirrored WAL + copied snapshots, promoted over
+  a dead primary on recovery).
+* :mod:`repro.service.pool` / :mod:`repro.service.router` — the real
+  worker-process fleet and the consistent-hashing front end with
+  circuit breakers, live resharding (``admin`` op with
+  drain-and-redirect) included.
+* :mod:`repro.service.supervisor` — :class:`ShardSupervisor`: health
+  probes, WAL heartbeats, and breaker-bracketed auto-restart of
+  crashed or unresponsive shards.
 
-Run ``python -m repro.service serve`` / ``load`` (see ``--help``).
+Run ``python -m repro.service serve`` / ``load`` / ``route`` / ``admin``
+/ ``chaos`` (see ``--help``).
 """
 
 from repro.service.server import CacheService, ServiceConfig
+from repro.service.supervisor import ShardSupervisor
 from repro.service.tenancy import SharedArena, TenantQuota, make_policy
 
 __all__ = [
     "CacheService",
     "ServiceConfig",
+    "ShardSupervisor",
     "SharedArena",
     "TenantQuota",
     "make_policy",

@@ -1,30 +1,45 @@
-"""The service CLI: ``python -m repro.service {serve,load,route,scale,recovery,dedup}``.
+"""The service CLI: ``python -m repro.service {serve,load,route,admin,scale,recovery,dedup,chaos}``.
 
 ``serve`` runs one worker in the foreground until interrupted (then
 drains gracefully — with ``--snapshot-dir`` that includes a final
-snapshot, and startup includes snapshot + write-ahead-log recovery).
-``load`` drives N concurrent tenants against a server.  ``route``
-spawns a shard fleet plus the consistent-hashing router in front of it.
-``scale``, ``recovery`` and ``dedup`` are the fleet benchmarks: weak
-scaling across shard counts, the kill-one-worker crash drill, and the
-cross-tenant sharing A/B (identical tenants with dedup on vs off); all
-three merge their sections into ``BENCH_service.json``.
+snapshot, and startup includes snapshot + write-ahead-log recovery);
+its first stdout line is a machine-readable JSON ready handshake
+carrying the actual bound port.  ``load`` drives N concurrent tenants
+against a server.  ``route`` spawns a shard fleet plus the
+consistent-hashing router in front of it — with ``--supervise`` a
+:class:`~repro.service.supervisor.ShardSupervisor` health-checks and
+auto-restarts the workers, and ``--standby-root`` gives every shard a
+standby WAL/snapshot replica for failover.  ``admin`` sends one live
+topology command (``add-shard``, ``remove-shard``, ``health``,
+``topology``) to a running router.  ``scale``, ``recovery``, ``dedup``
+and ``chaos`` are the fleet benchmarks: weak scaling across shard
+counts, the kill-one-worker crash drill, the cross-tenant sharing A/B,
+and the self-healing chaos drill (supervised auto-restart, standby
+failover, live resharding — all field-identical vs a clean reference);
+all four merge their sections into ``BENCH_service.json``.
 
 Defaults for the persistence and hardening knobs also come from the
 environment (flags win): ``REPRO_SERVICE_SNAPSHOT_DIR``,
-``REPRO_SERVICE_SNAPSHOT_INTERVAL``, ``REPRO_SERVICE_RATE_LIMIT``,
-``REPRO_SERVICE_RATE_BURST``, ``REPRO_SERVICE_SHARDS`` and
-``REPRO_SERVICE_SHARING`` (``on``/``off``).
+``REPRO_SERVICE_SNAPSHOT_INTERVAL``, ``REPRO_SERVICE_STANDBY_DIR``,
+``REPRO_SERVICE_STANDBY_ROOT``, ``REPRO_SERVICE_RATE_LIMIT``,
+``REPRO_SERVICE_RATE_BURST``, ``REPRO_SERVICE_SHARDS``,
+``REPRO_SERVICE_SHARING`` (``on``/``off``), and the supervisor's
+``REPRO_SERVICE_HEALTH_INTERVAL``, ``REPRO_SERVICE_HEALTH_TIMEOUT``
+and ``REPRO_SERVICE_HEALTH_FAILS``.
 
 Examples::
 
     python -m repro.service serve --policy 8-unit --port 7401 \
-        --snapshot-dir /var/tmp/shard-0 --rate-limit 200000
+        --snapshot-dir /var/tmp/shard-0 --standby-dir /var/tmp/standby-0
     python -m repro.service load --tenants 4 --accesses 20000
-    python -m repro.service route --shards 2 --snapshot-root /var/tmp/fleet
+    python -m repro.service route --shards 2 --supervise \
+        --snapshot-root /var/tmp/fleet --standby-root /var/tmp/standby
+    python -m repro.service admin --connect 127.0.0.1:7400 remove-shard \
+        --shard shard-1 --stop
     python -m repro.service scale --shard-counts 1 2 4
     python -m repro.service recovery --shards 2 --tenants 4 --sharing
     python -m repro.service dedup --tenants 4 --benchmark gcc
+    python -m repro.service chaos --shards 4 --accesses 12000
 """
 
 from __future__ import annotations
@@ -37,6 +52,8 @@ import sys
 import tempfile
 
 from repro.service.bench import (
+    _request_once,
+    run_chaos_bench,
     run_dedup_bench,
     run_recovery_bench,
     run_scale_bench,
@@ -45,6 +62,7 @@ from repro.service.client import run_load, write_report
 from repro.service.pool import WorkerPool
 from repro.service.router import RouterConfig, ServiceRouter
 from repro.service.server import CacheService, ServiceConfig
+from repro.service.supervisor import ShardSupervisor
 
 
 def _env(name: str, cast, default=None):
@@ -98,6 +116,13 @@ def _add_server_options(parser: argparse.ArgumentParser) -> None:
                         help="arena accesses between snapshots "
                              "(default: REPRO_SERVICE_SNAPSHOT_INTERVAL "
                              "or 50000)")
+    parser.add_argument("--standby-dir", default=_env(
+                            "REPRO_SERVICE_STANDBY_DIR", str),
+                        help="standby replica directory: every WAL "
+                             "append is mirrored and every verified "
+                             "snapshot copied there, for failover when "
+                             "the primary dies (default: "
+                             "REPRO_SERVICE_STANDBY_DIR or off)")
     parser.add_argument("--rate-limit", type=float, default=_env(
                             "REPRO_SERVICE_RATE_LIMIT", float),
                         help="per-tenant token-bucket rate in accesses/s "
@@ -126,6 +151,7 @@ def _config(args: argparse.Namespace, host: str, port: int) -> ServiceConfig:
         check_level=args.check,
         snapshot_dir=args.snapshot_dir,
         snapshot_interval=args.snapshot_interval,
+        standby_dir=args.standby_dir,
         rate_limit=args.rate_limit,
         rate_burst=args.rate_burst,
         sharing=args.sharing,
@@ -148,6 +174,10 @@ def _merge_section(path: str, section: str, report: dict) -> None:
 async def _serve(args: argparse.Namespace) -> int:
     service = CacheService(_config(args, args.host, args.port))
     await service.start()
+    # Machine-readable ready handshake FIRST: the pool parses this line
+    # to learn the port a bind-port-0 worker actually got.
+    print(json.dumps({"ready": True, "host": args.host,
+                      "port": service.port}), flush=True)
     line = (f"serving on {args.host}:{service.port} "
             f"(policy={service.arena.policy.name}, "
             f"capacity={service.arena.capacity_bytes} B, "
@@ -198,7 +228,7 @@ async def _load(args: argparse.Namespace) -> int:
     try:
         with open(args.output, "r", encoding="utf-8") as handle:
             existing = json.load(handle)
-        for section in ("scaling", "recovery", "dedup"):
+        for section in ("scaling", "recovery", "dedup", "chaos"):
             if isinstance(existing, dict) and section in existing:
                 report[section] = existing[section]
     except (FileNotFoundError, json.JSONDecodeError):
@@ -234,6 +264,7 @@ async def _route(args: argparse.Namespace) -> int:
             snapshot_interval=args.snapshot_interval,
             rate_limit=args.rate_limit, check_level=args.check,
             max_sessions=args.max_sessions,
+            standby_root=args.standby_root,
         )
         await pool.start()
         shards = pool.endpoints()
@@ -242,8 +273,23 @@ async def _route(args: argparse.Namespace) -> int:
             print(f"  {shard} on {host}:{port}")
     router = ServiceRouter(RouterConfig(
         host=args.host, port=args.port, shards=shards,
-    ))
+    ), pool=pool)
     await router.start()
+    supervisor = None
+    if args.supervise:
+        if pool is None:
+            raise SystemExit("--supervise needs a spawned pool "
+                             "(it restarts workers through it), not "
+                             "--connect-shards")
+        supervisor = ShardSupervisor(
+            pool, router, interval=args.health_interval,
+            probe_timeout=args.health_timeout,
+            fail_threshold=args.health_fails,
+        )
+        await supervisor.start()
+        print(f"supervising every {supervisor.interval}s "
+              f"(timeout {supervisor.probe_timeout}s, "
+              f"{supervisor.fail_threshold} fails to restart)")
     print(f"routing on {args.host}:{router.port} "
           f"({len(shards)} shard(s))", flush=True)
     try:
@@ -251,11 +297,30 @@ async def _route(args: argparse.Namespace) -> int:
     except (KeyboardInterrupt, asyncio.CancelledError):
         pass
     finally:
+        if supervisor is not None:
+            await supervisor.stop()
         await router.aclose()
         if pool is not None:
             await pool.stop()
         print("router stopped:", json.dumps(router.describe()))
     return 0
+
+
+async def _admin(args: argparse.Namespace) -> int:
+    host, _, port_text = args.connect.rpartition(":")
+    message = {"op": "admin", "action": args.action}
+    if args.shard is not None:
+        message["shard"] = args.shard
+    if args.shard_host is not None:
+        message["host"] = args.shard_host
+    if args.shard_port is not None:
+        message["port"] = args.shard_port
+    if args.stop:
+        message["stop"] = True
+    reply = await _request_once(host or "127.0.0.1", int(port_text),
+                                message)
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0 if reply.get("ok") else 1
 
 
 async def _scale(args: argparse.Namespace) -> int:
@@ -326,6 +391,30 @@ async def _dedup(args: argparse.Namespace) -> int:
     return 0
 
 
+async def _chaos(args: argparse.Namespace) -> int:
+    root = args.snapshot_root or tempfile.mkdtemp(prefix="repro-chaos-")
+    report = await run_chaos_bench(
+        root, shards=args.shards, accesses=args.accesses,
+        scale=args.scale, batch=args.batch, policy=args.policy,
+        capacity_bytes=args.capacity, benchmarks=args.benchmarks,
+        snapshot_interval=args.snapshot_interval,
+        sharing=args.sharing,
+    )
+    _merge_section(args.output, "chaos", report)
+    verdict = ("field-identical" if report["field_identical"]
+               else f"MISMATCH on {report['mismatched_tenants']}")
+    restarts = ", ".join(f"{s:.2f}s" for s in report["restart_seconds"])
+    print(f"chaos drill over {report['shards']} shard(s): "
+          f"{report['supervisor_restarts']} supervised restart(s) "
+          f"({restarts or 'none'}), standby "
+          f"{'promoted' if report['standby_promoted'] else 'UNUSED'}, "
+          f"{report['redirected_sessions']} session(s) redirected, "
+          f"{report['replayed_batches']} batch(es) replayed")
+    print(f"drill stats {verdict} vs the clean reference")
+    print(f"chaos section merged into {args.output}")
+    return 0 if report["field_identical"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
@@ -382,6 +471,51 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="HOST:PORT,...",
                        help="front already-running workers instead of "
                             "spawning a pool")
+    route.add_argument("--standby-root", default=_env(
+                           "REPRO_SERVICE_STANDBY_ROOT", str),
+                       help="parent directory for per-shard standby "
+                            "replicas (default: "
+                            "REPRO_SERVICE_STANDBY_ROOT or off)")
+    route.add_argument("--supervise", action="store_true",
+                       help="health-check the workers and auto-restart "
+                            "crashed or unresponsive ones")
+    route.add_argument("--health-interval", type=float, default=_env(
+                           "REPRO_SERVICE_HEALTH_INTERVAL", float, 0.5),
+                       help="seconds between supervisor probe rounds "
+                            "(default: REPRO_SERVICE_HEALTH_INTERVAL "
+                            "or 0.5)")
+    route.add_argument("--health-timeout", type=float, default=_env(
+                           "REPRO_SERVICE_HEALTH_TIMEOUT", float, 1.0),
+                       help="seconds a shard gets to answer one probe "
+                            "(default: REPRO_SERVICE_HEALTH_TIMEOUT "
+                            "or 1.0)")
+    route.add_argument("--health-fails", type=int, default=_env(
+                           "REPRO_SERVICE_HEALTH_FAILS", int, 2),
+                       help="consecutive failed probes of a live "
+                            "process before restart (default: "
+                            "REPRO_SERVICE_HEALTH_FAILS or 2)")
+
+    admin = commands.add_parser(
+        "admin", help="send one live topology command to a router"
+    )
+    admin.add_argument("action",
+                       choices=("add-shard", "remove-shard", "health",
+                                "topology"))
+    admin.add_argument("--connect", required=True, metavar="HOST:PORT",
+                       help="the router's endpoint")
+    admin.add_argument("--shard", default=None,
+                       help="shard id (required for remove-shard; "
+                            "optional for add-shard)")
+    admin.add_argument("--shard-host", default=None,
+                       help="add-shard: endpoint host of an existing "
+                            "worker (omit to spawn from the router's "
+                            "pool)")
+    admin.add_argument("--shard-port", type=int, default=None,
+                       help="add-shard: endpoint port of an existing "
+                            "worker")
+    admin.add_argument("--stop", action="store_true",
+                       help="remove-shard: also stop the worker "
+                            "process (after the ring update)")
 
     scale = commands.add_parser(
         "scale", help="weak-scaling benchmark across shard counts"
@@ -426,14 +560,31 @@ def main(argv: list[str] | None = None) -> int:
     dedup.add_argument("--batch", type=int, default=256)
     dedup.add_argument("--output", default="BENCH_service.json")
 
+    chaos = commands.add_parser(
+        "chaos", help="self-healing drill: supervised restarts, "
+                      "standby failover and live resharding vs a "
+                      "clean reference"
+    )
+    _add_server_options(chaos)
+    chaos.add_argument("--shards", type=int,
+                       default=_env("REPRO_SERVICE_SHARDS", int, 4))
+    chaos.add_argument("--benchmarks", nargs="*", default=None)
+    chaos.add_argument("--scale", type=float, default=0.25)
+    chaos.add_argument("--accesses", type=int, default=12_000)
+    chaos.add_argument("--batch", type=int, default=256)
+    chaos.add_argument("--snapshot-root", default=None)
+    chaos.add_argument("--output", default="BENCH_service.json")
+
     args = parser.parse_args(argv)
     runner = {
         "serve": _serve,
         "load": _load,
         "route": _route,
+        "admin": _admin,
         "scale": _scale,
         "recovery": _recovery,
         "dedup": _dedup,
+        "chaos": _chaos,
     }[args.command]
     try:
         return asyncio.run(runner(args))

@@ -18,6 +18,15 @@ Two fleet harnesses, both running *real* worker processes from
   breakdown, and — the acceptance bar — whether every tenant's final
   Equation 1 stats came out *field-identical* to the reference run.
 
+* :func:`run_chaos_bench` — the self-healing drill: a supervised,
+  standby-replicated, router-fronted fleet takes a scripted beating
+  (worker SIGKILL, whole-WAL-directory destruction, corrupt-at-flush
+  and slow-shard fault injections, plus a live ``remove-shard`` with
+  drain-and-redirect) while a reference fleet runs the *same* admin
+  schedule uninterrupted; the acceptance bar is again per-tenant
+  field-identical Equation 1 stats — with zero manual restarts, the
+  supervisor and the standby failover do all the healing.
+
 Plus one in-process harness: :func:`run_dedup_bench`, the ShareJIT A/B
 — N tenants replaying one identical seeded workload against a sharing
 arena and a legacy arena, reporting dedup ratio, peak bytes saved and
@@ -34,13 +43,18 @@ interleaving the write-ahead log re-creates on replay.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import os
+import shutil
 import time
 from pathlib import Path
 
+from repro import faults
+from repro.service import protocol
 from repro.service.client import ResilientClient
 from repro.service.pool import WorkerPool
-from repro.service.router import HashRing
+from repro.service.router import HashRing, RouterConfig, ServiceRouter
+from repro.service.supervisor import ShardSupervisor
 from repro.workloads.registry import (
     build_workload,
     get_benchmark,
@@ -386,4 +400,315 @@ async def run_dedup_bench(tenants: int = 4, benchmark: str = "gcc",
                         - on["peak_resident_bytes"]),
         "miss_rate_delta": (off["unified_miss_rate"]
                             - on["unified_miss_rate"]),
+    }
+
+
+# -- The chaos drill ---------------------------------------------------------
+
+
+def _chaos_specs(shard_ids: list[str], benchmarks: list[str] | None,
+                 scale: float, accesses: int, sharing: bool,
+                 vnodes: int) -> list[dict]:
+    """One seeded tenant per shard, chosen by scanning tenant names
+    until the ring assigns every shard exactly one — so each fault in
+    the drill hits a known, distinct victim."""
+    from repro.service.tenancy import content_digests
+
+    if benchmarks:
+        names = list(benchmarks)
+    else:
+        names = [spec.name for spec in spec_benchmarks()]
+    ring = HashRing(shard_ids, vnodes=vnodes)
+    chosen: dict[str, tuple[int, str]] = {}
+    for index in range(4096):
+        benchmark = names[index % len(names)]
+        owner = ring.lookup(f"tenant-{index}:{benchmark}")
+        if owner not in chosen:
+            chosen[owner] = (index, benchmark)
+            if len(chosen) == len(shard_ids):
+                break
+    else:  # pragma: no cover - md5 would have to be absurdly skewed
+        raise RuntimeError("could not give every shard a tenant")
+    specs = []
+    for shard in sorted(shard_ids):
+        index, benchmark = chosen[shard]
+        seed = 1000 if sharing else 1000 + index
+        workload = build_workload(get_benchmark(benchmark), scale=scale,
+                                  trace_accesses=accesses, seed=seed)
+        sizes = workload.superblocks.sizes()
+        spec = {
+            "tenant": f"tenant-{index}:{benchmark}",
+            "benchmark": benchmark,
+            "shard": shard,
+            "block_sizes": [sizes[sid] for sid in range(len(sizes))],
+            "trace": workload.trace.tolist(),
+        }
+        if sharing:
+            spec["block_digests"] = content_digests(
+                benchmark, scale, seed, workload.superblocks
+            )
+        specs.append(spec)
+    return specs
+
+
+async def _request_once(host: str, port: int, message: dict) -> dict:
+    """One connect / request / response round trip (admin, ping)."""
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=protocol.MAX_LINE_BYTES
+    )
+    try:
+        writer.write(protocol.encode(message))
+        await writer.drain()
+        return protocol.decode_line(await reader.readline())
+    finally:
+        writer.close()
+        with contextlib.suppress(ConnectionError, OSError):
+            await writer.wait_closed()
+
+
+async def _run_chaos_fleet(root: Path, shards: int, specs: list[dict],
+                           batch: int, policy: str, capacity_bytes: int,
+                           snapshot_interval: int, sharing: bool,
+                           schedule: dict, chaos: bool) -> dict:
+    """One run of the chaos fleet: supervised pool + standby replicas +
+    router, driven round-robin through the scripted event schedule.
+
+    Both the reference and the drill run the *admin* events (the live
+    ``remove-shard`` and the eventual process stop); only the drill
+    (``chaos=True``) runs the destructive ones.  Nothing here ever
+    calls ``pool.restart`` — healing is the supervisor's job.
+    """
+    pool = WorkerPool(
+        shards, root / "primary", policy=policy,
+        capacity_bytes=capacity_bytes,
+        snapshot_interval=snapshot_interval, sharing=sharing,
+        standby_root=root / "standby",
+    )
+    await pool.start()
+    router = ServiceRouter(RouterConfig(shards=pool.endpoints()),
+                           pool=pool)
+    await router.start()
+    supervisor = ShardSupervisor(pool, router, interval=0.25)
+    await supervisor.start()
+    clients: list[ResilientClient] = []
+    try:
+        endpoint = ("127.0.0.1", router.port)
+        clients = [
+            ResilientClient(
+                [endpoint], spec["tenant"],
+                block_sizes=spec["block_sizes"], sync=True,
+                block_digests=spec.get("block_digests"),
+                max_retries=256,
+            )
+            for spec in specs
+        ]
+        for client in clients:
+            await client.connect()
+
+        async def kill_worker() -> None:
+            await pool.kill(schedule["kill_shard"])
+
+        async def destroy_wal() -> None:
+            # rmtree first (synchronous — no event-loop yield for the
+            # supervisor's restart to race against), then the kill.
+            handle = pool.workers[schedule["destroy_shard"]]
+            shutil.rmtree(handle.snapshot_dir, ignore_errors=True)
+            await pool.kill(schedule["destroy_shard"])
+
+        async def retire_shard() -> None:
+            reply = await _request_once(*endpoint, {
+                "op": "admin", "action": "remove-shard",
+                "shard": schedule["retire_shard"],
+            })
+            if not reply.get("ok"):
+                raise RuntimeError(
+                    f"remove-shard rejected: {reply.get('detail')}"
+                )
+
+        async def stop_retired() -> None:
+            if schedule["retire_shard"] in pool.workers:
+                await pool.stop_shard(schedule["retire_shard"])
+
+        events: dict[int, list] = {}
+        events.setdefault(schedule["retire_round"],
+                          []).append(retire_shard)
+        events.setdefault(schedule["stop_round"],
+                          []).append(stop_retired)
+        if chaos:
+            events.setdefault(schedule["kill_round"],
+                              []).append(kill_worker)
+            events.setdefault(schedule["destroy_round"],
+                              []).append(destroy_wal)
+
+        traces = [spec["trace"] for spec in specs]
+        longest = max(len(trace) for trace in traces)
+        started = time.monotonic()
+        batch_round = 0
+        for start in range(0, longest, batch):
+            for callback in events.get(batch_round, ()):
+                await callback()
+            batch_round += 1
+            for client, trace in zip(clients, traces):
+                chunk = trace[start:start + batch]
+                if chunk:
+                    await client.access(chunk)
+
+        stats = {}
+        reconnects = resends_skipped = replayed_batches = 0
+        for client, spec in zip(clients, specs):
+            farewell = await client.close_session()
+            stats[spec["tenant"]] = farewell["tenant"]
+            reconnects += client.reconnects
+            resends_skipped += client.resends_skipped
+            replayed_batches += client.replayed_batches
+        elapsed = time.monotonic() - started
+
+        standby_promoted = False
+        destroyed = pool.workers.get(schedule["destroy_shard"])
+        if destroyed is not None and destroyed.alive:
+            with contextlib.suppress(ConnectionError, OSError,
+                                     protocol.ProtocolError):
+                reply = await _request_once(
+                    destroyed.host, destroyed.port, {"op": "ping"}
+                )
+                recovery = (reply.get("service") or {}).get(
+                    "recovery") or {}
+                standby_promoted = bool(
+                    recovery.get("standby_promoted")
+                )
+        return {
+            "stats": stats,
+            "elapsed_seconds": elapsed,
+            "reconnects": reconnects,
+            "resends_skipped": resends_skipped,
+            "replayed_batches": replayed_batches,
+            "standby_promoted": standby_promoted,
+            "supervisor": supervisor.describe(),
+            "router": {
+                "redirected_sessions": router.redirected_sessions,
+                "admin_requests": router.admin_requests,
+            },
+        }
+    finally:
+        await supervisor.stop()
+        for client in clients:
+            await client.aclose()
+        await router.aclose()
+        await pool.stop()
+
+
+async def run_chaos_bench(root: str | Path, shards: int = 4,
+                          accesses: int = 12_000, scale: float = 0.25,
+                          batch: int = 256, policy: str = "8-unit",
+                          capacity_bytes: int = 256 * 1024,
+                          benchmarks: list[str] | None = None,
+                          snapshot_interval: int = 2_000,
+                          sharing: bool = False) -> dict:
+    """The self-healing drill: a scripted beating vs a clean reference.
+
+    One tenant per shard.  The drill's schedule, in batch rounds:
+
+    * ``rounds // 4`` — SIGKILL ``shard-0``; the supervisor must
+      restart it through snapshot + WAL recovery, no drill help.
+    * ``rounds // 2`` — destroy ``shard-1``'s *entire* persistence
+      directory, then SIGKILL it; the supervisor's restart must fail
+      over to the standby replica (promotion is verified in the
+      worker's own recovery report).
+    * ``3 * rounds // 4`` — live ``remove-shard shard-2`` through the
+      router's admin op (both runs); its tenant drains, redirects, and
+      rebuilds via client history replay on the new owner.  Two rounds
+      later the retired worker process is stopped (both runs).
+
+    On top the drill arms corrupt-at-flush against the last shard's
+    tenant (its close-time stats payload is damaged once — the digest
+    guard must quarantine and recover it), a slow-shard hang on the
+    moved tenant's consumer, and a torn line in ``shard-0``'s standby
+    WAL (which nothing may ever read).  Field-identical per-tenant
+    stats vs the reference — which ran the same admin schedule with no
+    faults at all — is the acceptance bar.
+    """
+    root = Path(root)
+    if shards < 4:
+        raise ValueError("the chaos drill needs at least 4 shards")
+    shard_ids = [f"shard-{i}" for i in range(shards)]
+    specs = _chaos_specs(shard_ids, benchmarks, scale, accesses,
+                         sharing, vnodes=RouterConfig().vnodes)
+    rounds = (accesses + batch - 1) // batch
+    if rounds < 8:
+        raise ValueError("the chaos schedule needs >= 8 batch rounds")
+    schedule = {
+        "kill_shard": "shard-0",
+        "kill_round": max(1, rounds // 4),
+        "destroy_shard": "shard-1",
+        "destroy_round": max(2, rounds // 2),
+        "retire_shard": "shard-2",
+        "retire_round": max(3, (3 * rounds) // 4),
+        "stop_round": min(rounds - 1, (3 * rounds) // 4 + 2),
+    }
+    by_shard = {spec["shard"]: spec for spec in specs}
+    corrupt_spec = by_shard[shard_ids[-1]]
+    corrupt_batches = (len(corrupt_spec["trace"]) + batch - 1) // batch
+    drill_faults = (
+        # The corrupt target's B sync flushes fire with no payload;
+        # fire B+1 is the close-time stats payload, which the digest
+        # guard must quarantine and recover on the retry at B+2.
+        faults.FaultSpec(point="service.flush", mode="corrupt",
+                         times=corrupt_batches + 1,
+                         keys=(corrupt_spec["tenant"],)),
+        faults.FaultSpec(point="service.session", mode="hang",
+                         times=2, hang_seconds=0.1,
+                         keys=(by_shard[schedule["retire_shard"]]
+                               ["tenant"],)),
+        faults.FaultSpec(point="service.standby", mode="corrupt",
+                         times=1,
+                         keys=(by_shard[schedule["kill_shard"]]
+                               ["tenant"],)),
+    )
+    reference = await _run_chaos_fleet(
+        root / "reference", shards, specs, batch, policy,
+        capacity_bytes, snapshot_interval, sharing, schedule,
+        chaos=False,
+    )
+    with faults.plan(*drill_faults):
+        drill = await _run_chaos_fleet(
+            root / "drill", shards, specs, batch, policy,
+            capacity_bytes, snapshot_interval, sharing, schedule,
+            chaos=True,
+        )
+    mismatches = [
+        spec["tenant"] for spec in specs
+        if reference["stats"][spec["tenant"]]
+        != drill["stats"][spec["tenant"]]
+    ]
+    restart_seconds = [
+        event["seconds"] for event in drill["supervisor"]["events"]
+        if event["event"] == "restarted"
+    ]
+    return {
+        "harness": "repro.service chaos",
+        "cpu_count": os.cpu_count(),
+        "sharing": sharing,
+        "shards": shards,
+        "tenants": [spec["tenant"] for spec in specs],
+        "placement": {spec["shard"]: spec["tenant"] for spec in specs},
+        "accesses_per_tenant": accesses,
+        "batch": batch,
+        "rounds": rounds,
+        "snapshot_interval": snapshot_interval,
+        "schedule": schedule,
+        "supervisor_restarts": drill["supervisor"]["restarts"],
+        "restart_seconds": restart_seconds,
+        "redirected_sessions": drill["router"]["redirected_sessions"],
+        "standby_promoted": drill["standby_promoted"],
+        "reconnects": drill["reconnects"],
+        "resends_skipped": drill["resends_skipped"],
+        "replayed_batches": drill["replayed_batches"],
+        "reference_redirected_sessions": (
+            reference["router"]["redirected_sessions"]
+        ),
+        "reference_seconds": reference["elapsed_seconds"],
+        "drill_seconds": drill["elapsed_seconds"],
+        "supervisor_events": drill["supervisor"]["events"],
+        "field_identical": not mismatches,
+        "mismatched_tenants": mismatches,
     }

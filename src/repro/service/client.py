@@ -139,6 +139,15 @@ _RETRYABLE = (
     protocol.ERR_BACKPRESSURE,
     protocol.ERR_RATE_LIMITED,
     protocol.ERR_SHARD_UNAVAILABLE,
+    protocol.ERR_SHARD_MOVED,
+)
+
+#: Rejections that mean "this connection's shard is gone" — drop the
+#: connection and re-hello (through the router) instead of retrying on
+#: the dead/stale pin.
+_RECONNECT = (
+    protocol.ERR_SHARD_UNAVAILABLE,
+    protocol.ERR_SHARD_MOVED,
 )
 
 
@@ -154,6 +163,17 @@ class ResilientClient:
     batch in flight when the connection died must be resent or was
     already applied and write-ahead logged.  The server deduplicates by
     sequence number regardless, so a conservative resend is safe.
+
+    On top of crash resume the client keeps a *history* of every
+    acknowledged batch.  When a greeting comes back **not** resumed —
+    the tenant was attached fresh, which is what happens after a live
+    ``remove-shard`` redirects the session to a new owner that has none
+    of its state — the client replays its history past the new
+    watermark before continuing, rebuilding the tenant's cache state
+    and stats batch for batch.  ``history_limit`` bounds the buffer
+    (``None`` keeps everything); a replay that needs trimmed batches
+    raises :class:`ServiceUnavailable` instead of silently rebuilding
+    partial state.
     """
 
     def __init__(self, endpoints: list[tuple[str, int]], tenant: str,
@@ -164,7 +184,8 @@ class ResilientClient:
                  max_retries: int = DEFAULT_RETRIES,
                  reconnect_backoff: float = 0.05,
                  sync: bool = False,
-                 block_digests: list[str] | None = None) -> None:
+                 block_digests: list[str] | None = None,
+                 history_limit: int | None = None) -> None:
         if not endpoints:
             raise ValueError("ResilientClient needs at least one endpoint")
         self.endpoints = list(endpoints)
@@ -183,10 +204,17 @@ class ResilientClient:
         self.applied_seq = 0
         self.reconnects = 0
         self.resends_skipped = 0
+        self.replayed_batches = 0
         self.retried = 0
         self.endpoint: tuple[str, int] | None = None
         self._client: ServiceClient | None = None
         self._endpoint_index = 0
+        self.history_limit = history_limit
+        #: Every acknowledged ``(seq, sids)`` batch, oldest first —
+        #: the replay source after a fresh (non-resumed) re-attach.
+        self._history: list[tuple[int, list[int]]] = []
+        #: Highest seq dropped from history by ``history_limit``.
+        self._trimmed_below = 0
 
     @property
     def retried_requests(self) -> int:
@@ -245,9 +273,29 @@ class ResilientClient:
                 continue
             self._client = client
             self.endpoint = (host, port)
-            self.applied_seq = max(
-                self.applied_seq, greeting.get("applied_seq", 0)
-            )
+            if greeting.get("resumed"):
+                # Same logical tenant state: the watermark can only
+                # have advanced past what we last heard.
+                self.applied_seq = max(
+                    self.applied_seq, greeting.get("applied_seq", 0)
+                )
+            else:
+                # Fresh attach — a new shard (redirect after a live
+                # reshard) or a server that lost the state.  The
+                # server's watermark is the truth now; replay our
+                # acknowledged history past it to rebuild the state.
+                self.applied_seq = greeting.get("applied_seq", 0)
+                try:
+                    await self._replay_history()
+                except (ConnectionError, OSError) as error:
+                    last_error = error
+                    await client.aclose()
+                    self._client = None
+                    self._endpoint_index += 1
+                    await asyncio.sleep(
+                        self.reconnect_backoff * min(attempt + 1, 8)
+                    )
+                    continue
             return greeting
         raise ServiceUnavailable(
             f"tenant {self.tenant!r} could not reach any of "
@@ -263,6 +311,66 @@ class ResilientClient:
             self.reconnects += 1
             self._endpoint_index += 1
 
+    def _remember(self, seq: int, sids: list[int]) -> None:
+        """Record an acknowledged batch as replayable history."""
+        self._history.append((seq, list(sids)))
+        if self.history_limit is not None:
+            while len(self._history) > self.history_limit:
+                trimmed_seq, _ = self._history.pop(0)
+                self._trimmed_below = max(self._trimmed_below,
+                                          trimmed_seq + 1)
+
+    async def _replay_history(self) -> None:
+        """Resend every remembered batch past the current watermark.
+
+        Runs on a freshly-helloed connection.  Raises
+        :class:`ConnectionError` when the shard dies (or moves again)
+        mid-replay — the caller drops and reconnects — and
+        :class:`ServiceUnavailable` when the needed batches were
+        trimmed from a bounded history.
+        """
+        pending = [(seq, sids) for seq, sids in self._history
+                   if seq > self.applied_seq]
+        if not pending:
+            return
+        if self.applied_seq + 1 < self._trimmed_below:
+            raise ServiceUnavailable(
+                f"tenant {self.tenant!r} needs batches from seq "
+                f"{self.applied_seq + 1} but history was trimmed below "
+                f"seq {self._trimmed_below}; raise history_limit"
+            )
+        for seq, sids in pending:
+            message = {"op": "access", "sids": list(sids), "seq": seq}
+            if self.sync:
+                message["sync"] = True
+            for _ in range(self.max_retries):
+                response = await self._client.request(message)
+                if response.get("ok"):
+                    self.replayed_batches += 1
+                    self.applied_seq = max(self.applied_seq, seq)
+                    break
+                error = response.get("error")
+                if error in _RECONNECT:
+                    raise ConnectionError(
+                        f"shard lost mid-replay ({error}): "
+                        f"{response.get('detail')}"
+                    )
+                if error in _RETRYABLE:
+                    self.retried += 1
+                    await asyncio.sleep(
+                        response.get("retry_after", 0.05)
+                    )
+                    continue
+                raise ServiceUnavailable(
+                    f"history replay of batch seq={seq} rejected "
+                    f"({error}): {response.get('detail')}"
+                )
+            else:
+                raise ServiceUnavailable(
+                    f"history replay of batch seq={seq} still failing "
+                    f"after {self.max_retries} attempts"
+                )
+
     async def access(self, sids: list[int]) -> dict:
         """Send one sequenced batch, riding through crashes."""
         seq = self.next_seq
@@ -277,6 +385,7 @@ class ResilientClient:
                 # what the crash ate.  Resending would be deduplicated
                 # server-side anyway, so just skip the round trip.
                 self.resends_skipped += 1
+                self._remember(seq, sids)
                 return {"ok": True, "op": "access", "deduped": True}
             message = {"op": "access", "sids": list(sids), "seq": seq}
             if self.sync:
@@ -287,6 +396,7 @@ class ResilientClient:
                 await self._drop()
                 continue
             if response.get("ok"):
+                self._remember(seq, sids)
                 return response
             error = response.get("error")
             if error == protocol.ERR_NO_SESSION:
@@ -297,7 +407,7 @@ class ResilientClient:
             if error in _RETRYABLE:
                 self.retried += 1
                 await asyncio.sleep(response.get("retry_after", 0.05))
-                if error == protocol.ERR_SHARD_UNAVAILABLE:
+                if error in _RECONNECT:
                     await self._drop()
                 continue
             raise ServiceUnavailable(
@@ -324,7 +434,7 @@ class ResilientClient:
             if not response.get("ok") and error in _RETRYABLE:
                 self.retried += 1
                 await asyncio.sleep(response.get("retry_after", 0.05))
-                if error == protocol.ERR_SHARD_UNAVAILABLE:
+                if error in _RECONNECT:
                     await self._drop()
                 continue
             return response
@@ -401,6 +511,7 @@ async def run_tenant(host: str, port: int, tenant: str, benchmark: str,
             "retried_requests": client.retried_requests,
             "reconnects": client.reconnects,
             "resends_skipped": client.resends_skipped,
+            "replayed_batches": client.replayed_batches,
         }
     finally:
         await client.aclose()
@@ -458,6 +569,7 @@ async def run_load(host: str, port: int, tenants: int,
         "unified": unified,
         "reconnects": sum(r["reconnects"] for r in results),
         "resends_skipped": sum(r["resends_skipped"] for r in results),
+        "replayed_batches": sum(r["replayed_batches"] for r in results),
         "per_tenant": [
             {
                 "tenant": r["tenant"],

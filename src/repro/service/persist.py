@@ -30,11 +30,32 @@ moment each logged batch was applied; a resumed session learns its
 ``applied_seq`` watermark from the hello response and resends
 everything after it.
 
+**Standby replication** (``standby_root``): every WAL append is
+mirrored line-by-line to a per-shard standby directory — a stand-in for
+a remote replica volume — and every verified snapshot is copied there
+too.  When recovery finds the primary unusable (its snapshot was
+quarantined, or the whole directory is gone with the disk), the standby
+is *promoted*: its artifacts are copied back into the primary root and
+recovery proceeds normally, so the promoted snapshot and WAL still pass
+the same fingerprint and torn-tail guards as native primaries.  A
+corrupt standby therefore degrades exactly like a corrupt primary —
+quarantine and replay what is trustworthy — never crashes the worker.
+
+**Bounded WAL growth**: a snapshot is only trusted after a round-trip
+verification (load the stored blob back, re-check the configuration
+fingerprint); then the WAL is *rotated* — rewritten atomically keeping
+exactly the suffix of records the snapshot does not cover — and the
+rotation is mirrored to the standby.  A crash between "snapshot
+written" and "log rotated" only means replay skips covered records.
+
 Fault points: ``service.snapshot`` covers the snapshot bytes on both
 the store and load sides (``corrupt`` mode damages them, which the
 loader must catch and quarantine); ``service.replay`` fires once per
 replayed record, so a ``raise`` spec proves a poisoned log is
-quarantined rather than half-applied in a loop forever.
+quarantined rather than half-applied in a loop forever;
+``service.standby`` fires on every mirrored WAL line (``corrupt`` mode
+damages only the standby copy, ``raise`` mode simulates a dead replica
+link — both must leave the primary untouched).
 """
 
 from __future__ import annotations
@@ -87,12 +108,28 @@ class ArenaPersister:
     """
 
     def __init__(self, root: str | Path,
-                 snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL) -> None:
+                 snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL,
+                 standby_root: str | Path | None = None) -> None:
         self.root = Path(root)
         self.store = CheckpointStore(self.root)
         self.snapshot_interval = max(1, int(snapshot_interval))
         self.wal_path = self.root / WAL_NAME
         self._wal_file = None
+        #: Standby replica directory (None disables replication).
+        self.standby_root = Path(standby_root) if standby_root else None
+        self.standby_store = (CheckpointStore(self.standby_root)
+                              if self.standby_root else None)
+        self.standby_wal_path = (self.standby_root / WAL_NAME
+                                 if self.standby_root else None)
+        self._standby_wal_file = None
+        self.standby_records = 0
+        self.standby_snapshots = 0
+        self.standby_errors = 0
+        #: True once recovery copied the standby over a dead primary.
+        self.standby_promoted = False
+        self.snapshot_verifications = 0
+        self.snapshot_verify_failures = 0
+        self.wal_rotations = 0
         #: Last global sequence number assigned (or observed in replay).
         self.wal_seq = 0
         #: Sequence covered by the last snapshot; replay skips <= this.
@@ -120,6 +157,12 @@ class ArenaPersister:
             self._wal_file = open(self.wal_path, "ab")
         return self._wal_file
 
+    def _standby_wal(self):
+        if self._standby_wal_file is None:
+            self.standby_root.mkdir(parents=True, exist_ok=True)
+            self._standby_wal_file = open(self.standby_wal_path, "ab")
+        return self._standby_wal_file
+
     def _log(self, record: dict) -> None:
         if self.replaying:
             return
@@ -134,6 +177,26 @@ class ArenaPersister:
         # fsync here, which the service tier does not promise.
         handle.flush()
         self.records_logged += 1
+        if self.standby_root is not None:
+            self._mirror(line, record.get("tenant"))
+
+    def _mirror(self, line: bytes, tenant: str | None) -> None:
+        """Append one WAL line to the standby replica, best-effort.
+
+        The standby is a safety net, never a dependency: a dead replica
+        link (an ``OSError``, or a ``raise``-mode ``service.standby``
+        spec) is counted and the primary continues untouched.
+        """
+        try:
+            mirrored = faults.fire("service.standby", key=tenant,
+                                   data=line)
+            handle = self._standby_wal()
+            handle.write(mirrored)
+            handle.flush()
+        except (OSError, faults.InjectedFault):
+            self.standby_errors += 1
+            return
+        self.standby_records += 1
 
     def log_attach(self, name: str, block_sizes, quota,
                    block_digests=None) -> None:
@@ -198,11 +261,17 @@ class ArenaPersister:
                 >= self.snapshot_interval)
 
     def write_snapshot(self, state: dict, total_accesses: int) -> bool:
-        """Persist *state* atomically; True when the blob was written.
+        """Persist *state* atomically; True when the blob was written
+        *and verified*.
 
-        On success the WAL is truncated — every record the snapshot
-        covers is identified by ``wal_seq`` inside the blob, so a crash
-        between the two steps only means replay skips covered records.
+        The WAL is only rotated after a round-trip verification: the
+        stored blob is loaded back, unpickled, and its configuration
+        fingerprint re-checked.  A blob that fails verification is
+        quarantined and the WAL keeps every record, so the worst a
+        torn snapshot write costs is replay time, never data.  On
+        success the snapshot is replicated to the standby and the WAL
+        rotated down to exactly the suffix the snapshot does not cover
+        (normally empty), with the rotation mirrored to the standby.
         """
         state = dict(state)
         state["wal_seq"] = self.wal_seq
@@ -218,20 +287,102 @@ class ArenaPersister:
         payload = faults.fire("service.snapshot", key="store", data=payload)
         if self.store.store_blob(SNAPSHOT_BLOB, payload) is None:
             return False
+        if not self._verify_snapshot(state):
+            return False
         self.snapshot_seq = self.wal_seq
         self._accesses_at_snapshot = total_accesses
         self.snapshots_written += 1
-        self._truncate_wal()
+        if self.standby_store is not None:
+            stored = self.store.load_blob(SNAPSHOT_BLOB)
+            if (stored is not None and self.standby_store.store_blob(
+                    SNAPSHOT_BLOB, stored) is not None):
+                self.standby_snapshots += 1
+            else:
+                self.standby_errors += 1
+        self._truncate_wal(keep_after_seq=self.snapshot_seq)
         return True
 
-    def _truncate_wal(self) -> None:
+    def _verify_snapshot(self, state: dict) -> bool:
+        """Round-trip the stored blob; quarantine it on any mismatch."""
+        self.snapshot_verifications += 1
+        stored = self.store.load_blob(SNAPSHOT_BLOB)
+        try:
+            if stored is None:
+                raise ValueError("snapshot blob unreadable after store")
+            verified = pickle.loads(stored)
+            if not isinstance(verified, dict):
+                raise TypeError(
+                    f"stored snapshot holds {type(verified).__name__}"
+                )
+            for field in ("fingerprint", "wal_seq"):
+                if verified.get(field) != state.get(field):
+                    raise ValueError(
+                        f"stored snapshot {field} {verified.get(field)!r} "
+                        f"does not match the written {state.get(field)!r}"
+                    )
+        except Exception as exc:
+            self.snapshot_verify_failures += 1
+            self.store.quarantine_blob(
+                SNAPSHOT_BLOB, f"failed post-write verification ({exc})"
+            )
+            warnings.warn(
+                f"arena snapshot failed post-write verification "
+                f"({exc!r}); keeping the full write-ahead log",
+                RuntimeWarning, stacklevel=2,
+            )
+            return False
+        return True
+
+    def _truncate_wal(self, keep_after_seq: int) -> None:
+        """Rotate the WAL down to records with ``seq > keep_after_seq``.
+
+        The retained suffix is rewritten atomically (temp file and
+        replace), and the same suffix is pushed to the standby — which
+        doubles as a repair: a standby whose copy diverged (torn line,
+        injected corruption) is refreshed from the primary's bytes.
+        """
         if self._wal_file is not None:
             self._wal_file.close()
             self._wal_file = None
         try:
-            self.wal_path.unlink()
+            raw = self.wal_path.read_bytes()
         except FileNotFoundError:
-            pass
+            raw = b""
+        retained: list[bytes] = []
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                seq = record["seq"]
+            except Exception:
+                continue  # torn tail: never applied, never retained
+            if isinstance(seq, int) and seq > keep_after_seq:
+                retained.append(line + b"\n")
+        suffix = b"".join(retained)
+        self._rewrite_wal(self.wal_path, suffix)
+        self.wal_rotations += 1
+        if self.standby_root is not None:
+            if self._standby_wal_file is not None:
+                self._standby_wal_file.close()
+                self._standby_wal_file = None
+            try:
+                self.standby_root.mkdir(parents=True, exist_ok=True)
+                self._rewrite_wal(self.standby_wal_path, suffix)
+            except OSError:
+                self.standby_errors += 1
+
+    @staticmethod
+    def _rewrite_wal(path: Path, payload: bytes) -> None:
+        if not payload:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+            return
+        temp = path.with_suffix(".tmp")
+        temp.write_bytes(payload)
+        temp.replace(path)
 
     def load_snapshot(self, expected_fingerprint: dict) -> dict | None:
         """The latest snapshot state, or None (quarantining bad blobs).
@@ -300,19 +451,67 @@ class ArenaPersister:
         except OSError:  # pragma: no cover - forensics are best-effort
             pass
 
+    # -- Standby failover ----------------------------------------------------
+
+    def has_primary_artifacts(self) -> bool:
+        """Does the primary root hold anything recovery could use?"""
+        if self.store.load_blob(SNAPSHOT_BLOB) is not None:
+            return True
+        return self.wal_path.exists()
+
+    def promote_standby(self) -> bool:
+        """Copy the standby replica's artifacts over the primary root.
+
+        The failover path for a dead primary disk (or a quarantined
+        primary snapshot): the standby snapshot is copied into the
+        primary store, and the standby WAL is copied over the primary
+        WAL when the primary has none of its own.  Returns True when
+        anything was promoted.  The promoted artifacts then flow
+        through the ordinary recovery guards — fingerprint check,
+        torn-tail detection, quarantine — so a corrupt standby degrades
+        instead of crashing the worker.
+        """
+        if self.standby_store is None:
+            return False
+        promoted = False
+        blob = self.standby_store.load_blob(SNAPSHOT_BLOB)
+        if blob is not None:
+            if self.store.store_blob(SNAPSHOT_BLOB, blob) is not None:
+                promoted = True
+        if not self.wal_path.exists():
+            try:
+                raw = self.standby_wal_path.read_bytes()
+            except (FileNotFoundError, OSError):
+                raw = None
+            if raw is not None:
+                try:
+                    self.root.mkdir(parents=True, exist_ok=True)
+                    self.wal_path.write_bytes(raw)
+                    promoted = True
+                except OSError:
+                    self.standby_errors += 1
+        self.standby_promoted = self.standby_promoted or promoted
+        return promoted
+
     def close(self) -> None:
         if self._wal_file is not None:
             self._wal_file.close()
             self._wal_file = None
+        if self._standby_wal_file is not None:
+            self._standby_wal_file.close()
+            self._standby_wal_file = None
 
     def to_dict(self) -> dict:
-        return {
+        record = {
             "root": str(self.root),
             "snapshot_interval": self.snapshot_interval,
             "wal_seq": self.wal_seq,
             "snapshot_seq": self.snapshot_seq,
             "records_logged": self.records_logged,
             "snapshots_written": self.snapshots_written,
+            "snapshot_verifications": self.snapshot_verifications,
+            "snapshot_verify_failures": self.snapshot_verify_failures,
+            "wal_rotations": self.wal_rotations,
             "records_replayed": self.records_replayed,
             "records_skipped": self.records_skipped,
             "replay_truncated": self.replay_truncated,
@@ -320,6 +519,15 @@ class ArenaPersister:
             "recovered": self.recovered,
             "recovery_seconds": self.recovery_seconds,
         }
+        if self.standby_root is not None:
+            record["standby"] = {
+                "root": str(self.standby_root),
+                "records": self.standby_records,
+                "snapshots": self.standby_snapshots,
+                "errors": self.standby_errors,
+                "promoted": self.standby_promoted,
+            }
+        return record
 
 
 def recover_arena(
@@ -361,6 +569,16 @@ def recover_arena(
         "sharing": sharing,
     }
     state = persister.load_snapshot(expected)
+    if state is None and persister.standby_root is not None:
+        # The failover decision: promote the standby only when the
+        # primary is genuinely unusable — its snapshot was quarantined
+        # (corrupt / wrong fingerprint) or the whole directory is empty
+        # or gone.  A primary that merely lacks a snapshot but still
+        # has its WAL recovers from the WAL alone, as before.
+        quarantined = persister.last_quarantine_record is not None
+        if quarantined or not persister.has_primary_artifacts():
+            if persister.promote_standby():
+                state = persister.load_snapshot(expected)
     if state is not None:
         arena = SharedArena(state["policy_object"], capacity_bytes,
                             restore_state=state, **arena_kwargs)
@@ -406,6 +624,7 @@ def recover_arena(
     report = {
         "recovered": persister.recovered,
         "snapshot_loaded": state is not None,
+        "standby_promoted": persister.standby_promoted,
         "records_replayed": persister.records_replayed,
         "records_skipped": persister.records_skipped,
         "replay_truncated": persister.replay_truncated,

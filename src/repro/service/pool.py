@@ -2,9 +2,16 @@
 
 A shard is one ``python -m repro.service serve`` process with its own
 arena and its own snapshot + write-ahead-log directory.  The
-:class:`WorkerPool` spawns N of them on ephemeral ports, waits until
-each answers a protocol ``ping``, and exposes the endpoint map a
+:class:`WorkerPool` spawns N of them, waits for each one's ready
+handshake, and exposes the endpoint map a
 :class:`~repro.service.router.ServiceRouter` is built from.
+
+Workers bind port 0 and report the actual bound port on stdout as a
+one-line JSON ready handshake — there is no free-port probe to race
+against (the classic TOCTOU where a probed port is stolen before the
+worker binds it).  A *restarted* worker is the one exception: it must
+come back on the port its clients already hold, so the replacement
+binds the learned port explicitly.
 
 The pool is also the crash lever the recovery harness pulls:
 :meth:`WorkerPool.kill` SIGKILLs a worker mid-run (no drain, no final
@@ -13,14 +20,21 @@ brings a fresh process up on the *same* port over the *same* snapshot
 directory, so recovery is exercised exactly the way an operator's
 process supervisor would: the replacement worker replays its WAL and
 resumed clients reconnect to the address they already know.
+:meth:`spawn_shard` / :meth:`stop_shard` are the live-resharding half:
+they grow or shrink the fleet under a running router, which then
+drains and redirects the sessions the ring moved.
+
+With ``standby_root`` every worker also gets a per-shard standby
+replica directory (``--standby-dir``), so a shard whose primary
+persistence directory dies can fail over to the replica on restart.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
 import os
-import socket
 import sys
 from pathlib import Path
 
@@ -34,30 +48,22 @@ class WorkerError(RuntimeError):
     """A worker process failed to start or never became ready."""
 
 
-def free_port(host: str = "127.0.0.1") -> int:
-    """An ephemeral port that was free a moment ago.
-
-    The classic bind-then-close probe: racy in principle, fine in
-    practice for a localhost test fleet, and it lets a restarted worker
-    keep its original port (which clients already hold).
-    """
-    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
-        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        probe.bind((host, 0))
-        return probe.getsockname()[1]
-
-
 class WorkerHandle:
-    """One shard process: its identity, endpoint, durable root."""
+    """One shard process: its identity, endpoint, durable roots."""
 
     def __init__(self, shard_id: str, host: str, port: int,
-                 snapshot_dir: Path) -> None:
+                 snapshot_dir: Path,
+                 standby_dir: Path | None = None) -> None:
         self.shard_id = shard_id
         self.host = host
+        #: 0 until the first ready handshake reports the bound port;
+        #: afterwards pinned so restarts reuse the same address.
         self.port = port
         self.snapshot_dir = snapshot_dir
+        self.standby_dir = standby_dir
         self.process: asyncio.subprocess.Process | None = None
         self.restarts = 0
+        self._drain_task: asyncio.Task | None = None
 
     @property
     def endpoint(self) -> tuple[str, int]:
@@ -79,7 +85,8 @@ class WorkerPool:
                  max_sessions: int = 64,
                  host: str = "127.0.0.1",
                  ready_timeout: float = DEFAULT_READY_TIMEOUT,
-                 sharing: bool = False) -> None:
+                 sharing: bool = False,
+                 standby_root: str | Path | None = None) -> None:
         if shards < 1:
             raise ValueError("a pool needs at least one shard")
         self.root = Path(root)
@@ -92,13 +99,24 @@ class WorkerPool:
         self.max_sessions = max_sessions
         self.host = host
         self.ready_timeout = ready_timeout
+        self.standby_root = Path(standby_root) if standby_root else None
         self.workers: dict[str, WorkerHandle] = {}
-        for index in range(shards):
-            shard_id = f"shard-{index}"
-            self.workers[shard_id] = WorkerHandle(
-                shard_id, host, free_port(host),
-                self.root / shard_id,
-            )
+        self._next_index = 0
+        for _ in range(shards):
+            self._new_handle()
+
+    def _new_handle(self, shard_id: str | None = None) -> WorkerHandle:
+        if shard_id is None:
+            shard_id = f"shard-{self._next_index}"
+        self._next_index += 1
+        handle = WorkerHandle(
+            shard_id, self.host, 0,
+            self.root / shard_id,
+            (self.standby_root / shard_id
+             if self.standby_root is not None else None),
+        )
+        self.workers[shard_id] = handle
+        return handle
 
     def endpoints(self) -> dict[str, tuple[str, int]]:
         """The ``{shard_id: (host, port)}`` map the router consumes."""
@@ -114,6 +132,8 @@ class WorkerPool:
             "--max-sessions", str(self.max_sessions),
             "--snapshot-dir", str(handle.snapshot_dir),
         ]
+        if handle.standby_dir is not None:
+            command += ["--standby-dir", str(handle.standby_dir)]
         if self.snapshot_interval is not None:
             command += ["--snapshot-interval", str(self.snapshot_interval)]
         if self.rate_limit is not None:
@@ -140,9 +160,61 @@ class WorkerPool:
                                  else src)
         handle.process = await asyncio.create_subprocess_exec(
             *self._command(handle), env=env,
-            stdout=asyncio.subprocess.DEVNULL,
+            stdout=asyncio.subprocess.PIPE,
             stderr=asyncio.subprocess.DEVNULL,
         )
+        await self._handshake(handle)
+        # Keep draining stdout so the worker never blocks on a full
+        # pipe; the task ends at EOF when the process exits.
+        handle._drain_task = asyncio.get_running_loop().create_task(
+            self._drain_stdout(handle.process.stdout),
+            name=f"stdout:{handle.shard_id}",
+        )
+
+    async def _handshake(self, handle: WorkerHandle) -> None:
+        """Read the worker's JSON ready line and learn its bound port."""
+        deadline = asyncio.get_running_loop().time() + self.ready_timeout
+        while True:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise WorkerError(
+                    f"{handle.shard_id} sent no ready handshake within "
+                    f"{self.ready_timeout}s"
+                )
+            try:
+                line = await asyncio.wait_for(
+                    handle.process.stdout.readline(), remaining
+                )
+            except asyncio.TimeoutError:
+                raise WorkerError(
+                    f"{handle.shard_id} sent no ready handshake within "
+                    f"{self.ready_timeout}s"
+                ) from None
+            if not line:
+                raise WorkerError(
+                    f"{handle.shard_id} exited with code "
+                    f"{handle.process.returncode} before its ready "
+                    f"handshake"
+                )
+            try:
+                message = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # tolerate human-readable banner lines
+            if isinstance(message, dict) and message.get("ready"):
+                port = message.get("port")
+                if not isinstance(port, int) or port < 1:
+                    raise WorkerError(
+                        f"{handle.shard_id} handshake reported a bad "
+                        f"port: {port!r}"
+                    )
+                handle.port = port
+                return
+
+    @staticmethod
+    async def _drain_stdout(stream: asyncio.StreamReader) -> None:
+        with contextlib.suppress(Exception):
+            while await stream.readline():
+                pass
 
     async def _wait_ready(self, handle: WorkerHandle) -> None:
         deadline = (asyncio.get_running_loop().time()
@@ -193,6 +265,43 @@ class WorkerPool:
         await self._spawn(handle)
         await self._wait_ready(handle)
 
+    async def spawn_shard(self,
+                          shard_id: str | None = None) -> WorkerHandle:
+        """Grow the fleet by one worker (live resharding's add half).
+
+        Spawns a fresh process with its own snapshot (and standby)
+        directory, waits until it is ready, and returns its handle —
+        the caller adds it to the router's ring.
+        """
+        if shard_id is not None and shard_id in self.workers:
+            raise WorkerError(f"shard {shard_id!r} already exists")
+        handle = self._new_handle(shard_id)
+        try:
+            await self._spawn(handle)
+            await self._wait_ready(handle)
+        except BaseException:
+            self.workers.pop(handle.shard_id, None)
+            raise
+        return handle
+
+    async def stop_shard(self, shard_id: str) -> WorkerHandle:
+        """Retire one worker (live resharding's remove half).
+
+        The caller removes the shard from the router's ring *first* and
+        lets the moved sessions drain-and-redirect; stopping the
+        process is the final step.  Terminates politely, then SIGKILLs.
+        """
+        handle = self.workers.pop(shard_id)
+        if handle.process is not None:
+            if handle.alive:
+                handle.process.terminate()
+            try:
+                await asyncio.wait_for(handle.process.wait(), 5.0)
+            except asyncio.TimeoutError:
+                handle.process.kill()
+                await handle.process.wait()
+        return handle
+
     async def stop(self) -> None:
         """Terminate the fleet (politely first, then SIGKILL)."""
         for handle in self.workers.values():
@@ -213,6 +322,8 @@ class WorkerPool:
                 "alive": handle.alive,
                 "restarts": handle.restarts,
                 "snapshot_dir": str(handle.snapshot_dir),
+                "standby_dir": (str(handle.standby_dir)
+                                if handle.standby_dir else None),
             }
             for shard, handle in sorted(self.workers.items())
         }

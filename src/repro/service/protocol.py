@@ -37,6 +37,16 @@ Requests (``op`` selects the operation):
     final stats.
 ``ping``
     Liveness probe; also reports service-level counters.
+``admin``
+    Router-only topology control: ``{"op": "admin", "action":
+    "add-shard" | "remove-shard" | "health" | "topology", ...}``.
+    Workers reject it (``bad-request``); the router handles it locally
+    and never relays it to a shard.  ``add-shard`` takes either an
+    explicit ``shard``/``host``/``port`` endpoint or, when the router
+    owns a worker pool, spawns a fresh worker; ``remove-shard`` takes
+    the ``shard`` id and drops it from the ring (sessions pinned to
+    moved tenants are drained and redirected with ``shard-moved`` on
+    their next request).
 
 Responses always carry ``"ok"``; failures add ``"error"`` (a stable
 token such as ``overloaded`` / ``backpressure`` / ``session-failed``)
@@ -66,6 +76,13 @@ ERR_DRAINING = "draining"
 ERR_FAULT = "injected-fault"
 ERR_RATE_LIMITED = "rate-limited"
 ERR_SHARD_UNAVAILABLE = "shard-unavailable"
+#: The ring no longer maps this connection's tenant to the shard it is
+#: pinned to (a live add/remove-shard moved it).  The router drains the
+#: old shard and the client must reconnect to reach the new owner.
+ERR_SHARD_MOVED = "shard-moved"
+
+#: Admin actions the router's ``admin`` op accepts.
+ADMIN_ACTIONS = ("add-shard", "remove-shard", "health", "topology")
 
 
 class ProtocolError(ValueError):

@@ -105,7 +105,14 @@ class HashRing:
 
 
 class CircuitBreaker:
-    """Per-shard failure gate: closed → open → half-open → closed."""
+    """Per-shard failure gate: closed → open → half-open → closed.
+
+    The supervisor adds a *forced* mode on top: :meth:`force_open`
+    latches the breaker open across reset windows (no half-open probes
+    leak traffic into a shard that is mid-restart) until
+    :meth:`force_close` releases it — ordinary successes recorded by
+    health probes do not un-force it.
+    """
 
     def __init__(self, threshold: int = DEFAULT_BREAKER_THRESHOLD,
                  reset_after: float = DEFAULT_BREAKER_RESET,
@@ -116,9 +123,12 @@ class CircuitBreaker:
         self.failures = 0
         self.opened_at: float | None = None
         self.trips = 0
+        self.forced = False
 
     @property
     def state(self) -> str:
+        if self.forced:
+            return "open"
         if self.opened_at is None:
             return "closed"
         if self._clock() - self.opened_at >= self.reset_after:
@@ -140,11 +150,26 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         self.failures = 0
+        if not self.forced:
+            self.opened_at = None
+
+    def force_open(self) -> None:
+        """Latch open (supervisor: a restart is in progress)."""
+        if not self.forced:
+            self.forced = True
+            self.trips += 1
+        if self.opened_at is None:
+            self.opened_at = self._clock()
+
+    def force_close(self) -> None:
+        """Release the latch and close (supervisor: restart done)."""
+        self.forced = False
+        self.failures = 0
         self.opened_at = None
 
     def to_dict(self) -> dict:
         return {"state": self.state, "failures": self.failures,
-                "trips": self.trips}
+                "trips": self.trips, "forced": self.forced}
 
 
 @dataclass
@@ -162,18 +187,35 @@ class RouterConfig:
 
 
 class ServiceRouter:
-    """A stateless-per-connection proxy over a shard fleet."""
+    """A stateless-per-connection proxy over a shard fleet.
 
-    def __init__(self, config: RouterConfig | None = None) -> None:
+    Per connection the router remembers exactly two things: the shard
+    the ``hello`` pinned and the tenant that pinned it.  Before every
+    relay it re-checks ring ownership, so a live ``add-shard`` /
+    ``remove-shard`` (the ``admin`` op) drains moved sessions instead
+    of stranding them: the old shard gets a proxied ``close`` (flush +
+    detach), the client gets ``shard-moved`` and reconnects through the
+    router to the tenant's new owner.  When built over a
+    :class:`~repro.service.pool.WorkerPool`, ``add-shard`` can also
+    spawn the new worker itself.
+    """
+
+    def __init__(self, config: RouterConfig | None = None,
+                 pool=None) -> None:
         self.config = config or RouterConfig()
         self.shards: dict[str, tuple[str, int]] = dict(self.config.shards)
         self.ring = HashRing(self.shards, vnodes=self.config.vnodes)
         self.breakers: dict[str, CircuitBreaker] = {
             shard: self._breaker() for shard in self.shards
         }
+        #: Optional WorkerPool behind this router: lets the ``admin``
+        #: op spawn/stop real worker processes, not just re-ring.
+        self.pool = pool
         self.routed_connections = 0
         self.rejected_connections = 0
         self.relay_failures = 0
+        self.redirected_sessions = 0
+        self.admin_requests = 0
         self._server: asyncio.Server | None = None
 
     def _breaker(self) -> CircuitBreaker:
@@ -229,6 +271,7 @@ class ServiceRouter:
         shard_id: str | None = None
         shard_reader: asyncio.StreamReader | None = None
         shard_writer: asyncio.StreamWriter | None = None
+        tenant: str | None = None
 
         async def respond(message: dict) -> bool:
             writer.write(protocol.encode(message))
@@ -246,6 +289,18 @@ class ServiceRouter:
                     await shard_writer.wait_closed()
             shard_id = shard_reader = shard_writer = None
 
+        async def drain_moved_session() -> None:
+            # The ring no longer maps this tenant here: flush and
+            # detach it on the old shard (a proxied close) so its state
+            # leaves cleanly, then cut the pinned connection.  Best
+            # effort — the old shard may already be gone.
+            with contextlib.suppress(ConnectionError, OSError,
+                                     asyncio.TimeoutError):
+                shard_writer.write(protocol.encode({"op": "close"}))
+                await shard_writer.drain()
+                await asyncio.wait_for(shard_reader.readline(), 2.0)
+            await drop_shard()
+
         try:
             while True:
                 try:
@@ -262,6 +317,29 @@ class ServiceRouter:
                             "?", protocol.ERR_BAD_REQUEST, str(error))):
                         break
                     continue
+                if op == "admin":
+                    if not await respond(await self._admin(message)):
+                        break
+                    continue
+                if shard_writer is not None and tenant is not None:
+                    # Live-resharding check: does the ring still map
+                    # this connection's tenant to its pinned shard?
+                    # (ring.lookup directly — a re-check is not a new
+                    # placement decision, so no router.route fault.)
+                    try:
+                        owner = self.ring.lookup(tenant)
+                    except KeyError:
+                        owner = None
+                    if owner != shard_id:
+                        await drain_moved_session()
+                        self.redirected_sessions += 1
+                        if not await respond(protocol.error(
+                                op or "?", protocol.ERR_SHARD_MOVED,
+                                f"tenant {tenant!r} moved to "
+                                f"{owner!r}; reconnect to reach it",
+                                retry_after=self.config.retry_after)):
+                            break
+                        continue
                 if shard_writer is None:
                     if op == "ping":
                         if not await respond(protocol.ok(
@@ -355,6 +433,88 @@ class ServiceRouter:
                 writer.close()
                 await writer.wait_closed()
 
+    # -- Admin: live topology control ----------------------------------------
+
+    async def _admin(self, message: dict) -> dict:
+        """Handle one ``admin`` request locally (never relayed).
+
+        Actions: ``topology`` (describe), ``health`` (probe every
+        shard), ``add-shard`` (an explicit ``host``/``port`` endpoint,
+        or a fresh worker spawned from the pool), ``remove-shard``
+        (drop from the ring; with ``"stop": true`` and a pool, also
+        stop the worker process — normally the caller waits for the
+        drain-and-redirect to finish first).
+        """
+        self.admin_requests += 1
+        action = message.get("action")
+        if action not in protocol.ADMIN_ACTIONS:
+            return protocol.error(
+                "admin", protocol.ERR_BAD_REQUEST,
+                f"unknown admin action {action!r}; expected one of "
+                f"{', '.join(protocol.ADMIN_ACTIONS)}",
+            )
+        if action == "topology":
+            return protocol.ok("admin", action=action,
+                               router=self.describe())
+        if action == "health":
+            health = await self.check_shards()
+            return protocol.ok("admin", action=action, health=health,
+                               router=self.describe())
+        shard = message.get("shard")
+        if action == "add-shard":
+            host, port = message.get("host"), message.get("port")
+            if host is not None or port is not None:
+                if (not isinstance(host, str) or not host
+                        or not isinstance(port, int) or port < 1):
+                    return protocol.error(
+                        "admin", protocol.ERR_BAD_REQUEST,
+                        "add-shard needs a string 'host' and a "
+                        "positive int 'port' (or a pool to spawn from)",
+                    )
+                if shard is None:
+                    shard = f"shard-{len(self.shards)}"
+                if shard in self.shards:
+                    return protocol.error(
+                        "admin", protocol.ERR_BAD_REQUEST,
+                        f"shard {shard!r} already routed",
+                    )
+                self.add_shard(shard, host, port)
+            elif self.pool is not None:
+                try:
+                    handle = await self.pool.spawn_shard(shard)
+                except Exception as error:
+                    return protocol.error(
+                        "admin", protocol.ERR_SHARD_UNAVAILABLE,
+                        f"could not spawn a new worker: {error}",
+                    )
+                shard = handle.shard_id
+                self.add_shard(shard, *handle.endpoint)
+            else:
+                return protocol.error(
+                    "admin", protocol.ERR_BAD_REQUEST,
+                    "add-shard needs 'host'/'port' when the router "
+                    "has no worker pool",
+                )
+            host, port = self.shards[shard]
+            return protocol.ok("admin", action=action, shard=shard,
+                               endpoint=f"{host}:{port}",
+                               shards=sorted(self.shards))
+        # action == "remove-shard"
+        if not isinstance(shard, str) or shard not in self.shards:
+            return protocol.error(
+                "admin", protocol.ERR_BAD_REQUEST,
+                f"remove-shard needs a routed 'shard' id, got "
+                f"{shard!r}",
+            )
+        self.remove_shard(shard)
+        stopped = False
+        if message.get("stop") and self.pool is not None \
+                and shard in getattr(self.pool, "workers", {}):
+            await self.pool.stop_shard(shard)
+            stopped = True
+        return protocol.ok("admin", action=action, shard=shard,
+                           stopped=stopped, shards=sorted(self.shards))
+
     # -- Health and reporting ------------------------------------------------
 
     async def check_shards(self, timeout: float = 1.0) -> dict:
@@ -399,4 +559,6 @@ class ServiceRouter:
             "routed_connections": self.routed_connections,
             "rejected_connections": self.rejected_connections,
             "relay_failures": self.relay_failures,
+            "redirected_sessions": self.redirected_sessions,
+            "admin_requests": self.admin_requests,
         }

@@ -68,6 +68,10 @@ class ServiceConfig:
     #: Directory for arena snapshots + write-ahead log; ``None``
     #: disables persistence (and crash recovery) entirely.
     snapshot_dir: str | None = None
+    #: Standby replica directory: every WAL append and verified
+    #: snapshot is mirrored there, and recovery promotes it when the
+    #: primary is quarantined or gone.  ``None`` disables replication.
+    standby_dir: str | None = None
     #: Arena accesses between snapshots.
     snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL
     #: Per-tenant token-bucket rate limit in accesses/second; ``None``
@@ -125,6 +129,7 @@ class CacheService:
             self.persister = ArenaPersister(
                 self.config.snapshot_dir,
                 snapshot_interval=self.config.snapshot_interval,
+                standby_root=self.config.standby_dir,
             )
             self.arena, self.recovery = recover_arena(
                 self.persister,

@@ -1,0 +1,100 @@
+"""WorkerPool: the port-0 ready handshake, restart address stability,
+and the live-resharding spawn/stop halves — against real processes."""
+
+import asyncio
+
+import pytest
+
+from repro.service import protocol
+from repro.service.pool import WorkerError, WorkerPool
+
+
+async def _ping(host: str, port: int) -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(protocol.encode({"op": "ping"}))
+    await writer.drain()
+    reply = protocol.decode_line(await reader.readline())
+    writer.close()
+    await writer.wait_closed()
+    return reply
+
+
+class TestHandshake:
+    def test_workers_bind_port_zero_and_report_real_ports(self, tmp_path):
+        async def scenario():
+            pool = WorkerPool(2, tmp_path, capacity_bytes=64 * 1024)
+            # Before the spawn nothing holds a port: there is no probed
+            # free port for another process to steal (the TOCTOU the
+            # handshake design removes).
+            assert all(handle.port == 0
+                       for handle in pool.workers.values())
+            await pool.start()
+            try:
+                endpoints = pool.endpoints()
+                assert sorted(endpoints) == ["shard-0", "shard-1"]
+                ports = [port for _, port in endpoints.values()]
+                assert all(port > 0 for port in ports)
+                assert len(set(ports)) == 2
+                for host, port in endpoints.values():
+                    assert (await _ping(host, port))["ok"]
+            finally:
+                await pool.stop()
+
+        asyncio.run(scenario())
+
+    def test_restart_reuses_the_learned_port(self, tmp_path):
+        async def scenario():
+            pool = WorkerPool(1, tmp_path, capacity_bytes=64 * 1024)
+            await pool.start()
+            try:
+                handle = pool.workers["shard-0"]
+                port = handle.port
+                await pool.kill("shard-0")
+                assert not handle.alive
+                await pool.restart("shard-0")
+                # Clients hold this address; the replacement must bind
+                # it explicitly rather than roll a new port 0.
+                assert handle.port == port
+                assert handle.restarts == 1
+                assert (await _ping(handle.host, port))["ok"]
+            finally:
+                await pool.stop()
+
+        asyncio.run(scenario())
+
+
+class TestLiveResharding:
+    def test_spawn_and_stop_reshape_the_fleet(self, tmp_path):
+        async def scenario():
+            pool = WorkerPool(1, tmp_path, capacity_bytes=64 * 1024)
+            await pool.start()
+            try:
+                grown = await pool.spawn_shard()
+                assert grown.shard_id == "shard-1"
+                assert grown.port > 0
+                assert sorted(pool.endpoints()) == [
+                    "shard-0", "shard-1"
+                ]
+                assert (await _ping(grown.host, grown.port))["ok"]
+                retired = await pool.stop_shard("shard-1")
+                assert retired.shard_id == "shard-1"
+                assert not retired.alive
+                assert sorted(pool.endpoints()) == ["shard-0"]
+            finally:
+                await pool.stop()
+
+        asyncio.run(scenario())
+
+    def test_duplicate_spawn_is_rejected(self, tmp_path):
+        async def scenario():
+            pool = WorkerPool(1, tmp_path, capacity_bytes=64 * 1024)
+            await pool.start()
+            try:
+                with pytest.raises(WorkerError, match="already exists"):
+                    await pool.spawn_shard("shard-0")
+                # The reject left the fleet untouched.
+                assert sorted(pool.endpoints()) == ["shard-0"]
+            finally:
+                await pool.stop()
+
+        asyncio.run(scenario())

@@ -295,6 +295,72 @@ class TestExactlyOnceClient:
         asyncio.run(scenario())
 
 
+class TestHistoryReplay:
+    def test_fresh_reattach_replays_acked_history(self):
+        async def scenario():
+            # The shard comes back with its durable state gone (total
+            # storage loss): the replacement greets *fresh*, not
+            # resumed.  The client must rebuild it — replay every acked
+            # batch, then resend the one in flight.
+            shard = ScriptedShard([
+                [("hello", _ok_hello()),
+                 ("access", protocol.ok("access", queued_batches=0)),
+                 ("access", None)],
+                [("hello", _ok_hello(applied_seq=0, resumed=False)),
+                 ("access", protocol.ok("access", queued_batches=0)),
+                 ("access", protocol.ok("access", queued_batches=0))],
+            ])
+            port = await shard.start()
+            client = ResilientClient(
+                [("127.0.0.1", port)], "t", block_sizes=[512] * 4,
+                reconnect_backoff=0.01,
+            )
+            await client.connect()
+            assert (await client.access([0, 1]))["ok"]
+            assert (await client.access([2, 3]))["ok"]
+            assert client.reconnects == 1
+            assert client.replayed_batches == 1
+            sent = [(m["seq"], m["sids"]) for m in shard.requests
+                    if m["op"] == "access"]
+            # seq=1 acked, seq=2 lost, then the replayed seq=1 and the
+            # retried seq=2 — in order, on the fresh attachment.
+            assert sent == [(1, [0, 1]), (2, [2, 3]),
+                            (1, [0, 1]), (2, [2, 3])]
+            await client.aclose()
+            await shard.aclose()
+
+        asyncio.run(scenario())
+
+    def test_replay_needing_trimmed_history_refuses_loudly(self):
+        async def scenario():
+            # history_limit=1 keeps only the newest acked batch.  After
+            # a fresh re-attach the rebuild would need seq=1, which was
+            # trimmed — silently continuing would fabricate a tenant
+            # whose stats are missing a batch, so the client refuses.
+            shard = ScriptedShard([
+                [("hello", _ok_hello()),
+                 ("access", protocol.ok("access", queued_batches=0)),
+                 ("access", protocol.ok("access", queued_batches=0)),
+                 ("access", None)],
+                [("hello", _ok_hello(applied_seq=0, resumed=False))],
+            ])
+            port = await shard.start()
+            client = ResilientClient(
+                [("127.0.0.1", port)], "t", block_sizes=[512] * 4,
+                reconnect_backoff=0.01, history_limit=1,
+            )
+            await client.connect()
+            assert (await client.access([0]))["ok"]
+            assert (await client.access([1]))["ok"]
+            with pytest.raises(ServiceUnavailable,
+                               match="trimmed below seq 2"):
+                await client.access([2])
+            await client.aclose()
+            await shard.aclose()
+
+        asyncio.run(scenario())
+
+
 class TestKillRestartRideThrough:
     """The satellite's acceptance test against a *real* worker process:
     SIGKILL it mid-stream, restart it over its snapshot + WAL, and the

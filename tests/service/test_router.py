@@ -110,6 +110,44 @@ class TestCircuitBreaker:
         self.now = 10.0
         assert breaker.state == "half-open"
 
+    def test_force_open_latches_across_the_reset_window(self):
+        breaker = self._breaker(threshold=3, reset_after=5.0)
+        breaker.force_open()
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.trips == 1
+        # The reset window elapsing must NOT half-open a forced breaker:
+        # a shard mid-restart gets no probe traffic.
+        self.now = 50.0
+        assert breaker.state == "open" and not breaker.allow()
+
+    def test_success_does_not_clear_a_forced_breaker(self):
+        # A concurrent health check recording a success (e.g. the probe
+        # that raced the crash) must not un-latch the supervisor's hold.
+        breaker = self._breaker(threshold=1, reset_after=1.0)
+        breaker.force_open()
+        breaker.record_success()
+        assert breaker.state == "open" and breaker.forced
+        breaker.force_close()
+        assert breaker.state == "closed" and not breaker.forced
+        assert breaker.failures == 0
+
+    def test_force_open_is_idempotent_and_counts_one_trip(self):
+        breaker = self._breaker()
+        breaker.force_open()
+        breaker.force_close()
+        breaker.force_open()
+        breaker.force_open()
+        assert breaker.trips == 2
+        assert breaker.to_dict()["forced"] is True
+
+    def test_force_close_reopens_on_fresh_failures(self):
+        breaker = self._breaker(threshold=2, reset_after=5.0)
+        breaker.force_open()
+        breaker.force_close()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+
 
 def _shard_config(**overrides) -> ServiceConfig:
     defaults = dict(policy="8-unit", capacity_bytes=64 * 1024,
@@ -321,6 +359,145 @@ class TestRouterProxy:
                 await router.aclose()
                 shard.close()
                 await shard.wait_closed()
+
+        asyncio.run(scenario())
+
+
+class TestAdminOp:
+    def test_topology_and_health_answer_locally(self):
+        async def scenario():
+            router, shards = await _fleet(2)
+            try:
+                client = await ServiceClient.connect(
+                    "127.0.0.1", router.port
+                )
+                reply = await client.request(
+                    {"op": "admin", "action": "topology"}
+                )
+                assert reply["ok"]
+                assert set(reply["router"]["shards"]) == {
+                    "shard-0", "shard-1"
+                }
+                reply = await client.request(
+                    {"op": "admin", "action": "health"}
+                )
+                assert reply["ok"]
+                assert reply["health"] == {"shard-0": True,
+                                           "shard-1": True}
+                assert router.admin_requests == 2
+                await client.aclose()
+            finally:
+                await _teardown(router, shards)
+
+        asyncio.run(scenario())
+
+    def test_unknown_action_and_bad_remove_are_rejected(self):
+        async def scenario():
+            router, shards = await _fleet(1)
+            try:
+                client = await ServiceClient.connect(
+                    "127.0.0.1", router.port
+                )
+                reply = await client.request(
+                    {"op": "admin", "action": "explode"}
+                )
+                assert reply["error"] == protocol.ERR_BAD_REQUEST
+                reply = await client.request(
+                    {"op": "admin", "action": "remove-shard",
+                     "shard": "ghost"}
+                )
+                assert reply["error"] == protocol.ERR_BAD_REQUEST
+                await client.aclose()
+            finally:
+                await _teardown(router, shards)
+
+        asyncio.run(scenario())
+
+    def test_add_shard_with_explicit_endpoint_joins_the_ring(self):
+        async def scenario():
+            router, shards = await _fleet(1)
+            extra = CacheService(_shard_config())
+            await extra.start()
+            try:
+                client = await ServiceClient.connect(
+                    "127.0.0.1", router.port
+                )
+                reply = await client.request(
+                    {"op": "admin", "action": "add-shard",
+                     "shard": "shard-1", "host": "127.0.0.1",
+                     "port": extra.port}
+                )
+                assert reply["ok"], reply
+                assert reply["shards"] == ["shard-0", "shard-1"]
+                assert "shard-1" in router.ring
+                assert "shard-1" in router.breakers
+                dup = await client.request(
+                    {"op": "admin", "action": "add-shard",
+                     "shard": "shard-1", "host": "127.0.0.1",
+                     "port": extra.port}
+                )
+                assert dup["error"] == protocol.ERR_BAD_REQUEST
+                await client.aclose()
+            finally:
+                await _teardown(router, shards)
+                await extra.drain()
+
+        asyncio.run(scenario())
+
+    def test_live_remove_drains_and_redirects_the_pinned_session(self):
+        async def scenario():
+            router, shards = await _fleet(2)
+            try:
+                # Find a tenant on each shard so the removal moves one.
+                by_shard = {}
+                for key in KEYS:
+                    by_shard.setdefault(router.route(key), key)
+                    if len(by_shard) == 2:
+                        break
+                moved = by_shard["shard-1"]
+                client = await ServiceClient.connect(
+                    "127.0.0.1", router.port
+                )
+                greeting = await client.hello(
+                    moved, block_sizes=[512] * 16
+                )
+                assert greeting["ok"]
+                assert (await client.access(list(range(16))))["ok"]
+
+                admin = await ServiceClient.connect(
+                    "127.0.0.1", router.port
+                )
+                reply = await admin.request(
+                    {"op": "admin", "action": "remove-shard",
+                     "shard": "shard-1"}
+                )
+                assert reply["ok"] and reply["shards"] == ["shard-0"]
+                await admin.aclose()
+
+                # The pinned session's next request is redirected, and
+                # the old shard flushed + detached the tenant (drained).
+                bounced = await client.request(
+                    {"op": "access", "sids": [0]}
+                )
+                assert bounced["error"] == protocol.ERR_SHARD_MOVED
+                assert bounced["retry_after"] > 0
+                assert router.redirected_sessions == 1
+                assert all(s.name != moved or s.detached
+                           for s in shards[1].arena.tenants())
+
+                # Reconnecting through the router reaches the new owner.
+                retry = await ServiceClient.connect(
+                    "127.0.0.1", router.port
+                )
+                again = await retry.hello(moved, block_sizes=[512] * 16)
+                assert again["ok"]
+                assert {s.name for s in shards[0].arena.tenants()} >= {
+                    moved
+                }
+                await retry.aclose()
+                await client.aclose()
+            finally:
+                await _teardown(router, shards)
 
         asyncio.run(scenario())
 
