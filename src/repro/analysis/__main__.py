@@ -120,6 +120,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--diff-lru", action="store_true",
                         help="extend diff-check's ladder with the "
                              "Section 3.3 LRU arena policy")
+    parser.add_argument("--diff-preempt", action="store_true",
+                        help="extend diff-check's ladder with Dynamo's "
+                             "preemptive-flush policy")
     parser.add_argument("--baselines", default=benchgate.DEFAULT_BASELINES,
                         help="bench-gate baselines file "
                              "(default: %(default)s)")
@@ -212,6 +215,7 @@ def _run_diff_check(args: argparse.Namespace) -> bool:
         trace_accesses=args.trace_accesses,
         pressures=pressures,
         include_lru=args.diff_lru,
+        include_preempt=args.diff_preempt,
         check_level=args.check,
         progress=lambda line: print(f"  {line}", file=sys.stderr),
     )

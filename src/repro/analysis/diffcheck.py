@@ -169,6 +169,7 @@ def diff_check(
     unit_counts: tuple[int, ...] = STANDARD_UNIT_COUNTS,
     include_fine: bool = True,
     include_lru: bool = False,
+    include_preempt: bool = False,
     overhead_model: OverheadModel = PAPER_MODEL,
     track_links: bool = True,
     check_level: str | None = None,
@@ -182,7 +183,9 @@ def diff_check(
     single command exercises both halves of the sanitizer.
     ``include_lru`` extends the ladder with the Section 3.3 LRU arena,
     diffing true-LRU victim order and first-fit fragmentation against
-    the reference byte arena.
+    the reference byte arena; ``include_preempt`` extends it with
+    Dynamo's preemptive flush, diffing the phase detector's flush
+    timing and accounting against the op-for-op reference detector.
     """
     if scale <= 0:
         raise ConfigurationError("scale must be positive")
@@ -193,9 +196,11 @@ def diff_check(
     if not pressures or min(pressures) < 1:
         raise ConfigurationError("pressure factors must be >= 1")
     production = ladder_policy_factories(unit_counts, include_fine,
-                                         include_lru=include_lru)
+                                         include_lru=include_lru,
+                                         include_preempt=include_preempt)
     reference = reference_ladder(include_fine, tuple(unit_counts),
-                                 include_lru=include_lru)
+                                 include_lru=include_lru,
+                                 include_preempt=include_preempt)
     report = DiffReport()
     for benchmark in benchmarks:
         spec = _spec_by_name(benchmark)

@@ -45,7 +45,11 @@ from repro.analysis import sweepcache
 from repro.analysis.kernel import classify_policy, one_pass_grid
 from repro.core.metrics import SimulationStats
 from repro.core.overhead import PAPER_MODEL, OverheadModel
-from repro.core.policies import STANDARD_UNIT_COUNTS, granularity_ladder
+from repro.core.policies import (
+    STANDARD_UNIT_COUNTS,
+    granularity_ladder,
+    policy_from_spec,
+)
 from repro.core.pressure import STANDARD_PRESSURE_FACTORS, pressured_capacity
 from repro.core.simulator import CodeCacheSimulator
 from repro.workloads.registry import (
@@ -90,6 +94,12 @@ class SweepTask:
     one_pass: bool = False
     #: Display name in fault reports; empty means the spec's name.
     label: str = ""
+    #: Injected policies: canonical-JSON policy specs (see
+    #: :func:`repro.core.policies.policy_from_spec`), replayed *instead
+    #: of* the granularity ladder when set.  Strings rather than dicts
+    #: so the task stays frozen/hashable; workers rebuild each policy
+    #: with the workload's superblocks bound.
+    policy_specs: tuple[str, ...] | None = None
 
     @property
     def display_name(self) -> str:
@@ -116,6 +126,10 @@ def task_key(task: SweepTask) -> str:
         "overhead_model": sweepcache.model_token(task.overhead_model),
         "track_links": bool(task.track_links),
     }
+    if task.policy_specs is not None:
+        # Only injected-policy tasks carry the key (keeps every
+        # pre-existing ladder checkpoint key stable).
+        payload["policy_specs"] = list(task.policy_specs)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -296,7 +310,10 @@ def estimate_task_accesses(task: SweepTask) -> int:
     else:
         blocks = max(1, round(task.spec.superblock_count * task.scale))
         per_cell = default_trace_accesses(blocks)
-    rungs = len(task.unit_counts) + (1 if task.include_fine else 0)
+    if task.policy_specs is not None:
+        rungs = len(task.policy_specs)
+    else:
+        rungs = len(task.unit_counts) + (1 if task.include_fine else 0)
     return per_cell * len(task.pressures) * max(1, rungs)
 
 
@@ -341,6 +358,7 @@ def plan_tasks(
     track_links: bool = True,
     one_pass: bool = False,
     shard: str = "benchmark",
+    policy_specs: Sequence[str] | None = None,
 ) -> list[SweepTask]:
     """Materialize the task list for a sweep over *specs*.
 
@@ -350,7 +368,9 @@ def plan_tasks(
     a pool better and map one-to-one onto one-pass kernel invocations;
     slice tasks are labelled ``name@pN`` in fault reports.  Tasks are
     ordered spec-major, so per-benchmark consumers can treat the last
-    slice of a spec as that benchmark's completion.
+    slice of a spec as that benchmark's completion.  ``policy_specs``
+    (canonical-JSON strings) replaces the granularity ladder with
+    injected policies on every task — the policy-search seam.
     """
     if shard not in ("benchmark", "pressure"):
         raise ValueError(
@@ -365,6 +385,8 @@ def plan_tasks(
         overhead_model=overhead_model,
         track_links=track_links,
         one_pass=one_pass,
+        policy_specs=(tuple(policy_specs)
+                      if policy_specs is not None else None),
     )
     pressures = tuple(pressures)
     tasks: list[SweepTask] = []
@@ -437,9 +459,13 @@ def simulate_task(task: SweepTask) -> list[GridRecord]:
     loop order matches the serial engine's per-workload order exactly.
     With ``task.one_pass`` the slab goes through the one-pass kernel
     when every ladder rung is eligible, falling back to full replay
-    otherwise — either way the records are field-identical.
+    otherwise — either way the records are field-identical.  Injected
+    ``policy_specs`` always replay: an arbitrary priority function is
+    stateful per access, which the kernel cannot express.
     """
     workload = _task_workload(task)
+    if task.policy_specs is not None:
+        return _simulate_specs(task, workload)
     if task.one_pass:
         records = _simulate_one_pass(task, workload)
         if records is not None:
@@ -464,6 +490,34 @@ def simulate_task(task: SweepTask) -> list[GridRecord]:
                                        benchmark=workload.name)
             record.policy_name = name
             records.append((workload.name, name, pressure, record))
+    return records
+
+
+def _simulate_specs(task: SweepTask, workload) -> list[GridRecord]:
+    """Replay a slab of injected policies (``task.policy_specs``).
+
+    Record order matches the ladder path: pressure-outer, spec-order
+    inner.  Each policy is rebuilt fresh per pressure from its JSON
+    spec with the workload's superblocks bound, so link-degree features
+    see the real static graph.
+    """
+    specs = [json.loads(raw) for raw in task.policy_specs]
+    records: list[GridRecord] = []
+    for pressure in task.pressures:
+        capacity = pressured_capacity(workload.superblocks, pressure)
+        for spec in specs:
+            policy = policy_from_spec(spec, workload.superblocks)
+            simulator = CodeCacheSimulator(
+                workload.superblocks,
+                policy,
+                capacity,
+                overhead_model=task.overhead_model,
+                track_links=task.track_links,
+            )
+            record = simulator.process(workload.trace,
+                                       benchmark=workload.name)
+            record.policy_name = policy.name
+            records.append((workload.name, policy.name, pressure, record))
     return records
 
 

@@ -17,6 +17,7 @@ both engines produce field-for-field identical statistics.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass
@@ -45,6 +46,7 @@ from repro.core.policies import (
     EvictionPolicy,
     FineGrainedFifoPolicy,
     FlushPolicy,
+    PreemptiveFlushPolicy,
     UnitFifoPolicy,
 )
 from repro.core.pressure import STANDARD_PRESSURE_FACTORS, pressured_capacity
@@ -77,12 +79,14 @@ def ladder_policy_factories(
     unit_counts: Sequence[int] = STANDARD_UNIT_COUNTS,
     include_fine: bool = True,
     include_lru: bool = False,
+    include_preempt: bool = False,
 ) -> list[tuple[str, PolicyFactory]]:
     """(name, factory) pairs for the standard policy ladder.
 
     ``include_lru`` appends the Section 3.3 LRU arena last (off by
     default: it is a fragmentation study policy, not a rung of the
-    paper's granularity ladder).
+    paper's granularity ladder); ``include_preempt`` likewise appends
+    Dynamo's preemptive flush with its default detector.
     """
     factories: list[tuple[str, PolicyFactory]] = []
     for count in unit_counts:
@@ -96,6 +100,8 @@ def ladder_policy_factories(
         factories.append((FINE_NAME, FineGrainedFifoPolicy))
     if include_lru:
         factories.append(("LRU", LruPolicy))
+    if include_preempt:
+        factories.append(("PREEMPT", PreemptiveFlushPolicy))
     return factories
 
 
@@ -295,6 +301,7 @@ def run_sweep_parallel(
     checkpoints: CheckpointStore | None = None,
     one_pass: bool | None = None,
     shard: str = "benchmark",
+    policy_specs: Sequence[Mapping] | None = None,
 ) -> SweepResult:
     """Parallel counterpart of :func:`run_sweep`, over registry *specs*.
 
@@ -318,11 +325,32 @@ def run_sweep_parallel(
     slabs are streamed to disk and already-checkpointed slabs are not
     re-simulated.  The returned grid's ``fault_report`` records what
     was retried, timed out, degraded, or resumed.
+
+    ``policy_specs`` (JSON-safe mappings for
+    :func:`repro.core.policies.policy_from_spec`, each carrying a
+    unique ``name``) replaces the granularity ladder with injected
+    policies — the evaluation seam the policy search drives.  Injected
+    policies always replay (the one-pass kernel cannot express them),
+    and their slabs checkpoint under keys that include the specs.
     """
     pressures = tuple(pressures)
     unit_counts = tuple(unit_counts)
     started = time.perf_counter()
-    use_kernel = (_default_one_pass(one_pass)
+    spec_blobs: tuple[str, ...] | None = None
+    spec_names: tuple[str, ...] | None = None
+    if policy_specs is not None:
+        spec_blobs = tuple(
+            json.dumps(dict(spec), sort_keys=True, separators=(",", ":"))
+            for spec in policy_specs
+        )
+        spec_names = tuple(str(spec.get("name", spec.get("kind", "?")))
+                           for spec in policy_specs)
+        if len(set(spec_names)) != len(spec_names):
+            raise ValueError(
+                f"policy specs must carry unique names, got {spec_names}"
+            )
+    use_kernel = (policy_specs is None
+                  and _default_one_pass(one_pass)
                   and resolve_check_level(None) == "off")
     tasks = plan_tasks(
         specs,
@@ -335,6 +363,7 @@ def run_sweep_parallel(
         track_links=track_links,
         one_pass=use_kernel,
         shard=shard,
+        policy_specs=spec_blobs,
     )
     tolerance_kwargs = {}
     if task_timeout is not None:
@@ -356,10 +385,10 @@ def run_sweep_parallel(
         if progress is not None and last_for_spec[task.spec.name] == index:
             progress(f"swept {task.spec.name}")
     return SweepResult(
-        policy_names=tuple(
+        policy_names=(spec_names if spec_names is not None else tuple(
             name for name, _ in ladder_policy_factories(unit_counts,
                                                         include_fine)
-        ),
+        )),
         pressures=pressures,
         benchmark_names=tuple(
             dict.fromkeys(task.spec.name for task in tasks)

@@ -227,6 +227,7 @@ class InvariantChecker:
             self._check_links(resident, violations)
             self._check_generations(violations)
             self._check_arena(resident, violations)
+            self._check_placement(resident, violations)
         if violations:
             raise InvariantViolation(
                 violations,
@@ -488,6 +489,73 @@ class InvariantChecker:
                 f"{sorted(drift)[:8]}"
             )
 
+    def _check_placement(self, resident: set[int],
+                         violations: list[str]) -> None:
+        """Link-aware placement soundness: partition assignment.
+
+        Every resident superblock must live in exactly one unit, the
+        placement label map (``_unit_of``) must agree with the units'
+        physical block lists, and each unit's occupancy counter must
+        equal the byte sum of the blocks it holds (within its
+        capacity).  Placement scatter makes these easy to break — a
+        block relabelled without being moved, or moved without its
+        bytes following — and the policy keeps no redundant view the
+        occupancy check could catch that through.
+        """
+        from repro.core.placement import LinkAwarePlacementPolicy
+
+        policy = self.policy
+        if not isinstance(policy, LinkAwarePlacementPolicy):
+            return
+        units = policy._units
+        if not units:
+            return
+        seen: dict[int, int] = {}
+        for unit in units:
+            for sid in unit.blocks:
+                if sid in seen:
+                    violations.append(
+                        f"block {sid} placed in units {seen[sid]} "
+                        f"and {unit.index}"
+                    )
+                seen[sid] = unit.index
+        placed = set(seen)
+        if placed != resident:
+            drift = placed.symmetric_difference(resident)
+            violations.append(
+                f"unit placement and resident_ids() disagree on "
+                f"{sorted(drift)[:8]}"
+            )
+        if set(policy._unit_of) != placed:
+            drift = set(policy._unit_of).symmetric_difference(placed)
+            violations.append(
+                f"placement label map and unit contents disagree on "
+                f"{sorted(drift)[:8]}"
+            )
+        mislabeled = [
+            (sid, label, seen[sid])
+            for sid, label in policy._unit_of.items()
+            if sid in seen and label != seen[sid]
+        ]
+        if mislabeled:
+            violations.append(
+                f"placement label(s) point at the wrong unit "
+                f"(sid, label, actual): {sorted(mislabeled)[:4]}"
+            )
+        for unit in units:
+            expected = sum(policy._sizes.get(s, 0) for s in unit.blocks)
+            if unit.used_bytes != expected:
+                violations.append(
+                    f"unit {unit.index} occupancy {unit.used_bytes} != "
+                    f"byte sum {expected} of its {len(unit.blocks)} "
+                    f"block(s)"
+                )
+            if unit.used_bytes > unit.capacity_bytes:
+                violations.append(
+                    f"unit {unit.index} occupancy {unit.used_bytes} "
+                    f"exceeds unit capacity {unit.capacity_bytes}"
+                )
+
     def _check_metrics(self, stats: SimulationStats, resident: set[int],
                        violations: list[str]) -> None:
         """Counter conservation and Equation 1 re-derivability."""
@@ -576,6 +644,7 @@ class InvariantChecker:
             ("cache.metrics", lambda: self._find_metrics_corruption(stats)),
             ("cache.generation", self._find_generation_corruption),
             ("cache.arena", self._find_arena_corruption),
+            ("cache.placement", self._find_placement_corruption),
         ):
             corrupt = find()
             if corrupt is None:
@@ -665,6 +734,30 @@ class InvariantChecker:
                 arena.placed[sid] = (offset, size + 1)
             return corrupt
         return None
+
+    def _find_placement_corruption(self):
+        from repro.core.placement import LinkAwarePlacementPolicy
+
+        policy = self.policy
+        if not isinstance(policy, LinkAwarePlacementPolicy) or \
+                not policy._units:
+            return None
+        if not policy._unit_of:
+            return None
+        sid = min(policy._unit_of)
+        if len(policy._units) >= 2:
+            def corrupt(sid=sid):
+                # Relabel one block without moving it: the label map and
+                # the unit's physical contents now disagree.
+                policy._unit_of[sid] = (
+                    (policy._unit_of[sid] + 1) % len(policy._units)
+                )
+            return corrupt
+
+        def corrupt(sid=sid):
+            # Single clamped unit: break the byte-sum identity instead.
+            policy._units[policy._unit_of[sid]].used_bytes += 1
+        return corrupt
 
     def _find_generation_corruption(self):
         from repro.core.policies import GenerationalPolicy

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import Counter
+from typing import Callable, Mapping
 
 from repro.core.cache import (
     CircularBlockBuffer,
@@ -427,6 +428,86 @@ class GenerationalPolicy(EvictionPolicy):
     def effective_unit_count(self) -> int:
         self._require_configured()
         return self._nursery.unit_count + self._persistent.unit_count
+
+
+# -- Policy-spec registry -----------------------------------------------------
+#
+# A policy *spec* is a small JSON-safe mapping ({"kind": ..., ...}) that
+# names a policy kind plus its parameters.  Specs are what crosses
+# process boundaries: the parallel sweep engine ships them to pool
+# workers (SweepTask.policy_specs) and the search driver checkpoints
+# them, so a worker can rebuild any policy — including a discovered
+# PriorityFunctionPolicy — from a few hundred bytes.
+
+PolicyBuilder = Callable[[Mapping, object], EvictionPolicy]
+
+_POLICY_BUILDERS: dict[str, PolicyBuilder] = {}
+
+
+def register_policy_kind(kind: str, builder: PolicyBuilder) -> None:
+    """Register a builder for policy specs of *kind*.
+
+    The builder receives ``(spec, superblocks)``; *superblocks* is the
+    workload's :class:`~repro.core.superblock.SuperblockSet` (or None)
+    for policies whose decisions read the static link graph.
+    """
+    if not kind:
+        raise ValueError("policy kind must be a non-empty string")
+    _POLICY_BUILDERS[kind] = builder
+
+
+def registered_policy_kinds() -> tuple[str, ...]:
+    return tuple(sorted(_POLICY_BUILDERS))
+
+
+def _named(policy: EvictionPolicy, spec: Mapping) -> EvictionPolicy:
+    name = spec.get("name")
+    if name is not None:
+        policy.name = str(name)
+    return policy
+
+
+def _build_unit(spec: Mapping, superblocks) -> EvictionPolicy:
+    unit_count = spec.get("unit_count")
+    if not isinstance(unit_count, int) or unit_count < 1:
+        raise ConfigurationError(
+            f"unit policy spec needs a positive integer 'unit_count', "
+            f"got {unit_count!r}"
+        )
+    return _named(UnitFifoPolicy(unit_count), spec)
+
+
+register_policy_kind("flush", lambda spec, _: _named(FlushPolicy(), spec))
+register_policy_kind("unit", _build_unit)
+register_policy_kind(
+    "fifo", lambda spec, _: _named(FineGrainedFifoPolicy(), spec))
+register_policy_kind(
+    "preempt", lambda spec, _: _named(PreemptiveFlushPolicy(), spec))
+register_policy_kind(
+    "gen", lambda spec, _: _named(GenerationalPolicy(), spec))
+
+
+def policy_from_spec(spec: Mapping, superblocks=None) -> EvictionPolicy:
+    """Build a fresh (unconfigured) policy from a JSON-safe spec.
+
+    The ``priority`` kind self-registers on import of
+    :mod:`repro.search.priority`; it is imported lazily here so the
+    core package keeps no static dependency on the search subsystem.
+    """
+    if not isinstance(spec, Mapping):
+        raise ConfigurationError(
+            f"policy spec must be a mapping, got {type(spec).__name__}"
+        )
+    kind = spec.get("kind")
+    if kind == "priority" and kind not in _POLICY_BUILDERS:
+        import repro.search.priority  # noqa: F401 - registers the kind
+    builder = _POLICY_BUILDERS.get(kind)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown policy kind {kind!r}; registered: "
+            f"{', '.join(registered_policy_kinds())}"
+        )
+    return builder(spec, superblocks)
 
 
 def granularity_ladder(include_fine: bool = True,

@@ -23,10 +23,13 @@ What is deliberately mirrored from the spec (not from the code):
   from *surviving* blocks.
 
 The reference model covers the paper's granularity ladder (FLUSH,
-2..512 units, fine-grained FIFO) — the policies every figure is built
-from.  Adaptive/generational/preemptive policies are driven by internal
-heuristics, not pure cache geometry, and stay under the runtime
-invariant checker only (see ROADMAP open items).
+2..512 units, fine-grained FIFO), the Section 3.3 LRU byte arena, and
+Dynamo's PREEMPT policy — the phase detector is re-implemented with the
+production arithmetic op for op (EMA updates, warmup/cooldown gates,
+fill test) over recomputed-from-scratch occupancy, so a drift in either
+the detector or the flush bookkeeping shows up as a diff.  Adaptive and
+generational policies remain under the runtime invariant checker only
+(see ROADMAP open items).
 """
 
 from __future__ import annotations
@@ -139,6 +142,59 @@ class _ReferenceFifoStore:
             evictions.append((victim,))
         self.queue.append(sid)
         return evictions
+
+
+class _ReferencePreemptStore(_ReferenceUnitStore):
+    """Dynamo's preemptive-flush policy, recomputed-from-scratch flavour.
+
+    A single FIFO unit (overflow degenerates to FLUSH) plus the phase
+    detector of :class:`~repro.core.policies.PreemptiveFlushPolicy`.
+    The detector arithmetic mirrors the production policy **op for
+    op** — same EMA update order, same warmup/cooldown gating, same
+    fill test — because the diff demands float-exact agreement on when
+    the preemptive flush fires.  Only the cache bookkeeping underneath
+    is the slow, obviously-correct kind.
+    """
+
+    def __init__(self, capacity_bytes: int, sizes: dict[int, int],
+                 fast_alpha: float, slow_alpha: float, spike_ratio: float,
+                 min_fill_fraction: float, warmup_accesses: int,
+                 cooldown_accesses: int) -> None:
+        super().__init__(capacity_bytes, 1, sizes)
+        self.capacity_bytes = capacity_bytes
+        self.fast_alpha = fast_alpha
+        self.slow_alpha = slow_alpha
+        self.spike_ratio = spike_ratio
+        self.min_fill_fraction = min_fill_fraction
+        self.warmup_accesses = warmup_accesses
+        self.cooldown_accesses = cooldown_accesses
+        self.fast = 0.0
+        self.slow = 0.0
+        self.accesses = 0
+        self.cooldown_until = 0
+
+    def before_access(self, hit: bool) -> list[tuple[int, ...]]:
+        """The pre-residency-decision hook: update the detector with the
+        hinted hit/miss and flush preemptively on a detected phase
+        change.  Returns the eviction invocations it caused."""
+        miss = 0.0 if hit else 1.0
+        self.fast += self.fast_alpha * (miss - self.fast)
+        self.slow += self.slow_alpha * (miss - self.slow)
+        self.accesses += 1
+        if self.accesses < self.warmup_accesses:
+            return []
+        if self.accesses < self.cooldown_until:
+            return []
+        fill = self._unit_used(0) / self.capacity_bytes
+        spiking = self.fast > self.spike_ratio * max(self.slow, 0.01)
+        if spiking and fill >= self.min_fill_fraction:
+            victim = tuple(self.units[0])
+            self.units[0] = []
+            self.cooldown_until = self.accesses + self.cooldown_accesses
+            self.fast = self.slow
+            if victim:
+                return [victim]
+        return []
 
 
 class _ReferenceLruStore:
@@ -289,6 +345,33 @@ class ReferenceSimulator:
         return cls(superblocks, capacity_bytes, store, "LRU",
                    overhead_model=overhead_model, track_links=track_links)
 
+    @classmethod
+    def for_preempt(cls, superblocks: SuperblockSet, capacity_bytes: int,
+                    fast_alpha: float = 0.01, slow_alpha: float = 0.0005,
+                    spike_ratio: float = 1.8,
+                    min_fill_fraction: float = 0.5,
+                    warmup_accesses: int = 2000,
+                    cooldown_accesses: int = 2000,
+                    overhead_model: OverheadModel = PAPER_MODEL,
+                    track_links: bool = True) -> "ReferenceSimulator":
+        if capacity_bytes <= 0:
+            raise ConfigurationError("capacity_bytes must be positive")
+        max_block = superblocks.max_block_bytes
+        if max_block > capacity_bytes:
+            raise ConfigurationError(
+                f"unit capacity {capacity_bytes} B cannot hold the "
+                f"largest superblock ({max_block} B)"
+            )
+        store = _ReferencePreemptStore(
+            capacity_bytes, dict(superblocks.sizes()),
+            fast_alpha=fast_alpha, slow_alpha=slow_alpha,
+            spike_ratio=spike_ratio, min_fill_fraction=min_fill_fraction,
+            warmup_accesses=warmup_accesses,
+            cooldown_accesses=cooldown_accesses,
+        )
+        return cls(superblocks, capacity_bytes, store, "PREEMPT",
+                   overhead_model=overhead_model, track_links=track_links)
+
     # -- Link semantics (from the spec, not from LinkManager) ---------------
 
     def _establish_links(self, sid: int) -> None:
@@ -338,6 +421,25 @@ class ReferenceSimulator:
 
     # -- Replay --------------------------------------------------------------
 
+    def _account_eviction(self, blocks: tuple[int, ...],
+                          stats: SimulationStats) -> int:
+        """Charge one eviction invocation (and its unlinking) to
+        *stats*; returns the number of links removed."""
+        model = self.model
+        evicted_bytes = sum(self._sizes[s] for s in blocks)
+        stats.eviction_invocations += 1
+        stats.evicted_blocks += len(blocks)
+        stats.evicted_bytes += evicted_bytes
+        stats.eviction_overhead += model.eviction_cost(evicted_bytes)
+        links_removed = 0
+        if self.track_links:
+            for _, count in self._drop_links(blocks):
+                stats.unlink_operations += 1
+                stats.links_removed += count
+                stats.unlink_overhead += model.unlink_cost(count)
+                links_removed += count
+        return links_removed
+
     def run(self, trace, benchmark: str = "") -> ReferenceResult:
         """Replay *trace*; return final stats and the per-access log."""
         if hasattr(trace, "tolist"):
@@ -347,37 +449,49 @@ class ReferenceSimulator:
         outcomes: list[AccessOutcome] = []
         model = self.model
         store = self.store
+        # The PREEMPT store exposes a pre-residency-decision hook; the
+        # production simulator calls ``policy.on_access`` in the same
+        # position, with the pre-hook residency probe as the hint.
+        before_access = getattr(store, "before_access", None)
         index = 0
         for sid in trace:
             index += 1
             stats.accesses += 1
-            if store.resident(sid):
+            events: list[tuple[int, ...]] = []
+            links_removed = 0
+            if before_access is not None:
+                hinted = store.resident(sid)
+                preemptive = before_access(hinted)
+                if preemptive:
+                    stats.preemptive_flushes += len(preemptive)
+                    for blocks in preemptive:
+                        events.append(blocks)
+                        links_removed += self._account_eviction(blocks, stats)
+                    # The hook evicted blocks, so the pre-hook residency
+                    # probe is stale for this access only.
+                    hit = store.resident(sid)
+                else:
+                    hit = hinted
+            else:
+                hit = store.resident(sid)
+            if hit:
                 stats.hits += 1
                 store.touch(sid)
-                outcomes.append(AccessOutcome(index, sid, True))
+                outcomes.append(AccessOutcome(index, sid, True,
+                                              tuple(events), links_removed))
                 continue
             stats.misses += 1
             size = self._sizes[sid]
             stats.inserted_bytes += size
             stats.miss_overhead += model.miss_cost(size)
-            evictions = tuple(store.insert(sid, size))
-            links_removed = 0
-            for blocks in evictions:
-                evicted_bytes = sum(self._sizes[s] for s in blocks)
-                stats.eviction_invocations += 1
-                stats.evicted_blocks += len(blocks)
-                stats.evicted_bytes += evicted_bytes
-                stats.eviction_overhead += model.eviction_cost(evicted_bytes)
-                if self.track_links:
-                    for _, count in self._drop_links(blocks):
-                        stats.unlink_operations += 1
-                        stats.links_removed += count
-                        stats.unlink_overhead += model.unlink_cost(count)
-                        links_removed += count
+            for blocks in store.insert(sid, size):
+                events.append(blocks)
+                links_removed += self._account_eviction(blocks, stats)
             if self.track_links:
                 self._establish_links(sid)
             outcomes.append(
-                AccessOutcome(index, sid, False, evictions, links_removed)
+                AccessOutcome(index, sid, False, tuple(events),
+                              links_removed)
             )
         if self.track_links:
             stats.links_established_intra = self._established_intra
@@ -389,14 +503,17 @@ class ReferenceSimulator:
 def reference_ladder(include_fine: bool = True,
                      unit_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32,
                                                      64, 128, 256, 512),
-                     include_lru: bool = False):
+                     include_lru: bool = False,
+                     include_preempt: bool = False):
     """Factories mirroring :func:`repro.core.policies.granularity_ladder`.
 
     Returns ``(name, build)`` pairs where ``build(superblocks, capacity,
     model, track_links)`` yields the matching :class:`ReferenceSimulator`;
     names match the production ladder's so results join on policy name.
     ``include_lru`` appends the Section 3.3 LRU arena last (off by
-    default: it is a study policy, not a rung of the paper's ladder).
+    default: it is a study policy, not a rung of the paper's ladder);
+    ``include_preempt`` likewise appends Dynamo's preemptive flush with
+    the production defaults.
     """
     rungs = []
     for count in unit_counts:
@@ -425,4 +542,12 @@ def reference_ladder(include_fine: bool = True,
                 overhead_model=model, track_links=track_links)
 
         rungs.append(("LRU", build_lru))
+    if include_preempt:
+        def build_preempt(superblocks, capacity, model=PAPER_MODEL,
+                          track_links=True):
+            return ReferenceSimulator.for_preempt(
+                superblocks, capacity,
+                overhead_model=model, track_links=track_links)
+
+        rungs.append(("PREEMPT", build_preempt))
     return rungs

@@ -40,6 +40,7 @@ Named fault points wired into production code:
 ``cache.metrics``         simulator stats: hits/misses conservation break
 ``cache.generation``      generational policy: promote-count membership break
 ``cache.arena``           LRU byte arena: free-list/placement accounting break
+``cache.placement``       link-aware placement: partition assignment break
 ``service.accept``        service connection accept / session admission
 ``service.session``       one queued access batch in a session's consumer
 ``service.flush``         a session's queue flush (stats/close/drain); in
@@ -93,6 +94,7 @@ POINTS = (
     "cache.metrics",
     "cache.generation",
     "cache.arena",
+    "cache.placement",
     "service.accept",
     "service.session",
     "service.flush",
@@ -110,6 +112,7 @@ STATE_POINTS = (
     "cache.metrics",
     "cache.generation",
     "cache.arena",
+    "cache.placement",
 )
 
 

@@ -15,7 +15,13 @@ import sys
 from repro.analysis.report import format_table
 from repro.workloads.distributions import size_histogram
 from repro.workloads.export import export_workload
+from repro.workloads.multiprogram import (
+    SCENARIOS,
+    build_scenario,
+    scenario_names,
+)
 from repro.workloads.registry import (
+    Workload,
     all_benchmarks,
     build_workload,
     get_benchmark,
@@ -31,19 +37,31 @@ def _build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("list", help="list the twenty benchmarks")
 
+    commands.add_parser(
+        "scenarios", help="list the named hostile-traffic scenarios"
+    )
+
     describe = commands.add_parser(
-        "describe", help="materialize one benchmark and summarize it"
+        "describe",
+        help="materialize one benchmark or hostile scenario and "
+             "summarize it",
     )
     describe.add_argument("benchmark")
     describe.add_argument("--scale", type=float, default=1.0)
+    describe.add_argument("--seed", type=int, default=0,
+                          help="scenario seed (scenarios only)")
 
     export = commands.add_parser(
-        "export", help="write a benchmark as a replayable event log"
+        "export",
+        help="write a benchmark or hostile scenario as a replayable "
+             "event log",
     )
     export.add_argument("benchmark")
     export.add_argument("--out", required=True, metavar="FILE")
     export.add_argument("--scale", type=float, default=1.0)
     export.add_argument("--trace-accesses", type=int, default=None)
+    export.add_argument("--seed", type=int, default=0,
+                        help="scenario seed (scenarios only)")
     return parser
 
 
@@ -58,9 +76,33 @@ def _command_list() -> None:
     ))
 
 
+def _command_scenarios() -> None:
+    rows = [
+        (name, (SCENARIOS[name].__doc__ or "").strip().splitlines()[0])
+        for name in scenario_names()
+    ]
+    print(format_table(
+        ("Name", "Description"), rows,
+        title="Hostile-traffic scenarios",
+    ))
+    print("\nUse `describe <name>` / `export <name>` on these, or feed "
+          "them to\n`python -m repro.search run --scenarios ...`.")
+
+
+def _materialize(name: str, scale: float, trace_accesses: int | None,
+                 seed: int) -> Workload:
+    """A registry benchmark or, when *name* matches one, a scenario."""
+    if name in scenario_names():
+        kwargs = {"scale": scale, "seed": seed}
+        if trace_accesses is not None:
+            kwargs["accesses"] = trace_accesses
+        return build_scenario(name, **kwargs)
+    return build_workload(get_benchmark(name), scale=scale,
+                          trace_accesses=trace_accesses)
+
+
 def _command_describe(args: argparse.Namespace) -> None:
-    workload = build_workload(get_benchmark(args.benchmark),
-                              scale=args.scale)
+    workload = _materialize(args.benchmark, args.scale, None, args.seed)
     blocks = workload.superblocks
     print(f"{workload.name} (scale {args.scale:g})")
     print(format_table(("Property", "Value"), [
@@ -82,11 +124,8 @@ def _command_describe(args: argparse.Namespace) -> None:
 
 
 def _command_export(args: argparse.Namespace) -> None:
-    workload = build_workload(
-        get_benchmark(args.benchmark),
-        scale=args.scale,
-        trace_accesses=args.trace_accesses,
-    )
+    workload = _materialize(args.benchmark, args.scale,
+                            args.trace_accesses, args.seed)
     records = export_workload(workload, args.out)
     print(f"Wrote {records} event records for {workload.name} "
           f"({len(workload.superblocks)} superblocks, "
@@ -98,6 +137,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         _command_list()
+    elif args.command == "scenarios":
+        _command_scenarios()
     elif args.command == "describe":
         _command_describe(args)
     elif args.command == "export":

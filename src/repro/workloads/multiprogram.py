@@ -11,12 +11,20 @@ policy/pressure experiment can be run on the combined load.
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
+from typing import Callable
 
 import numpy as np
 
 from repro.core.superblock import Superblock, SuperblockSet
-from repro.workloads.registry import BenchmarkSpec, Workload
+from repro.workloads.registry import (
+    BenchmarkSpec,
+    Workload,
+    benchmarks_by_names,
+    build_workload,
+)
+from repro.workloads.traces import scan_trace
 
 
 def combine_workloads(
@@ -38,21 +46,7 @@ def combine_workloads(
         raise ValueError("timeslice must be positive")
     rng = np.random.default_rng(seed)
 
-    blocks: list[Superblock] = []
-    offsets: list[int] = []
-    offset = 0
-    for workload in workloads:
-        offsets.append(offset)
-        for block in workload.superblocks:
-            blocks.append(
-                Superblock(
-                    block.sid + offset,
-                    block.size_bytes,
-                    links=tuple(target + offset for target in block.links),
-                    source_address=block.source_address,
-                )
-            )
-        offset += max(workload.superblocks.sids) + 1
+    blocks, offsets = _offset_blocks(workloads)
 
     cursors = [0] * len(workloads)
     pieces: list[np.ndarray] = []
@@ -92,3 +86,203 @@ def multiprogram_pressure(workloads: list[Workload],
         raise ValueError("shared_capacity must be positive")
     total = sum(w.superblocks.total_bytes for w in workloads)
     return total / shared_capacity
+
+
+# -- Hostile-traffic scenarios ------------------------------------------------
+#
+# Named, fully seeded generators of the traffic shapes a production
+# cache service actually suffers: a flash crowd (one program suddenly
+# dominates), a diurnal shift (program mix rotates over time), and an
+# adversarial thrasher (a scanning tenant that defeats any FIFO that
+# cannot hold its population).  The policy-search fitness set and the
+# service load harness both draw from this registry, so "survives
+# hostile traffic" means the same thing everywhere.
+
+#: Default program mix for the scenarios.
+DEFAULT_SCENARIO_BENCHMARKS = ("gzip", "mcf", "vpr")
+
+
+def _base_workloads(benchmarks, scale: float,
+                    accesses: int | None) -> list[Workload]:
+    specs = benchmarks_by_names(benchmarks)
+    return [build_workload(spec, scale=scale, trace_accesses=accesses)
+            for spec in specs]
+
+
+def flash_crowd(
+    benchmarks=DEFAULT_SCENARIO_BENCHMARKS,
+    scale: float = 0.5,
+    accesses: int | None = 8000,
+    seed: int = 0,
+    timeslice: int = 500,
+    spike_fraction: float = 0.4,
+) -> Workload:
+    """A steady program mix hit by a sudden single-program spike.
+
+    The combined trace runs normally, then at its midpoint the first
+    program's hottest blocks flood the cache for ``spike_fraction`` of
+    the base length (a tight loop, as a flash crowd hammering one
+    service's hot paths would), then the mix resumes.  Policies that
+    evict by recency or hotness ride the spike; coarse FIFO units
+    flush the other programs' code to make room for it.
+    """
+    if not 0.0 < spike_fraction <= 2.0:
+        raise ValueError("spike_fraction must be in (0, 2]")
+    workloads = _base_workloads(benchmarks, scale, accesses)
+    combined = combine_workloads(workloads, timeslice=timeslice,
+                                 name="flash_crowd", seed=seed)
+    crowd = workloads[0]
+    # The crowd hammers the spiking program's hottest working set.
+    counts = np.bincount(crowd.trace,
+                         minlength=len(crowd.superblocks.sids))
+    hot_count = max(4, len(crowd.superblocks) // 10)
+    hot_blocks = np.argsort(counts)[::-1][:hot_count].astype(np.int64)
+    spike_length = max(1, int(len(combined.trace) * spike_fraction))
+    repetitions = -(-spike_length // len(hot_blocks))  # ceil division
+    spike = np.tile(np.sort(hot_blocks), repetitions)[:spike_length]
+    midpoint = len(combined.trace) // 2
+    trace = np.concatenate([
+        combined.trace[:midpoint], spike, combined.trace[midpoint:],
+    ])
+    return Workload(spec=combined.spec, superblocks=combined.superblocks,
+                    trace=trace)
+
+
+def diurnal_shift(
+    benchmarks=DEFAULT_SCENARIO_BENCHMARKS,
+    scale: float = 0.5,
+    accesses: int | None = 8000,
+    seed: int = 0,
+    timeslice: int = 500,
+    periods: float = 2.0,
+    floor: float = 0.1,
+) -> Workload:
+    """A program mix whose weights rotate sinusoidally over the run.
+
+    Each program's per-round quantum follows a phase-shifted sinusoid
+    (``floor`` keeps every program minimally alive), so the working set
+    drifts continuously from one program to the next, as a day/night
+    traffic rotation drifts between user populations.  Caches tuned to
+    a static mix keep paying capacity misses at every shift.
+    """
+    if not 0.0 <= floor < 1.0:
+        raise ValueError("floor must be in [0, 1)")
+    if periods <= 0:
+        raise ValueError("periods must be positive")
+    workloads = _base_workloads(benchmarks, scale, accesses)
+    rng = np.random.default_rng(seed)
+
+    blocks, offsets = _offset_blocks(workloads)
+    total = sum(len(w.trace) for w in workloads)
+    round_count = max(1, -(-total // (timeslice * len(workloads))))
+    cursors = [0] * len(workloads)
+    pieces: list[np.ndarray] = []
+    round_index = 0
+    while any(cursors[i] < len(workloads[i].trace)
+              for i in range(len(workloads))):
+        phase = (round_index / round_count) * periods * 2.0 * math.pi
+        order = list(range(len(workloads)))
+        rng.shuffle(order)
+        for index in order:
+            trace = workloads[index].trace
+            start = cursors[index]
+            if start >= len(trace):
+                continue
+            offset_phase = phase + (2.0 * math.pi * index) / len(workloads)
+            weight = floor + (1.0 - floor) * 0.5 * (
+                1.0 + math.sin(offset_phase))
+            quantum = max(1, int(round(timeslice * weight)))
+            piece = trace[start:start + quantum]
+            cursors[index] = start + len(piece)
+            pieces.append(piece + offsets[index])
+        round_index += 1
+    spec = replace(
+        workloads[0].spec,
+        name="diurnal_shift",
+        description="diurnally rotating multiprogram mix",
+        superblock_count=len(blocks),
+    )
+    return Workload(spec=spec, superblocks=SuperblockSet(blocks),
+                    trace=np.concatenate(pieces))
+
+
+def adversarial_thrash(
+    benchmarks=DEFAULT_SCENARIO_BENCHMARKS,
+    scale: float = 0.5,
+    accesses: int | None = 8000,
+    seed: int = 0,
+    timeslice: int = 250,
+    attacker: str = "gcc",
+    attacker_scale: float | None = None,
+) -> Workload:
+    """Victim programs sharing the cache with a scanning attacker.
+
+    The attacker cyclically scans a population comparable to the
+    victims' combined footprint — the worst case for any FIFO-ordered
+    cache that cannot hold it — evicting the victims' useful code on
+    every sweep.  Policies that protect hot or well-linked blocks keep
+    the victims' working sets resident; pure FIFO churns.
+    """
+    victims = _base_workloads(benchmarks, scale, accesses)
+    spec = benchmarks_by_names((attacker,))[0]
+    attack_base = build_workload(
+        spec,
+        scale=attacker_scale if attacker_scale is not None else scale,
+        trace_accesses=accesses,
+    )
+    population = len(attack_base.superblocks)
+    length = len(attack_base.trace)
+    sweeps = max(1, -(-length // population))
+    attack_trace = scan_trace(population, sweeps)[:length]
+    attack = Workload(spec=attack_base.spec,
+                      superblocks=attack_base.superblocks,
+                      trace=attack_trace)
+    return combine_workloads([*victims, attack], timeslice=timeslice,
+                             name="adversarial_thrash", seed=seed)
+
+
+def _offset_blocks(
+    workloads: list[Workload],
+) -> tuple[list[Superblock], list[int]]:
+    """Remap each workload's superblocks into disjoint id ranges;
+    returns the combined block list and each workload's id offset."""
+    blocks: list[Superblock] = []
+    offsets: list[int] = []
+    offset = 0
+    for workload in workloads:
+        offsets.append(offset)
+        for block in workload.superblocks:
+            blocks.append(
+                Superblock(
+                    block.sid + offset,
+                    block.size_bytes,
+                    links=tuple(target + offset for target in block.links),
+                    source_address=block.source_address,
+                )
+            )
+        offset += max(workload.superblocks.sids) + 1
+    return blocks, offsets
+
+
+#: name -> generator; every generator accepts at least
+#: (benchmarks, scale, accesses, seed) and returns a Workload.
+SCENARIOS: dict[str, Callable[..., Workload]] = {
+    "flash_crowd": flash_crowd,
+    "diurnal_shift": diurnal_shift,
+    "adversarial_thrash": adversarial_thrash,
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    return tuple(sorted(SCENARIOS))
+
+
+def build_scenario(name: str, **kwargs) -> Workload:
+    """Build the named hostile scenario (see :data:`SCENARIOS`)."""
+    try:
+        generator = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+        ) from None
+    return generator(**kwargs)

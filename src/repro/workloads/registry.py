@@ -180,6 +180,23 @@ def get_benchmark(name: str) -> BenchmarkSpec:
         )
 
 
+def benchmarks_by_names(names) -> tuple[BenchmarkSpec, ...]:
+    """Resolve an ordered, duplicate-free slice of the registry.
+
+    The validated front door for callers that take benchmark names from
+    the outside (the search fitness set, CLI ``--benchmarks`` flags):
+    unknown names raise the usual :func:`get_benchmark` error, and
+    duplicates are rejected so a fitness set can't double-weight a
+    benchmark by accident.
+    """
+    names = tuple(names)
+    if not names:
+        raise ValueError("at least one benchmark name is required")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate benchmark names in {names}")
+    return tuple(get_benchmark(name) for name in names)
+
+
 def default_trace_accesses(block_count: int) -> int:
     """A trace length that exercises the cache without taking forever:
     ~50 accesses per superblock, clamped to [20k, 250k]."""

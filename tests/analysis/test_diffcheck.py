@@ -155,6 +155,22 @@ class TestLruDiff:
         assert report.runs == 2  # FLUSH + FIFO, no LRU
 
 
+class TestPreemptDiff:
+    def test_preempt_ladder_diffs_clean(self):
+        report = diff_check(benchmarks=("gzip",), scale=0.2,
+                            trace_accesses=3000, pressures=(10.0,),
+                            unit_counts=(1,), include_preempt=True)
+        # FLUSH + FIFO + PREEMPT on one benchmark at one pressure.
+        assert report.runs == 3
+        assert report.ok, report.render()
+
+    def test_preempt_stays_out_of_the_default_ladder(self):
+        report = diff_check(benchmarks=("gzip",), scale=0.1,
+                            trace_accesses=400, pressures=(2.0,),
+                            unit_counts=(1,))
+        assert report.runs == 2  # FLUSH + FIFO, no PREEMPT
+
+
 class TestKernelCheck:
     def test_kernel_check_passes(self):
         from repro.analysis.diffcheck import kernel_check

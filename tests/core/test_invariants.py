@@ -17,6 +17,7 @@ from repro.core.invariants import (
     resolve_check_level,
 )
 from repro.core.lru import LruPolicy
+from repro.core.placement import LinkAwarePlacementPolicy
 from repro.core.policies import (
     FineGrainedFifoPolicy,
     GenerationalPolicy,
@@ -106,6 +107,14 @@ class TestCleanRuns:
         assert stats.accesses == len(workload.trace)
         assert simulator.checker.checks_run > 0
 
+    def test_placement_clean_under_paranoid(self, workload):
+        policy = LinkAwarePlacementPolicy(workload.superblocks, 8)
+        simulator = _simulator(workload, policy, "paranoid", cadence=16,
+                               pressure=8.0)
+        stats = simulator.process(workload.trace, benchmark="gzip")
+        assert stats.accesses == len(workload.trace)
+        assert simulator.checker.checks_run > 0
+
     def test_results_identical_with_and_without_checking(self, workload):
         baseline = _simulator(workload, UnitFifoPolicy(8), "off")
         checked = _simulator(workload, UnitFifoPolicy(8), "paranoid",
@@ -132,11 +141,16 @@ class TestCorruptionSelfTest:
 
     @pytest.mark.parametrize("point", faults.STATE_POINTS)
     def test_paranoid_detects_every_state_corruption(self, workload, point):
-        # The generational and arena corruptions only have meaning for
-        # their own policies; every other point uses the ladder rung.
-        policy = (GenerationalPolicy() if point == "cache.generation"
-                  else LruPolicy() if point == "cache.arena"
-                  else UnitFifoPolicy(8))
+        # The generational, arena and placement corruptions only have
+        # meaning for their own policies; every other point uses the
+        # ladder rung.
+        policy = (
+            GenerationalPolicy() if point == "cache.generation"
+            else LruPolicy() if point == "cache.arena"
+            else LinkAwarePlacementPolicy(workload.superblocks, 8)
+            if point == "cache.placement"
+            else UnitFifoPolicy(8)
+        )
         with faults.plan(faults.FaultSpec(point=point)):
             simulator = _simulator(workload, policy, "paranoid",
                                    cadence=64)
@@ -155,7 +169,8 @@ class TestCorruptionSelfTest:
     @pytest.mark.parametrize(
         "point",
         tuple(p for p in faults.STATE_POINTS
-              if p not in ("cache.generation", "cache.arena")),
+              if p not in ("cache.generation", "cache.arena",
+                           "cache.placement")),
     )
     def test_fine_fifo_detects_state_corruption(self, workload, point):
         with faults.plan(faults.FaultSpec(point=point)):

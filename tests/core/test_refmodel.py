@@ -178,3 +178,72 @@ class TestLruSemantics:
                       ladder_policy_factories(include_lru=True)]
         assert ref_names == prod_names
         assert ref_names[-1] == "LRU"
+
+
+class TestPreemptSemantics:
+    """The PREEMPT reference: detector arithmetic mirrored op for op,
+    with preemptive flushes diffed against the production policy."""
+
+    def _run_pair(self, blocks, trace, capacity, **detector):
+        from repro.core.policies import PreemptiveFlushPolicy
+        from repro.core.simulator import CodeCacheSimulator
+
+        outcomes = []
+        simulator = CodeCacheSimulator(
+            blocks, PreemptiveFlushPolicy(**detector), capacity,
+            track_links=True)
+        stats = simulator.process(
+            trace, benchmark="preempt",
+            observer=lambda index, sid, hit, evictions, links_removed:
+                outcomes.append((index, sid, hit, evictions,
+                                 links_removed)),
+        )
+        ref = ReferenceSimulator.for_preempt(blocks, capacity, **detector)
+        result = ref.run(trace, benchmark="preempt")
+        ref_outcomes = [(o.index, o.sid, o.hit, o.evictions,
+                         o.links_removed) for o in result.outcomes]
+        return stats, outcomes, result.stats, ref_outcomes
+
+    def test_preemptive_flush_fires_and_matches_production(self):
+        blocks = _population({sid: 40 for sid in range(10)},
+                             links={0: (1,), 1: (2,), 5: (6,)})
+        # Warm phase on blocks 0-4, then a phase change to 5-9; a tiny
+        # warmup/cooldown makes the detector fire within the trace.
+        trace = [sid % 5 for sid in range(200)]
+        trace += [5 + (sid % 5) for sid in range(200)]
+        stats, outcomes, ref_stats, ref_outcomes = self._run_pair(
+            blocks, trace, capacity=400,
+            warmup_accesses=20, cooldown_accesses=20,
+            fast_alpha=0.2, slow_alpha=0.01)
+        assert stats.preemptive_flushes >= 1, \
+            "detector never fired; the scenario is not exercising PREEMPT"
+        assert stats.preemptive_flushes == ref_stats.preemptive_flushes
+        assert outcomes == ref_outcomes
+        assert stats.to_dict() == ref_stats.to_dict()
+
+    def test_quiet_trace_never_flushes(self):
+        blocks = _population({sid: 40 for sid in range(4)})
+        trace = [0, 1, 2, 3] * 50
+        stats, outcomes, ref_stats, ref_outcomes = self._run_pair(
+            blocks, trace, capacity=400,
+            warmup_accesses=10, cooldown_accesses=10,
+            fast_alpha=0.2, slow_alpha=0.01)
+        assert stats.preemptive_flushes == 0
+        assert ref_stats.preemptive_flushes == 0
+        assert outcomes == ref_outcomes
+
+    def test_ladder_with_preempt_matches_production_names(self):
+        from repro.analysis.sweep import ladder_policy_factories
+        ref_names = [name for name, _ in
+                     reference_ladder(include_preempt=True)]
+        prod_names = [name for name, _ in
+                      ladder_policy_factories(include_preempt=True)]
+        assert ref_names == prod_names
+        assert ref_names[-1] == "PREEMPT"
+
+    def test_invalid_capacity_rejected(self):
+        blocks = _population({0: 100})
+        with pytest.raises(ConfigurationError):
+            ReferenceSimulator.for_preempt(blocks, 0)
+        with pytest.raises(ConfigurationError):
+            ReferenceSimulator.for_preempt(blocks, 50)

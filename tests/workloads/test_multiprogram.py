@@ -6,8 +6,12 @@ import pytest
 from repro.core.policies import UnitFifoPolicy
 from repro.core.simulator import simulate
 from repro.workloads.multiprogram import (
+    build_scenario,
     combine_workloads,
+    diurnal_shift,
+    flash_crowd,
     multiprogram_pressure,
+    scenario_names,
 )
 from repro.workloads.registry import build_workload, get_benchmark
 
@@ -103,3 +107,88 @@ class TestSharedCacheBehaviour:
         shared = simulate(combined.superblocks, UnitFifoPolicy(8),
                           capacity, combined.trace)
         assert shared.miss_rate > alone.miss_rate
+
+
+class TestHostileScenarios:
+    """The named hostile-traffic generators: determinism, structure,
+    and registry plumbing."""
+
+    SCALE = 0.15
+    ACCESSES = 1500
+
+    def _build(self, name, seed=0):
+        return build_scenario(name, benchmarks=("gzip", "mcf"),
+                              scale=self.SCALE, accesses=self.ACCESSES,
+                              seed=seed)
+
+    def test_registry_lists_all_three(self):
+        assert scenario_names() == (
+            "adversarial_thrash", "diurnal_shift", "flash_crowd")
+        with pytest.raises(KeyError, match="unknown scenario"):
+            build_scenario("volcano")
+
+    @pytest.mark.parametrize("name", ["flash_crowd", "diurnal_shift",
+                                      "adversarial_thrash"])
+    def test_seeded_generation_is_deterministic(self, name):
+        a = self._build(name, seed=3)
+        b = self._build(name, seed=3)
+        assert np.array_equal(a.trace, b.trace)
+        assert a.superblocks.sizes() == b.superblocks.sizes()
+
+    @pytest.mark.parametrize("name", ["flash_crowd", "diurnal_shift",
+                                      "adversarial_thrash"])
+    def test_traces_stay_within_the_population(self, name):
+        workload = self._build(name)
+        assert workload.name == name
+        sids = set(workload.superblocks.sids)
+        assert set(workload.trace.tolist()) <= sids
+
+    def test_flash_crowd_spikes_one_programs_hot_set(self):
+        base = combine_workloads(
+            [build_workload(get_benchmark("gzip"), scale=self.SCALE,
+                            trace_accesses=self.ACCESSES),
+             build_workload(get_benchmark("mcf"), scale=self.SCALE,
+                            trace_accesses=self.ACCESSES)],
+            timeslice=500, seed=0)
+        crowd = flash_crowd(benchmarks=("gzip", "mcf"), scale=self.SCALE,
+                            accesses=self.ACCESSES, spike_fraction=0.4)
+        extra = len(crowd.trace) - len(base.trace)
+        assert extra == int(len(base.trace) * 0.4)
+        # The spike is a tight loop over few distinct blocks.
+        midpoint = len(base.trace) // 2
+        spike = crowd.trace[midpoint:midpoint + extra]
+        assert len(set(spike.tolist())) <= max(
+            4, len(crowd.superblocks) // 10) * 2
+
+    def test_diurnal_shift_preserves_every_access(self):
+        parts = [build_workload(get_benchmark("gzip"), scale=self.SCALE,
+                                trace_accesses=self.ACCESSES),
+                 build_workload(get_benchmark("mcf"), scale=self.SCALE,
+                                trace_accesses=self.ACCESSES)]
+        shifted = diurnal_shift(benchmarks=("gzip", "mcf"),
+                                scale=self.SCALE, accesses=self.ACCESSES)
+        assert len(shifted.trace) == sum(len(p.trace) for p in parts)
+
+    def test_adversarial_thrash_attacker_scans(self):
+        workload = self._build("adversarial_thrash")
+        # The attacker ids sit above the victims'; its accesses form a
+        # cyclic scan, so the attacker sub-trace is non-decreasing
+        # except at wrap points.
+        victims_max = max(
+            build_workload(get_benchmark("mcf"), scale=self.SCALE,
+                           trace_accesses=self.ACCESSES)
+            .superblocks.sids)
+        attacker_hits = [s for s in workload.trace.tolist()
+                         if s > victims_max]
+        assert attacker_hits, "attacker must appear in the mix"
+
+    def test_thrash_defeats_coarse_fifo_harder_than_fine(self):
+        workload = self._build("adversarial_thrash")
+        capacity = max(workload.superblocks.max_block_bytes * 8,
+                       workload.max_cache_bytes // 8)
+        coarse = simulate(workload.superblocks, UnitFifoPolicy(8),
+                          capacity, workload.trace)
+        from repro.core.policies import FineGrainedFifoPolicy
+        fine = simulate(workload.superblocks, FineGrainedFifoPolicy(),
+                        capacity, workload.trace)
+        assert fine.miss_rate <= coarse.miss_rate
